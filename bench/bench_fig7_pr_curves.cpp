@@ -1,0 +1,56 @@
+// Figure 7 — precision-recall curves for the stability fine-tuning
+// schemes, evaluated on Samsung + iPhone analogue photos. The paper's
+// observation: stability training slightly *increases* accuracy as well
+// as reducing instability, with the two modes that use iPhone photos
+// giving the largest benefit.
+#include "bench_util.h"
+
+#include "core/stability_training.h"
+
+using namespace edgestab;
+
+int main() {
+  bench::banner("Figure 7 — precision-recall by fine-tuning scheme");
+  Workspace ws;
+  StabilityGridConfig config;
+  StabilityGridResult grid = run_stability_grid(ws, config);
+
+  CsvWriter csv({"loss", "noise", "recall", "precision", "threshold"});
+  Table t({"LOSS", "NOISE", "AVG PRECISION", "P@R=0.5", "P@R=0.8"});
+
+  auto precision_at = [](const std::vector<PrPoint>& curve, double recall) {
+    double best = 0.0;
+    for (const auto& p : curve)
+      if (p.recall >= recall) {
+        best = p.precision;
+        break;
+      }
+    return best;
+  };
+
+  auto emit = [&](const char* loss_name,
+                  const std::vector<StabilityCellResult>& rows) {
+    for (const auto& r : rows) {
+      t.add_row({loss_name, r.cell.noise,
+                 Table::num(average_precision(r.pr_curve), 3),
+                 Table::num(precision_at(r.pr_curve, 0.5), 3),
+                 Table::num(precision_at(r.pr_curve, 0.8), 3)});
+      // Thin the curve for the CSV (every 4th point).
+      for (std::size_t i = 0; i < r.pr_curve.size(); i += 4)
+        csv.add_row({loss_name, r.cell.noise,
+                     Table::num(r.pr_curve[i].recall, 4),
+                     Table::num(r.pr_curve[i].precision, 4),
+                     Table::num(r.pr_curve[i].threshold, 4)});
+    }
+  };
+  emit("embedding", grid.embedding_rows);
+  emit("kl", grid.kl_rows);
+
+  std::printf("\n%s", t.str().c_str());
+  std::printf(
+      "\nPaper shape: all stability-trained models trace PR curves at or\n"
+      "above the plain fine-tuning baseline; the two-image and subsample\n"
+      "modes (which see iPhone photos) sit highest.\n");
+  bench::write_csv(csv, "fig7_pr_curves.csv");
+  return 0;
+}

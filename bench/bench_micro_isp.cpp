@@ -1,0 +1,65 @@
+// Microbenchmark: ISP stage costs and full pipeline latency.
+#include <benchmark/benchmark.h>
+
+#include "isp/pipeline.h"
+#include "isp/sensor.h"
+#include "isp/software_isp.h"
+#include "image/draw.h"
+#include "util/rng.h"
+
+namespace edgestab {
+namespace {
+
+RawImage bench_raw(int size) {
+  Image scene(size, size, 3);
+  fill_vertical_gradient(scene, {0.5f, 0.5f, 0.6f}, {0.2f, 0.25f, 0.2f});
+  SensorConfig cfg;
+  cfg.width = size;
+  cfg.height = size;
+  Pcg32 rng(13);
+  return expose_sensor(scene, cfg, rng);
+}
+
+void BM_Demosaic(benchmark::State& state, DemosaicKind kind) {
+  RawImage raw = bench_raw(static_cast<int>(state.range(0)));
+  black_level_subtract(raw);
+  for (auto _ : state) {
+    Image rgb = demosaic(raw, kind);
+    benchmark::DoNotOptimize(rgb);
+  }
+}
+
+void BM_FullIsp(benchmark::State& state, bool opinionated) {
+  RawImage raw = bench_raw(static_cast<int>(state.range(0)));
+  IspConfig cfg = opinionated ? photo_isp() : magick_isp();
+  for (auto _ : state) {
+    Image rgb = run_isp(raw, cfg);
+    benchmark::DoNotOptimize(rgb);
+  }
+}
+
+void BM_SensorExposure(benchmark::State& state) {
+  int size = static_cast<int>(state.range(0));
+  Image scene(size, size, 3, 0.4f);
+  SensorConfig cfg;
+  cfg.width = size;
+  cfg.height = size;
+  Pcg32 rng(17);
+  for (auto _ : state) {
+    RawImage raw = expose_sensor(scene, cfg, rng);
+    benchmark::DoNotOptimize(raw);
+  }
+}
+
+BENCHMARK_CAPTURE(BM_Demosaic, bilinear, DemosaicKind::kBilinear)
+    ->Arg(64)->Arg(128);
+BENCHMARK_CAPTURE(BM_Demosaic, malvar, DemosaicKind::kMalvar)
+    ->Arg(64)->Arg(128);
+BENCHMARK_CAPTURE(BM_FullIsp, neutral, false)->Arg(64)->Arg(128);
+BENCHMARK_CAPTURE(BM_FullIsp, opinionated, true)->Arg(64)->Arg(128);
+BENCHMARK(BM_SensorExposure)->Arg(64)->Arg(128);
+
+}  // namespace
+}  // namespace edgestab
+
+BENCHMARK_MAIN();

@@ -1,0 +1,46 @@
+// Table 3 — image size, accuracy and instability for different
+// compression formats (§5.2): JPEG, PNG, WebP, HEIF at their default
+// parameters on identical software-developed raw photos.
+#include "bench_util.h"
+
+#include "core/experiment.h"
+
+using namespace edgestab;
+
+int main() {
+  bench::banner("Table 3 — compression formats (default parameters)");
+  Workspace ws;
+  Model model = ws.base_model();
+
+  LabRigConfig rig = bench::standard_rig();
+  std::vector<RawShot> bank = collect_raw_bank(end_to_end_fleet(), rig);
+
+  CompressionResult r = run_format_experiment(model, bank);
+  ES_CHECK(r.conditions.size() == 4);
+
+  Table t({"METRIC", "JPEG", "PNG", "WEBP", "HEIF"});
+  std::vector<std::string> sizes{"AVG. SIZE [KB]"};
+  std::vector<std::string> accs{"ACCURACY"};
+  for (const auto& c : r.conditions) {
+    sizes.push_back(Table::kb(c.avg_size_bytes));
+    accs.push_back(Table::pct(c.accuracy));
+  }
+  t.add_row(sizes);
+  t.add_row(accs);
+  t.add_separator();
+  t.add_row({"INSTABILITY", Table::pct(r.instability.instability(), 2), "",
+             "", ""});
+  std::printf("\n%s", t.str().c_str());
+  std::printf(
+      "\nPaper shape: PNG is by far the largest (lossless), WebP the\n"
+      "smallest, HEIF between WebP and JPEG; accuracy is flat across all\n"
+      "four (53.9-55.2%%) while instability across formats is 9.66%%.\n");
+
+  CsvWriter csv({"format", "avg_size_bytes", "accuracy", "instability"});
+  for (const auto& c : r.conditions)
+    csv.add_row({c.label, Table::num(c.avg_size_bytes, 1),
+                 Table::num(c.accuracy, 4),
+                 Table::num(r.instability.instability(), 4)});
+  bench::write_csv(csv, "table3_formats.csv");
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Table 4 — accuracy and instability for images converted with two
+// different software ISPs (§6). The same raw mosaics are developed by a
+// neutral converter (ImageMagick stand-in) and an opinionated one (Adobe
+// Photoshop stand-in); the paper measured 54.75% vs 49.96% accuracy and
+// 14.11% instability.
+#include "bench_util.h"
+
+#include "core/experiment.h"
+
+using namespace edgestab;
+
+int main() {
+  bench::banner("Table 4 — image signal processors (software ISPs)");
+  Workspace ws;
+  Model model = ws.base_model();
+
+  LabRigConfig rig = bench::standard_rig();
+  std::vector<RawShot> bank = collect_raw_bank(end_to_end_fleet(), rig);
+
+  IspResult r = run_isp_experiment(model, bank, {magick_isp(), photo_isp()});
+
+  Table t({"METRIC", "RESULT"});
+  t.add_row({"ADOBE-LIKE (photo_isp) ACCURACY", Table::pct(r.accuracy[1], 2)});
+  t.add_row({"IMAGEMAGICK-LIKE (magick_isp) ACCURACY",
+             Table::pct(r.accuracy[0], 2)});
+  t.add_row({"INSTABILITY", Table::pct(r.instability.instability(), 2)});
+  std::printf("\n%s", t.str().c_str());
+  std::printf(
+      "\nPaper shape: the two converters disagree on ~14%% of photos and\n"
+      "the opinionated (Adobe-like) pipeline loses several accuracy\n"
+      "points; ISP differences are the largest single instability source.\n");
+
+  CsvWriter csv({"isp", "accuracy", "instability"});
+  for (std::size_t i = 0; i < r.isp_names.size(); ++i)
+    csv.add_row({r.isp_names[i], Table::num(r.accuracy[i], 4),
+                 Table::num(r.instability.instability(), 4)});
+  bench::write_csv(csv, "table4_isp.csv");
+  return 0;
+}

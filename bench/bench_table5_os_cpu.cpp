@@ -1,0 +1,58 @@
+// Table 5 / §7 — processor and OS experiment. A fixed pre-encoded image
+// set is decoded and classified on five SoC profiles (Firebase Test Lab
+// analogues). The paper found 0.64% instability on JPEG inputs, traced it
+// via MD5 to OS JPEG decoding (Huawei and Xiaomi decode differently but
+// identically to each other), and found zero instability on PNG inputs.
+#include "bench_util.h"
+
+#include "core/experiment.h"
+
+using namespace edgestab;
+
+int main() {
+  bench::banner("Table 5 / §7 — processor and OS");
+  Workspace ws;
+  Model model = ws.base_model();
+
+  OsCpuConfig config;
+  config.images_per_class = 20;  // 240 fixed images across 12 classes
+  std::vector<PhoneProfile> fleet = firebase_fleet();
+  OsCpuResult r = run_os_cpu_experiment(model, fleet, config);
+
+  Table t({"PHONE", "SOC", "JPEG DECODE MD5", "PNG DECODE MD5"});
+  CsvWriter csv({"phone", "soc", "jpeg_md5", "png_md5"});
+  for (std::size_t p = 0; p < r.phone_names.size(); ++p) {
+    t.add_row({r.phone_names[p], r.soc_names[p],
+               r.jpeg_decode_md5[p].substr(0, 12),
+               r.png_decode_md5[p].substr(0, 12)});
+    csv.add_row({r.phone_names[p], r.soc_names[p], r.jpeg_decode_md5[p],
+                 r.png_decode_md5[p]});
+  }
+  std::printf("\n%s", t.str().c_str());
+
+  std::printf("\nInstability on JPEG inputs: %s\n",
+              Table::pct(r.jpeg_instability.instability(), 2).c_str());
+  std::printf("Instability on PNG inputs:  %s\n",
+              Table::pct(r.png_instability.instability(), 2).c_str());
+
+  std::printf("\nPhones with identical (prediction, confidence) streams:\n");
+  for (const auto& group : r.agreement_groups) {
+    std::printf("  {");
+    for (std::size_t i = 0; i < group.size(); ++i)
+      std::printf("%s%s", i ? ", " : " ", group[i].c_str());
+    std::printf(" }\n");
+  }
+
+  std::printf(
+      "\nPaper shape: tiny instability on JPEG (0.64%%), exactly zero on\n"
+      "PNG; the Huawei and Xiaomi analogues share one JPEG-decode MD5 and\n"
+      "the remaining three share another, so the divergence is OS JPEG\n"
+      "decoding, not silicon.\n");
+
+  bench::write_csv(csv, "table5_os_cpu.csv");
+  CsvWriter summary({"input", "instability"});
+  summary.add_row({"jpeg", Table::num(r.jpeg_instability.instability(), 5)});
+  summary.add_row({"png", Table::num(r.png_instability.instability(), 5)});
+  bench::write_csv(summary, "table5_summary.csv");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Table 6 — stability training for devices (§9.1). Fine-tunes the base
+// model on Samsung-analogue captures with the stability objective
+// L0 + α·Ls, for every (noise scheme x loss) cell of the paper's grid,
+// and reports the instability between Samsung and iPhone analogues on
+// held-out stimuli.
+//
+// Hyperparameters are grid-searched for this reproduction (the paper did
+// the same for its setup; loss scales do not transfer across substrates).
+#include "bench_util.h"
+
+#include "core/stability_training.h"
+
+using namespace edgestab;
+
+namespace {
+
+void print_rows(const char* title,
+                const std::vector<StabilityCellResult>& rows,
+                CsvWriter& csv, const char* loss_name) {
+  Table t({"NOISE", "HYPER PARAMETERS", "INSTABILITY", "ACC (SAMSUNG)",
+           "ACC (IPHONE)"});
+  for (const auto& r : rows) {
+    t.add_row({r.cell.noise, r.cell.hyper_description(),
+               Table::pct(r.instability, 2), Table::pct(r.accuracy_a, 1),
+               Table::pct(r.accuracy_b, 1)});
+    csv.add_row({loss_name, r.cell.noise, r.cell.hyper_description(),
+                 Table::num(r.instability, 4), Table::num(r.accuracy_a, 4),
+                 Table::num(r.accuracy_b, 4)});
+  }
+  std::printf("\n%s\n%s", title, t.str().c_str());
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Table 6 — stability training grid (Samsung vs iPhone)");
+  Workspace ws;
+  StabilityGridConfig config;  // calibrated defaults (see DESIGN.md)
+
+  WallTimer timer;
+  StabilityGridResult grid = run_stability_grid(ws, config);
+  std::printf("grid complete in %.1fs (fine-tuned models are cached)\n",
+              timer.seconds());
+
+  std::printf("\nBase model (no fine-tuning) instability: %s\n",
+              Table::pct(grid.base_model_instability, 2).c_str());
+
+  CsvWriter csv({"loss", "noise", "hyper", "instability", "acc_samsung",
+                 "acc_iphone"});
+  print_rows("(a) Embedding distance loss", grid.embedding_rows, csv,
+             "embedding");
+  print_rows("(b) Relative entropy (KL) loss", grid.kl_rows, csv, "kl");
+
+  // Reduction summary (the abstract's "reduce instability by 75%" claim
+  // compares stability training against the un-mitigated baseline).
+  double best = 1.0;
+  std::string best_desc;
+  for (const auto* rows : {&grid.embedding_rows, &grid.kl_rows})
+    for (const auto& r : *rows)
+      if (r.cell.noise != "no_noise" && r.instability < best) {
+        best = r.instability;
+        best_desc = r.cell.noise + " + " +
+                    (r.cell.loss == StabilityLoss::kEmbedding ? "embedding"
+                                                              : "KL");
+      }
+  double no_noise = 1.0;
+  for (const auto* rows : {&grid.embedding_rows, &grid.kl_rows})
+    for (const auto& r : *rows)
+      if (r.cell.noise == "no_noise") no_noise = std::min(no_noise,
+                                                          r.instability);
+  std::printf(
+      "\nBest stability scheme: %s at %.2f%% vs plain fine-tuning %.2f%% "
+      "and\nno mitigation %.2f%% (a %.0f%% reduction vs baseline).\n",
+      best_desc.c_str(), best * 100.0, no_noise * 100.0,
+      grid.base_model_instability * 100.0,
+      (1.0 - best / std::max(grid.base_model_instability, 1e-9)) * 100.0);
+  std::printf(
+      "Paper shape: every noise scheme beats plain fine-tuning; two-image\n"
+      "pairing with the embedding loss is best (3.91%%); subsample-10 is\n"
+      "close behind (4.22%%); distortion+KL is the best scheme that needs\n"
+      "no new data collection (4.52%%).\n");
+
+  bench::write_csv(csv, "table6_stability_training.csv");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Shared scaffolding for the experiment bench binaries: standard
+// workspace, rig sizes, and CSV emission. Every bench prints the paper's
+// rows/series and writes a machine-readable CSV to bench_out/.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "core/workspace.h"
+#include "data/lab_rig.h"
+#include "util/csv.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace edgestab::bench {
+
+/// Directory the CSV artifacts go to (created on demand).
+inline std::string out_dir() {
+  std::string dir = "bench_out";
+  make_dirs(dir);
+  return dir;
+}
+
+inline void write_csv(const CsvWriter& csv, const std::string& name) {
+  std::string path = out_dir() + "/" + name;
+  csv.write_file(path);
+  std::printf("[csv] %s\n", path.c_str());
+}
+
+/// Production rig: 30 objects per target class, 5 angles — 150 objects,
+/// 750 stimuli per phone (the paper used 1537 source images and 5 angles).
+inline LabRigConfig standard_rig() {
+  LabRigConfig rig;
+  rig.objects_per_class = 30;
+  rig.seed = 4242;
+  return rig;
+}
+
+inline void banner(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+}  // namespace edgestab::bench

@@ -1,0 +1,61 @@
+// OS decoder audit (§7 methodology as a reusable workflow): given a set
+// of encoded images and a fleet of inference devices, determine whether
+// any device decodes them differently — and whether that ever flips a
+// prediction. This is the MD5 forensics the paper used to acquit the
+// processors and convict the JPEG decoders.
+#include <cstdio>
+#include <set>
+
+#include "core/experiment.h"
+#include "core/workspace.h"
+#include "data/labels.h"
+#include "util/table.h"
+
+using namespace edgestab;
+
+int main() {
+  Workspace workspace;
+  Model model = workspace.base_model();
+
+  OsCpuConfig config;
+  config.images_per_class = 10;  // quick audit: 120 fixed images
+  std::vector<PhoneProfile> fleet = firebase_fleet();
+
+  std::printf("auditing %zu devices on %d pre-encoded images...\n\n",
+              fleet.size(), config.images_per_class * kNumClasses);
+  OsCpuResult r = run_os_cpu_experiment(model, fleet, config);
+
+  Table t({"DEVICE", "SOC", "JPEG MD5", "PNG MD5"});
+  for (std::size_t p = 0; p < r.phone_names.size(); ++p)
+    t.add_row({r.phone_names[p], r.soc_names[p],
+               r.jpeg_decode_md5[p].substr(0, 10),
+               r.png_decode_md5[p].substr(0, 10)});
+  std::printf("%s", t.str().c_str());
+
+  // Count distinct decode behaviours.
+  std::set<std::string> jpeg_hashes(r.jpeg_decode_md5.begin(),
+                                    r.jpeg_decode_md5.end());
+  std::set<std::string> png_hashes(r.png_decode_md5.begin(),
+                                   r.png_decode_md5.end());
+  std::printf(
+      "\n%zu distinct JPEG decode behaviours, %zu distinct PNG decode "
+      "behaviours\n",
+      jpeg_hashes.size(), png_hashes.size());
+  std::printf("instability: JPEG %.2f%%, PNG %.2f%%\n",
+              r.jpeg_instability.instability() * 100.0,
+              r.png_instability.instability() * 100.0);
+
+  std::printf("\ndevices with identical prediction+confidence streams:\n");
+  for (const auto& group : r.agreement_groups) {
+    std::printf("  {");
+    for (std::size_t i = 0; i < group.size(); ++i)
+      std::printf("%s%s", i ? ", " : " ", group[i].c_str());
+    std::printf(" }\n");
+  }
+
+  std::printf(
+      "\nVerdict: if the agreement groups track the JPEG-decode hashes\n"
+      "(and PNG shows one hash + zero instability), the divergence is OS\n"
+      "image decoding — not the processor. That is the paper's §7 finding.\n");
+  return 0;
+}

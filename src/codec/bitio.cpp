@@ -1,0 +1,43 @@
+#include "codec/bitio.h"
+
+namespace edgestab {
+
+void BitWriter::put(std::uint32_t value, int bits) {
+  ES_DCHECK(bits >= 0 && bits <= 32);
+  if (bits == 0) return;
+  if (bits < 32) value &= (1u << bits) - 1u;
+  acc_ = (acc_ << bits) | value;
+  acc_bits_ += bits;
+  bit_count_ += static_cast<std::size_t>(bits);
+  while (acc_bits_ >= 8) {
+    acc_bits_ -= 8;
+    buf_.push_back(static_cast<std::uint8_t>(acc_ >> acc_bits_));
+  }
+}
+
+Bytes BitWriter::finish() {
+  if (acc_bits_ > 0) {
+    buf_.push_back(
+        static_cast<std::uint8_t>(acc_ << (8 - acc_bits_)));
+    acc_bits_ = 0;
+  }
+  acc_ = 0;
+  return std::move(buf_);
+}
+
+std::uint32_t BitReader::get(int bits) {
+  ES_DCHECK(bits >= 0 && bits <= 32);
+  ES_CHECK_MSG(bit_pos_ + static_cast<std::size_t>(bits) <=
+                   data_.size() * 8,
+               "bit stream truncated");
+  std::uint32_t out = 0;
+  for (int i = 0; i < bits; ++i) {
+    std::size_t byte = bit_pos_ >> 3;
+    int shift = 7 - static_cast<int>(bit_pos_ & 7);
+    out = (out << 1) | ((data_[byte] >> shift) & 1u);
+    ++bit_pos_;
+  }
+  return out;
+}
+
+}  // namespace edgestab

@@ -1,0 +1,39 @@
+#include "codec/codec.h"
+
+#include "codec/heif_like.h"
+#include "codec/jpeg_like.h"
+#include "codec/png_like.h"
+#include "codec/webp_like.h"
+
+namespace edgestab {
+
+std::string format_name(ImageFormat format) {
+  switch (format) {
+    case ImageFormat::kJpegLike: return "JPEG";
+    case ImageFormat::kPngLike: return "PNG";
+    case ImageFormat::kWebpLike: return "WebP";
+    case ImageFormat::kHeifLike: return "HEIF";
+  }
+  ES_CHECK_MSG(false, "unknown format");
+  return "";
+}
+
+std::unique_ptr<Codec> make_codec(ImageFormat format, int quality) {
+  switch (format) {
+    case ImageFormat::kJpegLike:
+      return std::make_unique<JpegLikeCodec>(
+          quality == kDefaultQuality ? 90 : quality);
+    case ImageFormat::kPngLike:
+      return std::make_unique<PngLikeCodec>();
+    case ImageFormat::kWebpLike:
+      return std::make_unique<WebpLikeCodec>(
+          quality == kDefaultQuality ? 60 : quality);
+    case ImageFormat::kHeifLike:
+      return std::make_unique<HeifLikeCodec>(
+          quality == kDefaultQuality ? 60 : quality);
+  }
+  ES_CHECK_MSG(false, "unknown format");
+  return nullptr;
+}
+
+}  // namespace edgestab

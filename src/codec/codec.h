@@ -1,0 +1,45 @@
+// Codec interface and registry.
+//
+// The paper's §5 instability comes from the same raw image being saved by
+// different phones in different lossy formats (JPEG on Android, HEIF on
+// iPhone) or qualities. Each codec here is a real transform codec with its
+// own artifact structure and measured (not modeled) output sizes.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "image/image.h"
+#include "util/bytes.h"
+
+namespace edgestab {
+
+enum class ImageFormat {
+  kJpegLike,  ///< 8x8 DCT, 4:2:0 chroma, Huffman — "JPEG"
+  kPngLike,   ///< per-row filters + LZ + Huffman, lossless — "PNG"
+  kWebpLike,  ///< 4x4 transform + spatial prediction — "WebP"
+  kHeifLike,  ///< 16x16 DCT + DC intra prediction — "HEIF"
+};
+
+std::string format_name(ImageFormat format);
+
+/// A compressor/decompressor for interleaved 3-channel 8-bit images.
+class Codec {
+ public:
+  virtual ~Codec() = default;
+
+  virtual Bytes encode(const ImageU8& image) const = 0;
+  virtual ImageU8 decode(std::span<const std::uint8_t> data) const = 0;
+  virtual std::string name() const = 0;
+  virtual bool lossless() const { return false; }
+};
+
+/// Create a codec. `quality` in [1,100]; ignored by the lossless PNG-like
+/// codec. Passing kDefaultQuality selects each format's default operating
+/// point (what "default compression parameters" meant in the paper's
+/// Table 3): JPEG 90, WebP 60, HEIF 60.
+inline constexpr int kDefaultQuality = -1;
+std::unique_ptr<Codec> make_codec(ImageFormat format,
+                                  int quality = kDefaultQuality);
+
+}  // namespace edgestab

@@ -1,0 +1,120 @@
+#include "codec/coeffs.h"
+
+#include <cmath>
+#include <map>
+
+#include "util/check.h"
+
+namespace edgestab {
+namespace codec_detail {
+
+int category_of(int v) {
+  int a = std::abs(v);
+  int c = 0;
+  while (a > 0) {
+    a >>= 1;
+    ++c;
+  }
+  return c;
+}
+
+void put_amplitude(BitWriter& bw, int v, int category) {
+  if (category == 0) return;
+  std::uint32_t bits =
+      v >= 0 ? static_cast<std::uint32_t>(v)
+             : static_cast<std::uint32_t>(v + (1 << category) - 1);
+  bw.put(bits, category);
+}
+
+int get_amplitude(BitReader& br, int category) {
+  if (category == 0) return 0;
+  auto bits = static_cast<int>(br.get(category));
+  if (bits < (1 << (category - 1))) bits -= (1 << category) - 1;
+  return bits;
+}
+
+const std::vector<int>& zigzag_order(int n) {
+  static std::map<int, std::vector<int>> cache;
+  auto it = cache.find(n);
+  if (it != cache.end()) return it->second;
+  ES_CHECK(n >= 2 && n <= 64);
+  std::vector<int> order;
+  order.reserve(static_cast<std::size_t>(n) * n);
+  // Walk anti-diagonals, alternating direction.
+  for (int s = 0; s <= 2 * (n - 1); ++s) {
+    if (s % 2 == 0) {
+      // up-right: start from (min(s, n-1), ...)
+      for (int y = std::min(s, n - 1); y >= 0 && s - y < n; --y)
+        order.push_back(y * n + (s - y));
+    } else {
+      for (int x = std::min(s, n - 1); x >= 0 && s - x < n; --x)
+        order.push_back((s - x) * n + x);
+    }
+  }
+  ES_CHECK(order.size() == static_cast<std::size_t>(n) * n);
+  return cache.emplace(n, std::move(order)).first->second;
+}
+
+void count_ac_tokens(std::span<const int> zz_block,
+                     std::vector<std::uint64_t>& freq) {
+  ES_CHECK(freq.size() >= 256);
+  int run = 0;
+  for (std::size_t i = 1; i < zz_block.size(); ++i) {
+    int v = zz_block[i];
+    if (v == 0) {
+      ++run;
+      continue;
+    }
+    while (run >= 16) {
+      ++freq[0xF0];
+      run -= 16;
+    }
+    int size = category_of(v);
+    ES_CHECK_MSG(size <= 15, "coefficient too large for run/size coding");
+    ++freq[static_cast<std::size_t>(run * 16 + size)];
+    run = 0;
+  }
+  if (run > 0) ++freq[0x00];
+}
+
+void encode_ac(std::span<const int> zz_block, const HuffmanTable& table,
+               BitWriter& bw) {
+  int run = 0;
+  for (std::size_t i = 1; i < zz_block.size(); ++i) {
+    int v = zz_block[i];
+    if (v == 0) {
+      ++run;
+      continue;
+    }
+    while (run >= 16) {
+      table.encode(bw, 0xF0);
+      run -= 16;
+    }
+    int size = category_of(v);
+    table.encode(bw, run * 16 + size);
+    put_amplitude(bw, v, size);
+    run = 0;
+  }
+  if (run > 0) table.encode(bw, 0x00);
+}
+
+void decode_ac(std::span<int> zz_block, const HuffmanTable& table,
+               BitReader& br) {
+  const auto n = static_cast<int>(zz_block.size());
+  int i = 1;
+  while (i < n) {
+    int s = table.decode(br);
+    if (s == 0x00) break;
+    if (s == 0xF0) {
+      i += 16;
+      continue;
+    }
+    i += s >> 4;
+    ES_CHECK_MSG(i < n, "coefficient overrun");
+    zz_block[static_cast<std::size_t>(i)] = get_amplitude(br, s & 15);
+    ++i;
+  }
+}
+
+}  // namespace codec_detail
+}  // namespace edgestab

@@ -1,0 +1,39 @@
+// Shared coefficient entropy-coding helpers for the block-transform
+// codecs: JPEG-style magnitude categories, amplitude bits, zigzag scans
+// for arbitrary block sizes, and generic run/size token coding.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "codec/bitio.h"
+#include "codec/huffman.h"
+
+namespace edgestab {
+namespace codec_detail {
+
+/// Magnitude category (bit count) of a coefficient value.
+int category_of(int v);
+
+/// Write the amplitude bits for a value of the given category
+/// (JPEG-style one's-complement negative mapping).
+void put_amplitude(BitWriter& bw, int v, int category);
+int get_amplitude(BitReader& br, int category);
+
+/// Zigzag scan order for an n*n block (n >= 2), lowest frequencies first.
+const std::vector<int>& zigzag_order(int n);
+
+/// Count run/size token frequencies of a zigzag-ordered coefficient block
+/// (AC part; index 0 excluded). Symbols: run*16+size, 0x00 = EOB,
+/// 0xF0 = ZRL(16 zeros). `freq` must have >= 256 entries.
+void count_ac_tokens(std::span<const int> zz_block,
+                     std::vector<std::uint64_t>& freq);
+
+/// Encode / decode the AC part of a zigzag-ordered block.
+void encode_ac(std::span<const int> zz_block, const HuffmanTable& table,
+               BitWriter& bw);
+void decode_ac(std::span<int> zz_block, const HuffmanTable& table,
+               BitReader& br);
+
+}  // namespace codec_detail
+}  // namespace edgestab

@@ -1,0 +1,19 @@
+// Type-II/III DCT for 4x4, 8x8 and 16x16 blocks (separable, orthonormal),
+// plus a fixed-point 8x8 inverse used to model OS decoder differences.
+#pragma once
+
+namespace edgestab {
+
+/// Forward 2-D DCT of an n*n block (row-major), n in {4, 8, 16}.
+void fdct_2d(const float* block, float* coeffs, int n);
+
+/// Inverse 2-D DCT (float reference implementation).
+void idct_2d(const float* coeffs, float* block, int n);
+
+/// Inverse 8x8 DCT computed in 16.16 fixed point — bit-for-bit different
+/// rounding from the float path, the way two OS JPEG decoders differ
+/// (paper §7 traces its 0.64% instability to exactly this class of
+/// divergence).
+void idct8_fixed(const float* coeffs, float* block);
+
+}  // namespace edgestab

@@ -1,0 +1,223 @@
+#include "codec/heif_like.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "codec/coeffs.h"
+#include "codec/dct.h"
+#include "codec/planes.h"
+
+namespace edgestab {
+
+namespace {
+
+using codec_detail::ChromaUpsample;
+using codec_detail::Plane;
+using codec_detail::YccPlanes;
+using codec_detail::make_plane;
+using codec_detail::pad_to;
+using codec_detail::planes_to_rgb;
+using codec_detail::rgb_to_planes;
+
+constexpr std::uint32_t kMagic = 0x484c;  // "HL"
+constexpr int kBlock = 16;
+constexpr int kBlockArea = kBlock * kBlock;
+
+/// Frequency-weighted quantization surface for 16x16 coefficients:
+/// step(u, v) = base * (1 + slope * (u + v)), scaled by quality.
+std::array<float, kBlockArea> quant_surface(int quality, bool chroma) {
+  int scale = quality < 50 ? 5000 / quality : 200 - 2 * quality;
+  float base = (chroma ? 13.0f : 9.0f) * static_cast<float>(scale) / 100.0f;
+  float slope = chroma ? 0.45f : 0.30f;
+  std::array<float, kBlockArea> q{};
+  for (int v = 0; v < kBlock; ++v)
+    for (int u = 0; u < kBlock; ++u)
+      q[static_cast<std::size_t>(v * kBlock + u)] = std::clamp(
+          base * (1.0f + slope * static_cast<float>(u + v)), 1.0f, 1024.0f);
+  return q;
+}
+
+struct CodedPlane {
+  std::vector<std::vector<int>> zz;  // zigzag coefficients per block
+  int blocks_x = 0, blocks_y = 0;
+};
+
+/// Flat prediction value from reconstructed top/left edges.
+float predict_dc(const Plane& recon, int bx, int by) {
+  const int x0 = bx * kBlock;
+  const int y0 = by * kBlock;
+  float sum = 0.0f;
+  int count = 0;
+  if (y0 > 0)
+    for (int x = 0; x < kBlock; ++x) {
+      sum += recon.at(x0 + x, y0 - 1);
+      ++count;
+    }
+  if (x0 > 0)
+    for (int y = 0; y < kBlock; ++y) {
+      sum += recon.at(x0 - 1, y0 + y);
+      ++count;
+    }
+  return count > 0 ? sum / static_cast<float>(count) : 0.0f;
+}
+
+CodedPlane code_plane(const Plane& src, int quality, bool chroma) {
+  auto quant = quant_surface(quality, chroma);
+  const auto& zz = codec_detail::zigzag_order(kBlock);
+
+  CodedPlane out;
+  out.blocks_x = pad_to(src.w, kBlock) / kBlock;
+  out.blocks_y = pad_to(src.h, kBlock) / kBlock;
+  Plane recon = make_plane(out.blocks_x * kBlock, out.blocks_y * kBlock);
+
+  std::vector<float> resid(kBlockArea), coeffs(kBlockArea), dq(kBlockArea),
+      rec(kBlockArea);
+  for (int by = 0; by < out.blocks_y; ++by)
+    for (int bx = 0; bx < out.blocks_x; ++bx) {
+      float pred = predict_dc(recon, bx, by);
+      for (int y = 0; y < kBlock; ++y)
+        for (int x = 0; x < kBlock; ++x)
+          resid[static_cast<std::size_t>(y * kBlock + x)] =
+              src.at_clamped(bx * kBlock + x, by * kBlock + y) - pred;
+      fdct_2d(resid.data(), coeffs.data(), kBlock);
+      std::vector<int> q(kBlockArea);
+      for (int i = 0; i < kBlockArea; ++i)
+        q[static_cast<std::size_t>(i)] = static_cast<int>(std::lround(
+            coeffs[static_cast<std::size_t>(
+                zz[static_cast<std::size_t>(i)])] /
+            quant[static_cast<std::size_t>(zz[static_cast<std::size_t>(i)])]));
+      out.zz.push_back(q);
+
+      std::fill(dq.begin(), dq.end(), 0.0f);
+      for (int i = 0; i < kBlockArea; ++i)
+        dq[static_cast<std::size_t>(zz[static_cast<std::size_t>(i)])] =
+            static_cast<float>(q[static_cast<std::size_t>(i)]) *
+            quant[static_cast<std::size_t>(zz[static_cast<std::size_t>(i)])];
+      idct_2d(dq.data(), rec.data(), kBlock);
+      for (int y = 0; y < kBlock; ++y)
+        for (int x = 0; x < kBlock; ++x)
+          recon.at(bx * kBlock + x, by * kBlock + y) =
+              rec[static_cast<std::size_t>(y * kBlock + x)] + pred;
+    }
+  return out;
+}
+
+Plane decode_plane(const CodedPlane& cp, int w, int h, int quality,
+                   bool chroma) {
+  auto quant = quant_surface(quality, chroma);
+  const auto& zz = codec_detail::zigzag_order(kBlock);
+  Plane recon = make_plane(cp.blocks_x * kBlock, cp.blocks_y * kBlock);
+
+  std::vector<float> dq(kBlockArea), rec(kBlockArea);
+  std::size_t bi = 0;
+  for (int by = 0; by < cp.blocks_y; ++by)
+    for (int bx = 0; bx < cp.blocks_x; ++bx, ++bi) {
+      float pred = predict_dc(recon, bx, by);
+      std::fill(dq.begin(), dq.end(), 0.0f);
+      for (int i = 0; i < kBlockArea; ++i)
+        dq[static_cast<std::size_t>(zz[static_cast<std::size_t>(i)])] =
+            static_cast<float>(cp.zz[bi][static_cast<std::size_t>(i)]) *
+            quant[static_cast<std::size_t>(zz[static_cast<std::size_t>(i)])];
+      idct_2d(dq.data(), rec.data(), kBlock);
+      for (int y = 0; y < kBlock; ++y)
+        for (int x = 0; x < kBlock; ++x)
+          recon.at(bx * kBlock + x, by * kBlock + y) =
+              rec[static_cast<std::size_t>(y * kBlock + x)] + pred;
+    }
+  Plane out = make_plane(w, h);
+  for (int y = 0; y < h; ++y)
+    for (int x = 0; x < w; ++x) out.at(x, y) = recon.at(x, y);
+  return out;
+}
+
+}  // namespace
+
+HeifLikeCodec::HeifLikeCodec(int quality) : quality_(quality) {
+  ES_CHECK_MSG(quality >= 1 && quality <= 100,
+               "heif quality out of range: " << quality);
+}
+
+Bytes HeifLikeCodec::encode(const ImageU8& image) const {
+  ES_CHECK(image.channels() == 3);
+  const int w = image.width();
+  const int h = image.height();
+  YccPlanes planes = rgb_to_planes(image);
+  CodedPlane cy = code_plane(planes.y, quality_, false);
+  CodedPlane ccb = code_plane(planes.cb, quality_, true);
+  CodedPlane ccr = code_plane(planes.cr, quality_, true);
+
+  std::vector<std::uint64_t> dc_freq(16, 0), ac_freq(256, 0);
+  for (const CodedPlane* cp : {&cy, &ccb, &ccr}) {
+    int prev_dc = 0;
+    for (const auto& block : cp->zz) {
+      int diff = block[0] - prev_dc;
+      prev_dc = block[0];
+      ++dc_freq[static_cast<std::size_t>(codec_detail::category_of(diff))];
+      codec_detail::count_ac_tokens(block, ac_freq);
+    }
+  }
+  HuffmanTable dc_table = HuffmanTable::from_frequencies(dc_freq);
+  HuffmanTable ac_table = HuffmanTable::from_frequencies(ac_freq);
+
+  BitWriter bw;
+  bw.put(kMagic, 16);
+  bw.put(static_cast<std::uint32_t>(w), 16);
+  bw.put(static_cast<std::uint32_t>(h), 16);
+  bw.put(static_cast<std::uint32_t>(quality_), 8);
+  dc_table.write_table(bw);
+  ac_table.write_table(bw);
+  for (const CodedPlane* cp : {&cy, &ccb, &ccr}) {
+    int prev_dc = 0;
+    for (const auto& block : cp->zz) {
+      int diff = block[0] - prev_dc;
+      prev_dc = block[0];
+      int cat = codec_detail::category_of(diff);
+      dc_table.encode(bw, cat);
+      codec_detail::put_amplitude(bw, diff, cat);
+      codec_detail::encode_ac(block, ac_table, bw);
+    }
+  }
+  return bw.finish();
+}
+
+ImageU8 HeifLikeCodec::decode(std::span<const std::uint8_t> data) const {
+  BitReader br(data);
+  ES_CHECK_MSG(br.get(16) == kMagic, "heif_like: bad magic");
+  int w = static_cast<int>(br.get(16));
+  int h = static_cast<int>(br.get(16));
+  int quality = static_cast<int>(br.get(8));
+  ES_CHECK(w > 0 && h > 0 && quality >= 1 && quality <= 100);
+  HuffmanTable dc_table = HuffmanTable::read_table(br);
+  HuffmanTable ac_table = HuffmanTable::read_table(br);
+
+  auto read_plane = [&](int pw, int ph) {
+    CodedPlane cp;
+    cp.blocks_x = pad_to(pw, kBlock) / kBlock;
+    cp.blocks_y = pad_to(ph, kBlock) / kBlock;
+    int prev_dc = 0;
+    for (int b = 0; b < cp.blocks_x * cp.blocks_y; ++b) {
+      std::vector<int> block(kBlockArea, 0);
+      int cat = dc_table.decode(br);
+      prev_dc += codec_detail::get_amplitude(br, cat);
+      block[0] = prev_dc;
+      codec_detail::decode_ac(block, ac_table, br);
+      cp.zz.push_back(std::move(block));
+    }
+    return cp;
+  };
+
+  const int cw = (w + 1) / 2;
+  const int ch = (h + 1) / 2;
+  CodedPlane cy = read_plane(w, h);
+  CodedPlane ccb = read_plane(cw, ch);
+  CodedPlane ccr = read_plane(cw, ch);
+
+  YccPlanes planes;
+  planes.y = decode_plane(cy, w, h, quality, false);
+  planes.cb = decode_plane(ccb, cw, ch, quality, true);
+  planes.cr = decode_plane(ccr, cw, ch, quality, true);
+  return planes_to_rgb(planes, w, h, ChromaUpsample::kBilinear);
+}
+
+}  // namespace edgestab

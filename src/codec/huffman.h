@@ -1,0 +1,57 @@
+// Canonical Huffman coding (length-limited), shared by all codecs.
+//
+// Tables are built per-image from symbol frequencies, serialized to the
+// bitstream as code lengths (4 bits each), and reconstructed canonically
+// on decode — the same scheme baseline JPEG and DEFLATE use.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "codec/bitio.h"
+
+namespace edgestab {
+
+class HuffmanTable {
+ public:
+  static constexpr int kMaxBits = 15;
+
+  /// Build an optimal (length-limited) code for the given frequencies.
+  /// Symbols with zero frequency get no code. At least one symbol must
+  /// have nonzero frequency.
+  static HuffmanTable from_frequencies(std::span<const std::uint64_t> freqs);
+
+  /// Reconstruct a table from canonical code lengths.
+  static HuffmanTable from_lengths(std::vector<std::uint8_t> lengths);
+
+  int symbol_count() const { return static_cast<int>(lengths_.size()); }
+  const std::vector<std::uint8_t>& lengths() const { return lengths_; }
+
+  /// Emit the code for `symbol` (must have a code).
+  void encode(BitWriter& bw, int symbol) const;
+
+  /// Decode one symbol.
+  int decode(BitReader& br) const;
+
+  /// Serialize code lengths (u16 count + 4 bits per symbol).
+  void write_table(BitWriter& bw) const;
+  static HuffmanTable read_table(BitReader& br);
+
+  /// Total encoded size in bits for the given frequencies (for tests and
+  /// rate estimation).
+  std::uint64_t cost_bits(std::span<const std::uint64_t> freqs) const;
+
+ private:
+  void build_canonical();
+
+  std::vector<std::uint8_t> lengths_;
+  std::vector<std::uint16_t> codes_;
+  // Canonical decode acceleration: per length, first code value and the
+  // index of its first symbol in sorted order.
+  std::vector<std::uint32_t> first_code_;
+  std::vector<std::uint32_t> first_index_;
+  std::vector<std::uint16_t> sorted_symbols_;
+};
+
+}  // namespace edgestab

@@ -1,0 +1,297 @@
+#include "codec/jpeg_like.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "codec/dct.h"
+#include "codec/huffman.h"
+#include "codec/planes.h"
+
+namespace edgestab {
+
+namespace {
+
+using codec_detail::ChromaUpsample;
+using codec_detail::Plane;
+using codec_detail::YccPlanes;
+using codec_detail::make_plane;
+using codec_detail::pad_to;
+using codec_detail::planes_to_rgb;
+using codec_detail::rgb_to_planes;
+
+constexpr std::uint32_t kMagic = 0x4a4c;  // "JL"
+
+// ITU-T T.81 Annex K base quantization tables.
+constexpr std::array<int, 64> kLumaQuant = {
+    16, 11, 10, 16, 24,  40,  51,  61,  12, 12, 14, 19, 26,  58,  60,  55,
+    14, 13, 16, 24, 40,  57,  69,  56,  14, 17, 22, 29, 51,  87,  80,  62,
+    18, 22, 37, 56, 68,  109, 103, 77,  24, 35, 55, 64, 81,  104, 113, 92,
+    49, 64, 78, 87, 103, 121, 120, 101, 72, 92, 95, 98, 112, 100, 103, 99};
+
+constexpr std::array<int, 64> kChromaQuant = {
+    17, 18, 24, 47, 99, 99, 99, 99, 18, 21, 26, 66, 99, 99, 99, 99,
+    24, 26, 56, 99, 99, 99, 99, 99, 47, 66, 99, 99, 99, 99, 99, 99,
+    99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99,
+    99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99};
+
+constexpr std::array<int, 64> kZigzag = {
+    0,  1,  8,  16, 9,  2,  3,  10, 17, 24, 32, 25, 18, 11, 4,  5,
+    12, 19, 26, 33, 40, 48, 41, 34, 27, 20, 13, 6,  7,  14, 21, 28,
+    35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51,
+    58, 59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63};
+
+/// libjpeg quality scaling.
+std::array<int, 64> scaled_quant(const std::array<int, 64>& base,
+                                 int quality) {
+  int scale = quality < 50 ? 5000 / quality : 200 - 2 * quality;
+  std::array<int, 64> out{};
+  for (int i = 0; i < 64; ++i) {
+    int q = (base[static_cast<std::size_t>(i)] * scale + 50) / 100;
+    out[static_cast<std::size_t>(i)] = std::clamp(q, 1, 255);
+  }
+  return out;
+}
+
+/// Magnitude category (bit count) of a coefficient.
+int category_of(int v) {
+  int a = std::abs(v);
+  int c = 0;
+  while (a > 0) {
+    a >>= 1;
+    ++c;
+  }
+  return c;
+}
+
+void put_amplitude(BitWriter& bw, int v, int category) {
+  if (category == 0) return;
+  std::uint32_t bits =
+      v >= 0 ? static_cast<std::uint32_t>(v)
+             : static_cast<std::uint32_t>(v + (1 << category) - 1);
+  bw.put(bits, category);
+}
+
+int get_amplitude(BitReader& br, int category) {
+  if (category == 0) return 0;
+  auto bits = static_cast<int>(br.get(category));
+  if (bits < (1 << (category - 1))) bits -= (1 << category) - 1;
+  return bits;
+}
+
+/// Quantized zigzag coefficients of one plane in block raster order.
+struct QuantizedPlane {
+  int blocks_x = 0, blocks_y = 0;
+  std::vector<std::array<int, 64>> blocks;
+};
+
+QuantizedPlane quantize_plane(const Plane& plane,
+                              const std::array<int, 64>& quant) {
+  QuantizedPlane qp;
+  qp.blocks_x = pad_to(plane.w, 8) / 8;
+  qp.blocks_y = pad_to(plane.h, 8) / 8;
+  qp.blocks.reserve(static_cast<std::size_t>(qp.blocks_x) * qp.blocks_y);
+  float block[64];
+  float coeffs[64];
+  for (int by = 0; by < qp.blocks_y; ++by)
+    for (int bx = 0; bx < qp.blocks_x; ++bx) {
+      for (int y = 0; y < 8; ++y)
+        for (int x = 0; x < 8; ++x)
+          block[y * 8 + x] =
+              plane.at_clamped(bx * 8 + x, by * 8 + y);
+      fdct_2d(block, coeffs, 8);
+      std::array<int, 64> q{};
+      for (int i = 0; i < 64; ++i) {
+        float c = coeffs[kZigzag[static_cast<std::size_t>(i)]];
+        q[static_cast<std::size_t>(i)] = static_cast<int>(std::lround(
+            c / static_cast<float>(quant[static_cast<std::size_t>(i)])));
+      }
+      qp.blocks.push_back(q);
+    }
+  return qp;
+}
+
+Plane dequantize_plane(const QuantizedPlane& qp, int w, int h,
+                       const std::array<int, 64>& quant, bool fixed_idct) {
+  Plane plane = make_plane(w, h);
+  float coeffs[64];
+  float block[64];
+  std::size_t bi = 0;
+  for (int by = 0; by < qp.blocks_y; ++by)
+    for (int bx = 0; bx < qp.blocks_x; ++bx, ++bi) {
+      const auto& q = qp.blocks[bi];
+      std::fill(coeffs, coeffs + 64, 0.0f);
+      for (int i = 0; i < 64; ++i)
+        coeffs[kZigzag[static_cast<std::size_t>(i)]] =
+            static_cast<float>(q[static_cast<std::size_t>(i)]) *
+            static_cast<float>(quant[static_cast<std::size_t>(i)]);
+      if (fixed_idct) {
+        idct8_fixed(coeffs, block);
+      } else {
+        idct_2d(coeffs, block, 8);
+      }
+      for (int y = 0; y < 8 && by * 8 + y < h; ++y)
+        for (int x = 0; x < 8 && bx * 8 + x < w; ++x)
+          plane.at(bx * 8 + x, by * 8 + y) = block[y * 8 + x];
+    }
+  return plane;
+}
+
+void encode_plane_tokens(const QuantizedPlane& qp, const HuffmanTable& dc,
+                         const HuffmanTable& ac, BitWriter& bw) {
+  int prev_dc = 0;
+  for (const auto& block : qp.blocks) {
+    int diff = block[0] - prev_dc;
+    prev_dc = block[0];
+    int cat = category_of(diff);
+    dc.encode(bw, cat);
+    put_amplitude(bw, diff, cat);
+    int run = 0;
+    for (int i = 1; i < 64; ++i) {
+      int v = block[static_cast<std::size_t>(i)];
+      if (v == 0) {
+        ++run;
+        continue;
+      }
+      while (run >= 16) {
+        ac.encode(bw, 0xF0);
+        run -= 16;
+      }
+      int size = category_of(v);
+      ac.encode(bw, run * 16 + size);
+      put_amplitude(bw, v, size);
+      run = 0;
+    }
+    if (run > 0) ac.encode(bw, 0x00);  // EOB
+  }
+}
+
+void count_plane_tokens(const QuantizedPlane& qp,
+                        std::vector<std::uint64_t>& dc_freq,
+                        std::vector<std::uint64_t>& ac_freq) {
+  int prev_dc = 0;
+  for (const auto& block : qp.blocks) {
+    int diff = block[0] - prev_dc;
+    prev_dc = block[0];
+    ++dc_freq[static_cast<std::size_t>(category_of(diff))];
+    int run = 0;
+    for (int i = 1; i < 64; ++i) {
+      int v = block[static_cast<std::size_t>(i)];
+      if (v == 0) {
+        ++run;
+        continue;
+      }
+      while (run >= 16) {
+        ++ac_freq[0xF0];
+        run -= 16;
+      }
+      ++ac_freq[static_cast<std::size_t>(run * 16 + category_of(v))];
+      run = 0;
+    }
+    if (run > 0) ++ac_freq[0x00];
+  }
+}
+
+}  // namespace
+
+JpegLikeCodec::JpegLikeCodec(int quality, JpegDecodeOptions decode_options)
+    : quality_(quality), decode_options_(decode_options) {
+  ES_CHECK_MSG(quality >= 1 && quality <= 100,
+               "jpeg quality out of range: " << quality);
+}
+
+std::string JpegLikeCodec::name() const {
+  return "jpeg_like(q=" + std::to_string(quality_) + ")";
+}
+
+Bytes JpegLikeCodec::encode(const ImageU8& image) const {
+  ES_CHECK(image.channels() == 3);
+  const int w = image.width();
+  const int h = image.height();
+
+  YccPlanes planes = rgb_to_planes(image);
+  auto luma_q = scaled_quant(kLumaQuant, quality_);
+  auto chroma_q = scaled_quant(kChromaQuant, quality_);
+  QuantizedPlane qy = quantize_plane(planes.y, luma_q);
+  QuantizedPlane qcb = quantize_plane(planes.cb, chroma_q);
+  QuantizedPlane qcr = quantize_plane(planes.cr, chroma_q);
+
+  std::vector<std::uint64_t> dc_freq(12, 0), ac_freq(256, 0);
+  for (const QuantizedPlane* qp : {&qy, &qcb, &qcr})
+    count_plane_tokens(*qp, dc_freq, ac_freq);
+  HuffmanTable dc_table = HuffmanTable::from_frequencies(dc_freq);
+  HuffmanTable ac_table = HuffmanTable::from_frequencies(ac_freq);
+
+  BitWriter bw;
+  bw.put(kMagic, 16);
+  bw.put(static_cast<std::uint32_t>(w), 16);
+  bw.put(static_cast<std::uint32_t>(h), 16);
+  bw.put(static_cast<std::uint32_t>(quality_), 8);
+  dc_table.write_table(bw);
+  ac_table.write_table(bw);
+  for (const QuantizedPlane* qp : {&qy, &qcb, &qcr})
+    encode_plane_tokens(*qp, dc_table, ac_table, bw);
+  return bw.finish();
+}
+
+ImageU8 JpegLikeCodec::decode(std::span<const std::uint8_t> data) const {
+  BitReader br(data);
+  ES_CHECK_MSG(br.get(16) == kMagic, "jpeg_like: bad magic");
+  int w = static_cast<int>(br.get(16));
+  int h = static_cast<int>(br.get(16));
+  int quality = static_cast<int>(br.get(8));
+  ES_CHECK(w > 0 && h > 0 && quality >= 1 && quality <= 100);
+  HuffmanTable dc_table = HuffmanTable::read_table(br);
+  HuffmanTable ac_table = HuffmanTable::read_table(br);
+
+  const int cw = (w + 1) / 2;
+  const int ch = (h + 1) / 2;
+
+  auto read_plane = [&](int pw, int ph) {
+    QuantizedPlane qp;
+    qp.blocks_x = pad_to(pw, 8) / 8;
+    qp.blocks_y = pad_to(ph, 8) / 8;
+    int prev_dc = 0;
+    for (int b = 0; b < qp.blocks_x * qp.blocks_y; ++b) {
+      std::array<int, 64> block{};
+      int cat = dc_table.decode(br);
+      prev_dc += get_amplitude(br, cat);
+      block[0] = prev_dc;
+      int i = 1;
+      while (i < 64) {
+        int s = ac_table.decode(br);
+        if (s == 0x00) break;
+        if (s == 0xF0) {
+          i += 16;
+          continue;
+        }
+        i += s >> 4;
+        ES_CHECK_MSG(i < 64, "jpeg_like: coefficient overrun");
+        block[static_cast<std::size_t>(i)] = get_amplitude(br, s & 15);
+        ++i;
+      }
+      qp.blocks.push_back(block);
+    }
+    return qp;
+  };
+
+  QuantizedPlane qy = read_plane(w, h);
+  QuantizedPlane qcb = read_plane(cw, ch);
+  QuantizedPlane qcr = read_plane(cw, ch);
+
+  auto luma_q = scaled_quant(kLumaQuant, quality);
+  auto chroma_q = scaled_quant(kChromaQuant, quality);
+  bool fx = decode_options_.fixed_point_idct;
+  YccPlanes planes;
+  planes.y = dequantize_plane(qy, w, h, luma_q, fx);
+  planes.cb = dequantize_plane(qcb, cw, ch, chroma_q, fx);
+  planes.cr = dequantize_plane(qcr, cw, ch, chroma_q, fx);
+
+  auto upsample =
+      decode_options_.upsample == JpegDecodeOptions::Upsample::kNearest
+          ? ChromaUpsample::kNearest
+          : ChromaUpsample::kBilinear;
+  return planes_to_rgb(planes, w, h, upsample);
+}
+
+}  // namespace edgestab

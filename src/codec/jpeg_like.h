@@ -1,0 +1,42 @@
+// JPEG-like codec: BT.601 YCbCr, 4:2:0 chroma subsampling, 8x8 DCT,
+// libjpeg-style quality-scaled quantization tables, DC DPCM + AC
+// run/size coding with per-image canonical Huffman tables.
+//
+// Decoding admits variants (chroma upsampling filter, fixed-point IDCT)
+// that model how different OS decoders reconstruct *different pixels from
+// identical bytes* — the mechanism behind the paper's §7 finding.
+#pragma once
+
+#include "codec/codec.h"
+
+namespace edgestab {
+
+struct JpegDecodeOptions {
+  enum class Upsample {
+    kNearest,   ///< replicate each chroma sample 2x2
+    kBilinear,  ///< smooth co-sited interpolation
+  };
+  Upsample upsample = Upsample::kNearest;
+  bool fixed_point_idct = false;
+
+  bool operator==(const JpegDecodeOptions&) const = default;
+};
+
+class JpegLikeCodec : public Codec {
+ public:
+  explicit JpegLikeCodec(int quality = 85,
+                         JpegDecodeOptions decode_options = {});
+
+  Bytes encode(const ImageU8& image) const override;
+  ImageU8 decode(std::span<const std::uint8_t> data) const override;
+  std::string name() const override;
+
+  int quality() const { return quality_; }
+  const JpegDecodeOptions& decode_options() const { return decode_options_; }
+
+ private:
+  int quality_;
+  JpegDecodeOptions decode_options_;
+};
+
+}  // namespace edgestab

@@ -1,0 +1,106 @@
+#include "codec/planes.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "image/color.h"
+
+namespace edgestab {
+namespace codec_detail {
+
+float Plane::at_clamped(int x, int y) const {
+  x = std::clamp(x, 0, w - 1);
+  y = std::clamp(y, 0, h - 1);
+  return at(x, y);
+}
+
+Plane make_plane(int w, int h) {
+  Plane p;
+  p.w = w;
+  p.h = h;
+  p.v.assign(static_cast<std::size_t>(w) * h, 0.0f);
+  return p;
+}
+
+int pad_to(int v, int block) { return (v + block - 1) / block * block; }
+
+YccPlanes rgb_to_planes(const ImageU8& image) {
+  ES_CHECK(image.channels() == 3);
+  const int w = image.width();
+  const int h = image.height();
+  YccPlanes out;
+  out.y = make_plane(w, h);
+  Plane cb_full = make_plane(w, h);
+  Plane cr_full = make_plane(w, h);
+  for (int y = 0; y < h; ++y)
+    for (int x = 0; x < w; ++x) {
+      float r = image.at(x, y, 0) / 255.0f;
+      float g = image.at(x, y, 1) / 255.0f;
+      float b = image.at(x, y, 2) / 255.0f;
+      float yy, cb, cr;
+      rgb_to_ycbcr(r, g, b, yy, cb, cr);
+      out.y.at(x, y) = yy * 255.0f - 128.0f;
+      cb_full.at(x, y) = (cb - 0.5f) * 255.0f;
+      cr_full.at(x, y) = (cr - 0.5f) * 255.0f;
+    }
+  const int cw = (w + 1) / 2;
+  const int ch = (h + 1) / 2;
+  out.cb = make_plane(cw, ch);
+  out.cr = make_plane(cw, ch);
+  for (int y = 0; y < ch; ++y)
+    for (int x = 0; x < cw; ++x) {
+      float scb = 0.0f, scr = 0.0f;
+      int count = 0;
+      for (int dy = 0; dy < 2; ++dy)
+        for (int dx = 0; dx < 2; ++dx) {
+          int sx = 2 * x + dx, sy = 2 * y + dy;
+          if (sx >= w || sy >= h) continue;
+          scb += cb_full.at(sx, sy);
+          scr += cr_full.at(sx, sy);
+          ++count;
+        }
+      out.cb.at(x, y) = scb / static_cast<float>(count);
+      out.cr.at(x, y) = scr / static_cast<float>(count);
+    }
+  return out;
+}
+
+ImageU8 planes_to_rgb(const YccPlanes& planes, int w, int h,
+                      ChromaUpsample upsample) {
+  auto chroma_at = [&](const Plane& p, int x, int y) {
+    if (upsample == ChromaUpsample::kNearest) {
+      return p.at(std::min(x / 2, p.w - 1), std::min(y / 2, p.h - 1));
+    }
+    float fx2 = (static_cast<float>(x) - 0.5f) / 2.0f;
+    float fy2 = (static_cast<float>(y) - 0.5f) / 2.0f;
+    int x0 = std::clamp(static_cast<int>(std::floor(fx2)), 0, p.w - 1);
+    int y0 = std::clamp(static_cast<int>(std::floor(fy2)), 0, p.h - 1);
+    int x1 = std::min(x0 + 1, p.w - 1);
+    int y1 = std::min(y0 + 1, p.h - 1);
+    float tx = std::clamp(fx2 - static_cast<float>(x0), 0.0f, 1.0f);
+    float ty = std::clamp(fy2 - static_cast<float>(y0), 0.0f, 1.0f);
+    float top = p.at(x0, y0) + (p.at(x1, y0) - p.at(x0, y0)) * tx;
+    float bot = p.at(x0, y1) + (p.at(x1, y1) - p.at(x0, y1)) * tx;
+    return top + (bot - top) * ty;
+  };
+
+  ImageU8 out(w, h, 3);
+  for (int y = 0; y < h; ++y)
+    for (int x = 0; x < w; ++x) {
+      float yy = (planes.y.at(x, y) + 128.0f) / 255.0f;
+      float cb = chroma_at(planes.cb, x, y) / 255.0f + 0.5f;
+      float cr = chroma_at(planes.cr, x, y) / 255.0f + 0.5f;
+      float r, g, b;
+      ycbcr_to_rgb(yy, cb, cr, r, g, b);
+      out.at(x, y, 0) = static_cast<std::uint8_t>(
+          std::clamp(r * 255.0f + 0.5f, 0.0f, 255.0f));
+      out.at(x, y, 1) = static_cast<std::uint8_t>(
+          std::clamp(g * 255.0f + 0.5f, 0.0f, 255.0f));
+      out.at(x, y, 2) = static_cast<std::uint8_t>(
+          std::clamp(b * 255.0f + 0.5f, 0.0f, 255.0f));
+    }
+  return out;
+}
+
+}  // namespace codec_detail
+}  // namespace edgestab

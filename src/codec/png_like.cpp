@@ -1,0 +1,252 @@
+#include "codec/png_like.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdlib>
+
+#include "codec/huffman.h"
+
+namespace edgestab {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x504c;  // "PL"
+
+// LZSS parameters.
+constexpr int kWindowBits = 13;            // 8 KiB window
+constexpr int kWindow = 1 << kWindowBits;
+constexpr int kMinMatch = 3;
+constexpr int kMaxMatch = 130;
+// Symbol alphabet: 0..255 literals, 256..383 match lengths (len - 3).
+constexpr int kAlphabet = 256 + (kMaxMatch - kMinMatch + 1);
+
+int paeth(int a, int b, int c) {
+  int p = a + b - c;
+  int pa = std::abs(p - a);
+  int pb = std::abs(p - b);
+  int pc = std::abs(p - c);
+  if (pa <= pb && pa <= pc) return a;
+  if (pb <= pc) return b;
+  return c;
+}
+
+/// Filter one row with the given filter id; `prev` may be null for row 0.
+/// bpp = bytes per pixel.
+void filter_row(const std::uint8_t* row, const std::uint8_t* prev, int bytes,
+                int bpp, int filter, std::uint8_t* out) {
+  for (int i = 0; i < bytes; ++i) {
+    int a = i >= bpp ? row[i - bpp] : 0;
+    int b = prev ? prev[i] : 0;
+    int c = (prev && i >= bpp) ? prev[i - bpp] : 0;
+    int pred = 0;
+    switch (filter) {
+      case 0: pred = 0; break;
+      case 1: pred = a; break;
+      case 2: pred = b; break;
+      case 3: pred = (a + b) / 2; break;
+      case 4: pred = paeth(a, b, c); break;
+    }
+    out[i] = static_cast<std::uint8_t>((row[i] - pred) & 0xff);
+  }
+}
+
+void unfilter_row(std::uint8_t* row, const std::uint8_t* prev, int bytes,
+                  int bpp, int filter) {
+  for (int i = 0; i < bytes; ++i) {
+    int a = i >= bpp ? row[i - bpp] : 0;
+    int b = prev ? prev[i] : 0;
+    int c = (prev && i >= bpp) ? prev[i - bpp] : 0;
+    int pred = 0;
+    switch (filter) {
+      case 0: pred = 0; break;
+      case 1: pred = a; break;
+      case 2: pred = b; break;
+      case 3: pred = (a + b) / 2; break;
+      case 4: pred = paeth(a, b, c); break;
+    }
+    row[i] = static_cast<std::uint8_t>((row[i] + pred) & 0xff);
+  }
+}
+
+/// LZSS tokens over the filtered stream.
+struct Token {
+  bool is_match;
+  std::uint8_t literal;
+  int length;    // kMinMatch..kMaxMatch
+  int distance;  // 1..kWindow
+};
+
+std::vector<Token> lzss_tokenize(const Bytes& data) {
+  std::vector<Token> tokens;
+  // Hash chains over 3-byte prefixes.
+  constexpr int kHashBits = 14;
+  constexpr std::uint32_t kHashSize = 1u << kHashBits;
+  std::vector<std::int32_t> head(kHashSize, -1);
+  std::vector<std::int32_t> chain(data.size(), -1);
+  auto hash3 = [&](std::size_t i) {
+    std::uint32_t v = data[i] | (data[i + 1] << 8) | (data[i + 2] << 16);
+    return (v * 2654435761u) >> (32 - kHashBits);
+  };
+
+  std::size_t i = 0;
+  while (i < data.size()) {
+    int best_len = 0;
+    int best_dist = 0;
+    if (i + kMinMatch <= data.size()) {
+      std::uint32_t hh = hash3(i);
+      int candidate = head[hh];
+      int tries = 32;
+      while (candidate >= 0 && tries-- > 0 &&
+             i - static_cast<std::size_t>(candidate) <= kWindow) {
+        int len = 0;
+        std::size_t cand = static_cast<std::size_t>(candidate);
+        std::size_t max_len = std::min<std::size_t>(kMaxMatch,
+                                                    data.size() - i);
+        while (static_cast<std::size_t>(len) < max_len &&
+               data[cand + len] == data[i + len])
+          ++len;
+        if (len > best_len) {
+          best_len = len;
+          best_dist = static_cast<int>(i - cand);
+        }
+        candidate = chain[cand];
+      }
+    }
+    if (best_len >= kMinMatch) {
+      tokens.push_back({true, 0, best_len, best_dist});
+      // Insert hash entries for all covered positions.
+      for (int k = 0; k < best_len && i + k + kMinMatch <= data.size();
+           ++k) {
+        std::uint32_t hh = hash3(i + k);
+        chain[i + k] = head[hh];
+        head[hh] = static_cast<std::int32_t>(i + k);
+      }
+      i += static_cast<std::size_t>(best_len);
+    } else {
+      tokens.push_back({false, data[i], 0, 0});
+      if (i + kMinMatch <= data.size()) {
+        std::uint32_t hh = hash3(i);
+        chain[i] = head[hh];
+        head[hh] = static_cast<std::int32_t>(i);
+      }
+      ++i;
+    }
+  }
+  return tokens;
+}
+
+}  // namespace
+
+Bytes PngLikeCodec::encode(const ImageU8& image) const {
+  ES_CHECK(image.channels() == 3);
+  const int w = image.width();
+  const int h = image.height();
+  const int bpp = 3;
+  const int row_bytes = w * bpp;
+
+  // Stage 1: adaptive per-row filtering.
+  Bytes filtered;
+  filtered.reserve(static_cast<std::size_t>(h) * (row_bytes + 1));
+  std::vector<std::uint8_t> candidate(static_cast<std::size_t>(row_bytes));
+  std::vector<std::uint8_t> best(static_cast<std::size_t>(row_bytes));
+  for (int y = 0; y < h; ++y) {
+    const std::uint8_t* row = image.data().data() +
+                              static_cast<std::size_t>(y) * row_bytes;
+    const std::uint8_t* prev =
+        y > 0 ? image.data().data() + static_cast<std::size_t>(y - 1) *
+                                          row_bytes
+              : nullptr;
+    long best_cost = -1;
+    int best_filter = 0;
+    for (int f = 0; f < 5; ++f) {
+      filter_row(row, prev, row_bytes, bpp, f, candidate.data());
+      long cost = 0;
+      for (std::uint8_t v : candidate)
+        cost += std::min<int>(v, 256 - v);  // signed magnitude heuristic
+      if (best_cost < 0 || cost < best_cost) {
+        best_cost = cost;
+        best_filter = f;
+        best = candidate;
+      }
+    }
+    filtered.push_back(static_cast<std::uint8_t>(best_filter));
+    filtered.insert(filtered.end(), best.begin(), best.end());
+  }
+
+  // Stage 2: LZSS + Huffman.
+  std::vector<Token> tokens = lzss_tokenize(filtered);
+  std::vector<std::uint64_t> freq(kAlphabet, 0);
+  for (const Token& t : tokens) {
+    int sym = t.is_match ? 256 + (t.length - kMinMatch) : t.literal;
+    ++freq[static_cast<std::size_t>(sym)];
+  }
+  HuffmanTable table = HuffmanTable::from_frequencies(freq);
+
+  BitWriter bw;
+  bw.put(kMagic, 16);
+  bw.put(static_cast<std::uint32_t>(w), 16);
+  bw.put(static_cast<std::uint32_t>(h), 16);
+  bw.put(static_cast<std::uint32_t>(tokens.size()), 32);
+  table.write_table(bw);
+  for (const Token& t : tokens) {
+    if (t.is_match) {
+      table.encode(bw, 256 + (t.length - kMinMatch));
+      bw.put(static_cast<std::uint32_t>(t.distance - 1), kWindowBits);
+    } else {
+      table.encode(bw, t.literal);
+    }
+  }
+  return bw.finish();
+}
+
+ImageU8 PngLikeCodec::decode(std::span<const std::uint8_t> data) const {
+  BitReader br(data);
+  ES_CHECK_MSG(br.get(16) == kMagic, "png_like: bad magic");
+  int w = static_cast<int>(br.get(16));
+  int h = static_cast<int>(br.get(16));
+  auto token_count = br.get(32);
+  ES_CHECK(w > 0 && h > 0);
+  HuffmanTable table = HuffmanTable::read_table(br);
+
+  const int bpp = 3;
+  const int row_bytes = w * bpp;
+  const std::size_t expected =
+      static_cast<std::size_t>(h) * (row_bytes + 1);
+  Bytes filtered;
+  filtered.reserve(expected);
+  for (std::uint32_t t = 0; t < token_count; ++t) {
+    int sym = table.decode(br);
+    if (sym < 256) {
+      filtered.push_back(static_cast<std::uint8_t>(sym));
+    } else {
+      int length = sym - 256 + kMinMatch;
+      int distance = static_cast<int>(br.get(kWindowBits)) + 1;
+      ES_CHECK_MSG(static_cast<std::size_t>(distance) <= filtered.size(),
+                   "png_like: bad LZ distance");
+      std::size_t src = filtered.size() - static_cast<std::size_t>(distance);
+      for (int k = 0; k < length; ++k)
+        filtered.push_back(filtered[src + static_cast<std::size_t>(k)]);
+    }
+  }
+  ES_CHECK_MSG(filtered.size() == expected,
+               "png_like: decoded size mismatch: " << filtered.size()
+                                                   << " vs " << expected);
+
+  ImageU8 out(w, h, 3);
+  std::uint8_t* prev = nullptr;
+  for (int y = 0; y < h; ++y) {
+    const std::uint8_t* src =
+        filtered.data() + static_cast<std::size_t>(y) * (row_bytes + 1);
+    int filter = src[0];
+    ES_CHECK_MSG(filter >= 0 && filter <= 4, "png_like: bad filter id");
+    std::uint8_t* dst = out.data().data() +
+                        static_cast<std::size_t>(y) * row_bytes;
+    std::copy_n(src + 1, row_bytes, dst);
+    unfilter_row(dst, prev, row_bytes, bpp, filter);
+    prev = dst;
+  }
+  return out;
+}
+
+}  // namespace edgestab

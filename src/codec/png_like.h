@@ -1,0 +1,23 @@
+// PNG-like lossless codec: per-row adaptive filtering (None / Sub / Up /
+// Average / Paeth, chosen by minimum sum of absolute residuals) followed
+// by LZSS matching and canonical Huffman coding — the DEFLATE recipe.
+//
+// Lossless round-trips are exact; the Table-3 "PNG" column's large size
+// and zero reconstruction error both come from this codec.
+#pragma once
+
+#include "codec/codec.h"
+
+namespace edgestab {
+
+class PngLikeCodec : public Codec {
+ public:
+  PngLikeCodec() = default;
+
+  Bytes encode(const ImageU8& image) const override;
+  ImageU8 decode(std::span<const std::uint8_t> data) const override;
+  std::string name() const override { return "png_like"; }
+  bool lossless() const override { return true; }
+};
+
+}  // namespace edgestab

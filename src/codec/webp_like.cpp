@@ -1,0 +1,284 @@
+#include "codec/webp_like.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "codec/coeffs.h"
+#include "codec/dct.h"
+#include "codec/planes.h"
+
+namespace edgestab {
+
+namespace {
+
+using codec_detail::ChromaUpsample;
+using codec_detail::Plane;
+using codec_detail::YccPlanes;
+using codec_detail::make_plane;
+using codec_detail::pad_to;
+using codec_detail::planes_to_rgb;
+using codec_detail::rgb_to_planes;
+
+constexpr std::uint32_t kMagic = 0x574c;  // "WL"
+constexpr int kB = 8;        // prediction/transform block size
+constexpr int kArea = kB * kB;
+
+enum PredMode { kPredDc = 0, kPredHorizontal = 1, kPredVertical = 2 };
+
+/// Quantizer steps from quality (libjpeg-style scale; WebP-like leans on
+/// prediction so its AC step is coarser than JPEG's for the same q).
+void quant_steps(int quality, bool chroma, float& dc_step, float& ac_step) {
+  int scale = quality < 50 ? 5000 / quality : 200 - 2 * quality;
+  float base_dc = chroma ? 22.0f : 16.0f;
+  float base_ac = chroma ? 56.0f : 40.0f;
+  dc_step = std::clamp(base_dc * static_cast<float>(scale) / 100.0f, 1.0f,
+                       255.0f);
+  ac_step = std::clamp(base_ac * static_cast<float>(scale) / 100.0f, 1.0f,
+                       255.0f);
+}
+
+/// Fill a kB x kB prediction from reconstructed neighbors.
+void predict_block(const Plane& recon, int bx, int by, PredMode mode,
+                   float* pred) {
+  const int x0 = bx * kB;
+  const int y0 = by * kB;
+  const bool has_top = y0 > 0;
+  const bool has_left = x0 > 0;
+  switch (mode) {
+    case kPredDc: {
+      float sum = 0.0f;
+      int count = 0;
+      if (has_top)
+        for (int x = 0; x < kB; ++x) {
+          sum += recon.at(x0 + x, y0 - 1);
+          ++count;
+        }
+      if (has_left)
+        for (int y = 0; y < kB; ++y) {
+          sum += recon.at(x0 - 1, y0 + y);
+          ++count;
+        }
+      float dc = count > 0 ? sum / static_cast<float>(count) : 0.0f;
+      for (int i = 0; i < kArea; ++i) pred[i] = dc;
+      break;
+    }
+    case kPredHorizontal:
+      for (int y = 0; y < kB; ++y) {
+        float v = has_left ? recon.at(x0 - 1, y0 + y) : 0.0f;
+        for (int x = 0; x < kB; ++x) pred[y * kB + x] = v;
+      }
+      break;
+    case kPredVertical:
+      for (int x = 0; x < kB; ++x) {
+        float v = has_top ? recon.at(x0 + x, y0 - 1) : 0.0f;
+        for (int y = 0; y < kB; ++y) pred[y * kB + x] = v;
+      }
+      break;
+  }
+}
+
+struct CodedPlane {
+  std::vector<int> modes;                     // per block
+  std::vector<std::array<int, kArea>> zz;     // zigzag coefficients
+  int blocks_x = 0, blocks_y = 0;
+};
+
+/// Encode one plane with reconstruction-in-the-loop prediction.
+CodedPlane code_plane(const Plane& src, int quality, bool chroma) {
+  float dc_step, ac_step;
+  quant_steps(quality, chroma, dc_step, ac_step);
+  const auto& zz = codec_detail::zigzag_order(kB);
+
+  CodedPlane out;
+  out.blocks_x = pad_to(src.w, kB) / kB;
+  out.blocks_y = pad_to(src.h, kB) / kB;
+  Plane recon = make_plane(out.blocks_x * kB, out.blocks_y * kB);
+
+  float block[kArea], pred[kArea], resid[kArea], coeffs[kArea], rec[kArea];
+  for (int by = 0; by < out.blocks_y; ++by)
+    for (int bx = 0; bx < out.blocks_x; ++bx) {
+      for (int y = 0; y < kB; ++y)
+        for (int x = 0; x < kB; ++x)
+          block[y * kB + x] = src.at_clamped(bx * kB + x, by * kB + y);
+
+      // Pick the mode with the smallest residual energy.
+      int best_mode = kPredDc;
+      float best_cost = 0.0f;
+      float best_pred[kArea];
+      for (int mode = 0; mode < 3; ++mode) {
+        predict_block(recon, bx, by, static_cast<PredMode>(mode), pred);
+        float cost = 0.0f;
+        for (int i = 0; i < kArea; ++i) {
+          float d = block[i] - pred[i];
+          cost += d * d;
+        }
+        if (mode == 0 || cost < best_cost) {
+          best_cost = cost;
+          best_mode = mode;
+          std::copy_n(pred, kArea, best_pred);
+        }
+      }
+
+      for (int i = 0; i < kArea; ++i) resid[i] = block[i] - best_pred[i];
+      fdct_2d(resid, coeffs, kB);
+      std::array<int, kArea> q{};
+      for (int i = 0; i < kArea; ++i) {
+        float step = (zz[static_cast<std::size_t>(i)] == 0) ? dc_step
+                                                            : ac_step;
+        q[static_cast<std::size_t>(i)] = static_cast<int>(
+            std::lround(coeffs[zz[static_cast<std::size_t>(i)]] / step));
+      }
+      out.modes.push_back(best_mode);
+      out.zz.push_back(q);
+
+      // Reconstruct for downstream predictions.
+      float dq[kArea];
+      std::fill(dq, dq + kArea, 0.0f);
+      for (int i = 0; i < kArea; ++i) {
+        float step = (zz[static_cast<std::size_t>(i)] == 0) ? dc_step
+                                                            : ac_step;
+        dq[zz[static_cast<std::size_t>(i)]] =
+            static_cast<float>(q[static_cast<std::size_t>(i)]) * step;
+      }
+      idct_2d(dq, rec, kB);
+      for (int y = 0; y < kB; ++y)
+        for (int x = 0; x < kB; ++x)
+          recon.at(bx * kB + x, by * kB + y) =
+              rec[y * kB + x] + best_pred[y * kB + x];
+    }
+  return out;
+}
+
+Plane decode_plane(const CodedPlane& cp, int w, int h, int quality,
+                   bool chroma) {
+  float dc_step, ac_step;
+  quant_steps(quality, chroma, dc_step, ac_step);
+  const auto& zz = codec_detail::zigzag_order(kB);
+  Plane recon = make_plane(cp.blocks_x * kB, cp.blocks_y * kB);
+
+  float pred[kArea], dq[kArea], rec[kArea];
+  std::size_t bi = 0;
+  for (int by = 0; by < cp.blocks_y; ++by)
+    for (int bx = 0; bx < cp.blocks_x; ++bx, ++bi) {
+      predict_block(recon, bx, by, static_cast<PredMode>(cp.modes[bi]),
+                    pred);
+      std::fill(dq, dq + kArea, 0.0f);
+      for (int i = 0; i < kArea; ++i) {
+        float step = (zz[static_cast<std::size_t>(i)] == 0) ? dc_step
+                                                            : ac_step;
+        dq[zz[static_cast<std::size_t>(i)]] =
+            static_cast<float>(cp.zz[bi][static_cast<std::size_t>(i)]) *
+            step;
+      }
+      idct_2d(dq, rec, kB);
+      for (int y = 0; y < kB; ++y)
+        for (int x = 0; x < kB; ++x)
+          recon.at(bx * kB + x, by * kB + y) =
+              rec[y * kB + x] + pred[y * kB + x];
+    }
+  // Crop to the nominal size.
+  Plane out = make_plane(w, h);
+  for (int y = 0; y < h; ++y)
+    for (int x = 0; x < w; ++x) out.at(x, y) = recon.at(x, y);
+  return out;
+}
+
+}  // namespace
+
+WebpLikeCodec::WebpLikeCodec(int quality) : quality_(quality) {
+  ES_CHECK_MSG(quality >= 1 && quality <= 100,
+               "webp quality out of range: " << quality);
+}
+
+Bytes WebpLikeCodec::encode(const ImageU8& image) const {
+  ES_CHECK(image.channels() == 3);
+  const int w = image.width();
+  const int h = image.height();
+  YccPlanes planes = rgb_to_planes(image);
+  CodedPlane cy = code_plane(planes.y, quality_, false);
+  CodedPlane ccb = code_plane(planes.cb, quality_, true);
+  CodedPlane ccr = code_plane(planes.cr, quality_, true);
+
+  // Shared Huffman tables over DC categories and AC run/size tokens.
+  std::vector<std::uint64_t> dc_freq(16, 0), ac_freq(256, 0);
+  for (const CodedPlane* cp : {&cy, &ccb, &ccr}) {
+    int prev_dc = 0;
+    for (const auto& block : cp->zz) {
+      int diff = block[0] - prev_dc;
+      prev_dc = block[0];
+      ++dc_freq[static_cast<std::size_t>(codec_detail::category_of(diff))];
+      codec_detail::count_ac_tokens(
+          std::span<const int>(block.data(), block.size()), ac_freq);
+    }
+  }
+  HuffmanTable dc_table = HuffmanTable::from_frequencies(dc_freq);
+  HuffmanTable ac_table = HuffmanTable::from_frequencies(ac_freq);
+
+  BitWriter bw;
+  bw.put(kMagic, 16);
+  bw.put(static_cast<std::uint32_t>(w), 16);
+  bw.put(static_cast<std::uint32_t>(h), 16);
+  bw.put(static_cast<std::uint32_t>(quality_), 8);
+  dc_table.write_table(bw);
+  ac_table.write_table(bw);
+  for (const CodedPlane* cp : {&cy, &ccb, &ccr}) {
+    int prev_dc = 0;
+    for (std::size_t b = 0; b < cp->zz.size(); ++b) {
+      bw.put(static_cast<std::uint32_t>(cp->modes[b]), 2);
+      const auto& block = cp->zz[b];
+      int diff = block[0] - prev_dc;
+      prev_dc = block[0];
+      int cat = codec_detail::category_of(diff);
+      dc_table.encode(bw, cat);
+      codec_detail::put_amplitude(bw, diff, cat);
+      codec_detail::encode_ac(
+          std::span<const int>(block.data(), block.size()), ac_table, bw);
+    }
+  }
+  return bw.finish();
+}
+
+ImageU8 WebpLikeCodec::decode(std::span<const std::uint8_t> data) const {
+  BitReader br(data);
+  ES_CHECK_MSG(br.get(16) == kMagic, "webp_like: bad magic");
+  int w = static_cast<int>(br.get(16));
+  int h = static_cast<int>(br.get(16));
+  int quality = static_cast<int>(br.get(8));
+  ES_CHECK(w > 0 && h > 0 && quality >= 1 && quality <= 100);
+  HuffmanTable dc_table = HuffmanTable::read_table(br);
+  HuffmanTable ac_table = HuffmanTable::read_table(br);
+
+  auto read_plane = [&](int pw, int ph) {
+    CodedPlane cp;
+    cp.blocks_x = pad_to(pw, kB) / kB;
+    cp.blocks_y = pad_to(ph, kB) / kB;
+    int prev_dc = 0;
+    for (int b = 0; b < cp.blocks_x * cp.blocks_y; ++b) {
+      cp.modes.push_back(static_cast<int>(br.get(2)));
+      ES_CHECK_MSG(cp.modes.back() <= 2, "webp_like: bad prediction mode");
+      std::array<int, kArea> block{};
+      int cat = dc_table.decode(br);
+      prev_dc += codec_detail::get_amplitude(br, cat);
+      block[0] = prev_dc;
+      codec_detail::decode_ac(std::span<int>(block.data(), block.size()),
+                              ac_table, br);
+      cp.zz.push_back(block);
+    }
+    return cp;
+  };
+
+  const int cw = (w + 1) / 2;
+  const int ch = (h + 1) / 2;
+  CodedPlane cy = read_plane(w, h);
+  CodedPlane ccb = read_plane(cw, ch);
+  CodedPlane ccr = read_plane(cw, ch);
+
+  YccPlanes planes;
+  planes.y = decode_plane(cy, w, h, quality, false);
+  planes.cb = decode_plane(ccb, cw, ch, quality, true);
+  planes.cr = decode_plane(ccr, cw, ch, quality, true);
+  return planes_to_rgb(planes, w, h, ChromaUpsample::kBilinear);
+}
+
+}  // namespace edgestab

@@ -1,0 +1,26 @@
+// WebP-like codec: per-4x4-block spatial prediction (DC / horizontal /
+// vertical, chosen by residual energy) from *reconstructed* neighbors,
+// 4x4 DCT of the residual, flat quality-scaled quantization, run/size +
+// Huffman entropy coding. Small files, prediction-style artifacts —
+// distinctly different reconstruction errors from the DCT-only codecs.
+#pragma once
+
+#include "codec/codec.h"
+
+namespace edgestab {
+
+class WebpLikeCodec : public Codec {
+ public:
+  explicit WebpLikeCodec(int quality = 75);
+
+  Bytes encode(const ImageU8& image) const override;
+  ImageU8 decode(std::span<const std::uint8_t> data) const override;
+  std::string name() const override {
+    return "webp_like(q=" + std::to_string(quality_) + ")";
+  }
+
+ private:
+  int quality_;
+};
+
+}  // namespace edgestab

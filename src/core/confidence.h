@@ -1,0 +1,42 @@
+// Confidence analysis: the stable-vs-unstable prediction-score
+// distributions of Figure 4 and the precision-recall curves of Figure 7.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/instability.h"
+
+namespace edgestab {
+
+/// Confidence values bucketed the way Figure 4 plots them.
+struct ConfidenceSplit {
+  // Stable stimuli (all environments agree in correctness).
+  std::vector<double> stable_correct;
+  std::vector<double> stable_incorrect;
+  // Unstable stimuli, split by whether this observation was the correct
+  // or the incorrect side.
+  std::vector<double> unstable_correct;
+  std::vector<double> unstable_incorrect;
+};
+
+ConfidenceSplit split_confidences(std::span<const Observation> observations);
+
+/// One point on a precision-recall curve.
+struct PrPoint {
+  double recall = 0.0;
+  double precision = 0.0;
+  double threshold = 0.0;
+};
+
+/// Precision-recall over a confidence threshold sweep for single-label
+/// classification: at threshold t, predictions with confidence >= t are
+/// "emitted"; precision = correct emitted / emitted, recall = correct
+/// emitted / total samples.
+std::vector<PrPoint> precision_recall_curve(
+    std::span<const std::pair<double, bool>> confidence_correct);
+
+/// Area under the PR curve (trapezoidal over recall).
+double average_precision(std::span<const PrPoint> curve);
+
+}  // namespace edgestab

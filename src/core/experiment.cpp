@@ -1,0 +1,426 @@
+#include "core/experiment.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "codec/png_like.h"
+#include "data/dataset.h"
+#include "data/labels.h"
+#include "nn/trainer.h"
+#include "util/md5.h"
+
+namespace edgestab {
+
+std::vector<ShotPrediction> classify_inputs(Model& model,
+                                            const std::vector<Tensor>& inputs,
+                                            int k) {
+  ES_CHECK(!inputs.empty());
+  ES_CHECK(k >= 1);
+  Tensor batch = stack_inputs(inputs);
+  Tensor probs = predict_probs(model, batch);
+  const int d = probs.dim(1);
+  ES_CHECK(k <= d);
+
+  std::vector<ShotPrediction> out;
+  out.reserve(inputs.size());
+  std::vector<int> order(static_cast<std::size_t>(d));
+  for (int i = 0; i < probs.dim(0); ++i) {
+    std::iota(order.begin(), order.end(), 0);
+    std::partial_sort(order.begin(), order.begin() + k, order.end(),
+                      [&](int a, int b) {
+                        return probs.at2(i, a) > probs.at2(i, b);
+                      });
+    ShotPrediction pred;
+    for (int j = 0; j < k; ++j) {
+      pred.topk.push_back(order[static_cast<std::size_t>(j)]);
+      pred.topk_conf.push_back(
+          probs.at2(i, order[static_cast<std::size_t>(j)]));
+    }
+    out.push_back(std::move(pred));
+  }
+  return out;
+}
+
+bool topk_correct(const ShotPrediction& pred, int truth, int k) {
+  ES_CHECK(k >= 1 && k <= static_cast<int>(pred.topk.size()));
+  for (int j = 0; j < k; ++j)
+    if (prediction_correct(truth, pred.topk[static_cast<std::size_t>(j)]))
+      return true;
+  return false;
+}
+
+// ---- End-to-end -------------------------------------------------------------
+
+EndToEndResult run_end_to_end(Model& model,
+                              const std::vector<PhoneProfile>& fleet,
+                              const LabRigConfig& rig) {
+  LabRun run = run_lab_rig(fleet, rig);
+
+  std::vector<Tensor> inputs;
+  inputs.reserve(run.shots.size());
+  for (const LabShot& shot : run.shots)
+    inputs.push_back(
+        capture_to_input(decode_capture(shot.capture, JpegDecodeOptions{})));
+  std::vector<ShotPrediction> preds = classify_inputs(model, inputs, 3);
+
+  EndToEndResult result;
+  for (const PhoneProfile& p : fleet) result.phone_names.push_back(p.name);
+
+  // Cross-phone observations use the first shot of each stimulus only;
+  // repeats feed the within-phone analysis.
+  std::vector<std::vector<Observation>> repeat_obs(
+      fleet.size());  // per phone, env = repeat index
+  for (std::size_t i = 0; i < run.shots.size(); ++i) {
+    const LabShot& shot = run.shots[i];
+    const ShotPrediction& pred = preds[i];
+    Observation o;
+    o.item = stimulus_id(run, shot);
+    o.env = shot.phone_index;
+    o.predicted = pred.predicted();
+    o.confidence = pred.confidence();
+    o.class_id = shot.class_id;
+    o.angle = shot.angle_index;
+    o.correct = topk_correct(pred, shot.class_id, 1);
+    if (shot.repeat == 0) {
+      result.observations.push_back(o);
+      Observation o3 = o;
+      o3.correct = topk_correct(pred, shot.class_id, 3);
+      result.observations_top3.push_back(o3);
+    }
+    Observation rep = o;
+    rep.env = shot.repeat;
+    repeat_obs[static_cast<std::size_t>(shot.phone_index)].push_back(rep);
+  }
+
+  for (std::size_t p = 0; p < fleet.size(); ++p) {
+    result.accuracy_by_phone.push_back(
+        environment_accuracy(result.observations, static_cast<int>(p)));
+    result.accuracy_by_phone_top3.push_back(
+        environment_accuracy(result.observations_top3,
+                             static_cast<int>(p)));
+    if (rig.shots_per_stimulus > 1)
+      result.within_phone_instability.push_back(
+          compute_instability(repeat_obs[p]).instability());
+  }
+  result.overall = compute_instability(result.observations);
+  result.by_class = instability_by_class(result.observations);
+  result.by_angle = instability_by_angle(result.observations);
+  result.overall_top3 = compute_instability(result.observations_top3);
+  return result;
+}
+
+// ---- Raw bank ---------------------------------------------------------------
+
+std::vector<RawShot> collect_raw_bank(
+    const std::vector<PhoneProfile>& fleet, const LabRigConfig& rig) {
+  std::vector<PhoneProfile> raw_fleet;
+  for (const PhoneProfile& p : fleet)
+    if (p.supports_raw) raw_fleet.push_back(p);
+  ES_CHECK_MSG(raw_fleet.size() >= 2,
+               "raw experiments need >= 2 raw-capable phones");
+
+  LabRun run = run_lab_rig(raw_fleet, rig);
+  std::vector<RawShot> bank;
+  bank.reserve(run.shots.size());
+  for (const LabShot& shot : run.shots) {
+    if (shot.repeat != 0) continue;
+    ES_CHECK(shot.capture.raw.has_value());
+    RawShot rs;
+    rs.item = static_cast<int>(bank.size());
+    rs.stimulus = stimulus_id(run, shot);
+    rs.class_id = shot.class_id;
+    rs.phone_index = shot.phone_index;
+    rs.raw = *shot.capture.raw;
+    rs.phone_pipeline = shot.capture;
+    bank.push_back(std::move(rs));
+  }
+  return bank;
+}
+
+// ---- Compression ------------------------------------------------------------
+
+namespace {
+
+/// Develop every raw in the bank with the consistent software ISP once.
+std::vector<Image> develop_bank(const std::vector<RawShot>& bank,
+                                const IspConfig& isp) {
+  std::vector<Image> developed;
+  developed.reserve(bank.size());
+  for (const RawShot& rs : bank) developed.push_back(run_isp(rs.raw, isp));
+  return developed;
+}
+
+CompressionResult compression_over_conditions(
+    Model& model, const std::vector<RawShot>& bank,
+    const std::vector<Image>& developed,
+    const std::vector<std::pair<std::string, std::unique_ptr<Codec>>>&
+        conditions) {
+  CompressionResult result;
+  std::vector<Observation> observations;
+  for (std::size_t ci = 0; ci < conditions.size(); ++ci) {
+    const auto& [label, codec] = conditions[ci];
+    double total_size = 0.0;
+    std::vector<Tensor> inputs;
+    inputs.reserve(bank.size());
+    for (std::size_t i = 0; i < bank.size(); ++i) {
+      ImageU8 u8 = to_u8(developed[i]);
+      Bytes file = codec->encode(u8);
+      total_size += static_cast<double>(file.size());
+      inputs.push_back(capture_to_input(codec->decode(file)));
+    }
+    std::vector<ShotPrediction> preds = classify_inputs(model, inputs, 3);
+
+    CompressionCondition cond;
+    cond.label = label;
+    cond.avg_size_bytes = total_size / static_cast<double>(bank.size());
+    int correct = 0;
+    for (std::size_t i = 0; i < bank.size(); ++i) {
+      Observation o;
+      o.item = bank[i].item;
+      o.env = static_cast<int>(ci);
+      o.predicted = preds[i].predicted();
+      o.confidence = preds[i].confidence();
+      o.class_id = bank[i].class_id;
+      o.correct = topk_correct(preds[i], bank[i].class_id, 1);
+      if (o.correct) ++correct;
+      observations.push_back(o);
+    }
+    cond.accuracy = static_cast<double>(correct) /
+                    static_cast<double>(bank.size());
+    result.conditions.push_back(std::move(cond));
+  }
+  result.instability = compute_instability(observations);
+  return result;
+}
+
+}  // namespace
+
+CompressionResult run_jpeg_quality_experiment(
+    Model& model, const std::vector<RawShot>& bank,
+    const std::vector<int>& qualities) {
+  std::vector<Image> developed = develop_bank(bank, magick_isp());
+  std::vector<std::pair<std::string, std::unique_ptr<Codec>>> conditions;
+  for (int q : qualities)
+    conditions.emplace_back("JPEG " + std::to_string(q),
+                            make_codec(ImageFormat::kJpegLike, q));
+  return compression_over_conditions(model, bank, developed, conditions);
+}
+
+CompressionResult run_format_experiment(Model& model,
+                                        const std::vector<RawShot>& bank) {
+  std::vector<Image> developed = develop_bank(bank, magick_isp());
+  std::vector<std::pair<std::string, std::unique_ptr<Codec>>> conditions;
+  for (ImageFormat f : {ImageFormat::kJpegLike, ImageFormat::kPngLike,
+                        ImageFormat::kWebpLike, ImageFormat::kHeifLike})
+    conditions.emplace_back(format_name(f), make_codec(f));
+  return compression_over_conditions(model, bank, developed, conditions);
+}
+
+// ---- ISP ---------------------------------------------------------------------
+
+IspResult run_isp_experiment(Model& model, const std::vector<RawShot>& bank,
+                             const std::vector<IspConfig>& software_isps) {
+  ES_CHECK(software_isps.size() >= 2);
+  IspResult result;
+  std::vector<Observation> observations;
+  for (std::size_t ii = 0; ii < software_isps.size(); ++ii) {
+    std::vector<Tensor> inputs;
+    inputs.reserve(bank.size());
+    for (const RawShot& rs : bank)
+      inputs.push_back(
+          image_to_input(run_isp(rs.raw, software_isps[ii])));
+    std::vector<ShotPrediction> preds = classify_inputs(model, inputs, 3);
+    int correct = 0;
+    for (std::size_t i = 0; i < bank.size(); ++i) {
+      Observation o;
+      o.item = bank[i].item;
+      o.env = static_cast<int>(ii);
+      o.predicted = preds[i].predicted();
+      o.confidence = preds[i].confidence();
+      o.class_id = bank[i].class_id;
+      o.correct = topk_correct(preds[i], bank[i].class_id, 1);
+      if (o.correct) ++correct;
+      observations.push_back(o);
+    }
+    result.isp_names.push_back(software_isps[ii].name);
+    result.accuracy.push_back(static_cast<double>(correct) /
+                              static_cast<double>(bank.size()));
+  }
+  result.instability = compute_instability(observations);
+  return result;
+}
+
+// ---- OS / processor -----------------------------------------------------------
+
+OsCpuResult run_os_cpu_experiment(Model& model,
+                                  const std::vector<PhoneProfile>& fleet,
+                                  const OsCpuConfig& config) {
+  // Fixed pre-encoded image set over all 12 classes (the paper used a
+  // Caltech101 subset: images that exist once, not per-phone captures).
+  struct FixedImage {
+    int class_id;
+    Bytes jpeg;
+    Bytes png;
+  };
+  std::vector<FixedImage> images;
+  JpegLikeCodec reference_encoder(config.jpeg_quality);
+  PngLikeCodec png_codec;
+  for (int cls = 0; cls < kNumClasses; ++cls) {
+    for (int i = 0; i < config.images_per_class; ++i) {
+      SceneSpec spec;
+      spec.class_id = cls;
+      spec.instance_seed = config.seed * 7919 + static_cast<std::uint64_t>(i);
+      ImageU8 u8 = to_u8(render_scene(spec, config.scene_size));
+      FixedImage fi;
+      fi.class_id = cls;
+      fi.jpeg = reference_encoder.encode(u8);
+      fi.png = png_codec.encode(u8);
+      images.push_back(std::move(fi));
+    }
+  }
+
+  OsCpuResult result;
+  std::vector<Observation> jpeg_obs, png_obs;
+  // Signature of each phone's full (prediction, confidence) stream for
+  // the agreement-group analysis.
+  std::vector<std::string> signatures;
+
+  for (std::size_t p = 0; p < fleet.size(); ++p) {
+    const PhoneProfile& phone = fleet[p];
+    result.phone_names.push_back(phone.name);
+    result.soc_names.push_back(phone.backend.soc_name);
+    model.set_matmul_mode(phone.backend.matmul_mode);
+
+    Md5 jpeg_md5, png_md5;
+    std::vector<Tensor> jpeg_inputs, png_inputs;
+    for (const FixedImage& fi : images) {
+      JpegLikeCodec decoder(config.jpeg_quality, phone.os_decoder);
+      ImageU8 decoded_jpeg = decoder.decode(fi.jpeg);
+      jpeg_md5.update(decoded_jpeg.data());
+      jpeg_inputs.push_back(capture_to_input(decoded_jpeg));
+
+      ImageU8 decoded_png = png_codec.decode(fi.png);
+      png_md5.update(decoded_png.data());
+      png_inputs.push_back(capture_to_input(decoded_png));
+    }
+    auto jd = jpeg_md5.digest();
+    auto pd = png_md5.digest();
+    result.jpeg_decode_md5.push_back(to_hex(jd));
+    result.png_decode_md5.push_back(to_hex(pd));
+
+    std::vector<ShotPrediction> jpeg_preds =
+        classify_inputs(model, jpeg_inputs, 3);
+    std::vector<ShotPrediction> png_preds =
+        classify_inputs(model, png_inputs, 3);
+
+    ByteWriter signature;
+    for (std::size_t i = 0; i < images.size(); ++i) {
+      Observation oj;
+      oj.item = static_cast<int>(i);
+      oj.env = static_cast<int>(p);
+      oj.predicted = jpeg_preds[i].predicted();
+      oj.confidence = jpeg_preds[i].confidence();
+      oj.class_id = images[i].class_id;
+      oj.correct = topk_correct(jpeg_preds[i], images[i].class_id, 1);
+      jpeg_obs.push_back(oj);
+
+      Observation op = oj;
+      op.predicted = png_preds[i].predicted();
+      op.confidence = png_preds[i].confidence();
+      op.correct = topk_correct(png_preds[i], images[i].class_id, 1);
+      png_obs.push_back(op);
+
+      signature.i32(oj.predicted);
+      signature.f64(oj.confidence);
+    }
+    signatures.push_back(Md5::hex(signature.bytes()));
+  }
+  model.set_matmul_mode(MatmulMode::kStandard);
+
+  result.jpeg_instability = compute_instability(jpeg_obs);
+  result.png_instability = compute_instability(png_obs);
+
+  // Group phones whose prediction/confidence streams are identical.
+  std::vector<bool> grouped(fleet.size(), false);
+  for (std::size_t a = 0; a < fleet.size(); ++a) {
+    if (grouped[a]) continue;
+    std::vector<std::string> group{fleet[a].name};
+    grouped[a] = true;
+    for (std::size_t b = a + 1; b < fleet.size(); ++b) {
+      if (!grouped[b] && signatures[a] == signatures[b]) {
+        group.push_back(fleet[b].name);
+        grouped[b] = true;
+      }
+    }
+    result.agreement_groups.push_back(std::move(group));
+  }
+  return result;
+}
+
+// ---- Raw vs JPEG ---------------------------------------------------------------
+
+RawVsJpegResult run_raw_vs_jpeg(Model& model,
+                                const std::vector<PhoneProfile>& raw_fleet,
+                                const std::vector<RawShot>& bank) {
+  RawVsJpegResult result;
+  for (const PhoneProfile& p : raw_fleet)
+    if (p.supports_raw) result.phone_names.push_back(p.name);
+  const auto phone_count = static_cast<int>(result.phone_names.size());
+  ES_CHECK(phone_count >= 2);
+
+  // Condition A: the phone's own pipeline output.
+  std::vector<Tensor> jpeg_inputs;
+  // Condition B: raw developed through one consistent software ISP.
+  std::vector<Tensor> raw_inputs;
+  IspConfig consistent = magick_isp();
+  for (const RawShot& rs : bank) {
+    jpeg_inputs.push_back(capture_to_input(
+        decode_capture(rs.phone_pipeline, JpegDecodeOptions{})));
+    raw_inputs.push_back(image_to_input(run_isp(rs.raw, consistent)));
+  }
+  std::vector<ShotPrediction> jpeg_preds =
+      classify_inputs(model, jpeg_inputs, 3);
+  std::vector<ShotPrediction> raw_preds =
+      classify_inputs(model, raw_inputs, 3);
+
+  std::vector<Observation> jpeg_obs, raw_obs;
+  std::vector<int> jpeg_correct(static_cast<std::size_t>(phone_count), 0);
+  std::vector<int> raw_correct(static_cast<std::size_t>(phone_count), 0);
+  std::vector<int> counts(static_cast<std::size_t>(phone_count), 0);
+  for (std::size_t i = 0; i < bank.size(); ++i) {
+    const RawShot& rs = bank[i];
+    Observation oj;
+    oj.item = rs.stimulus;  // compare *between phones*
+    oj.env = rs.phone_index;
+    oj.class_id = rs.class_id;
+    oj.predicted = jpeg_preds[i].predicted();
+    oj.confidence = jpeg_preds[i].confidence();
+    oj.correct = topk_correct(jpeg_preds[i], rs.class_id, 1);
+    jpeg_obs.push_back(oj);
+
+    Observation orw = oj;
+    orw.predicted = raw_preds[i].predicted();
+    orw.confidence = raw_preds[i].confidence();
+    orw.correct = topk_correct(raw_preds[i], rs.class_id, 1);
+    raw_obs.push_back(orw);
+
+    ++counts[static_cast<std::size_t>(rs.phone_index)];
+    if (oj.correct) ++jpeg_correct[static_cast<std::size_t>(rs.phone_index)];
+    if (orw.correct) ++raw_correct[static_cast<std::size_t>(rs.phone_index)];
+  }
+
+  result.jpeg_instability = compute_instability(jpeg_obs);
+  result.raw_instability = compute_instability(raw_obs);
+  result.jpeg_by_class = instability_by_class(jpeg_obs);
+  result.raw_by_class = instability_by_class(raw_obs);
+  for (int p = 0; p < phone_count; ++p) {
+    double n = std::max(counts[static_cast<std::size_t>(p)], 1);
+    result.jpeg_accuracy_by_phone.push_back(
+        jpeg_correct[static_cast<std::size_t>(p)] / n);
+    result.raw_accuracy_by_phone.push_back(
+        raw_correct[static_cast<std::size_t>(p)] / n);
+  }
+  return result;
+}
+
+}  // namespace edgestab

@@ -1,0 +1,87 @@
+// Instability — the paper's core metric (§2.2, §4.1).
+//
+// A stimulus (the same displayed image) is observed in several
+// environments (phones, codecs, ISPs, OSes). It is *unstable* when at
+// least one environment classifies it correctly AND at least one
+// classifies it incorrectly. Stimuli that every environment gets wrong
+// are not counted as unstable ("it is difficult to say whether a
+// particular classification is more incorrect than another"), but they
+// remain in the denominator:
+//
+//   instability = unstable_stimuli / total_stimuli.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+namespace edgestab {
+
+/// One classification outcome of one stimulus in one environment.
+struct Observation {
+  int item = 0;       ///< stimulus id (shared across environments)
+  int env = 0;        ///< environment index
+  bool correct = false;
+  double confidence = 0.0;  ///< prediction score of the chosen class
+  int predicted = -1;
+  int class_id = -1;  ///< ground-truth class (grouping key)
+  int angle = -1;     ///< viewpoint (grouping key)
+};
+
+struct InstabilityResult {
+  int total_items = 0;
+  int unstable_items = 0;
+  int all_correct_items = 0;
+  int all_incorrect_items = 0;
+
+  double instability() const {
+    return total_items > 0
+               ? static_cast<double>(unstable_items) / total_items
+               : 0.0;
+  }
+  /// Mean per-environment accuracy is tracked separately; this is the
+  /// fraction of items every environment agreed correctly on.
+  double all_correct_fraction() const {
+    return total_items > 0
+               ? static_cast<double>(all_correct_items) / total_items
+               : 0.0;
+  }
+};
+
+/// Group instability across all environments present in `observations`.
+/// Items observed in fewer than 2 environments are skipped.
+InstabilityResult compute_instability(
+    std::span<const Observation> observations);
+
+/// Instability restricted to a pair of environments.
+InstabilityResult pairwise_instability(
+    std::span<const Observation> observations, int env_a, int env_b);
+
+/// Group instability computed separately per ground-truth class / angle.
+std::map<int, InstabilityResult> instability_by_class(
+    std::span<const Observation> observations);
+std::map<int, InstabilityResult> instability_by_angle(
+    std::span<const Observation> observations);
+
+/// Bootstrap confidence interval for the group instability: items are
+/// resampled with replacement `iterations` times and the percentile
+/// interval at the given confidence level is returned. Gives the
+/// measurement error the paper's point estimates omit.
+struct InstabilityCi {
+  double point = 0.0;
+  double lower = 0.0;
+  double upper = 0.0;
+};
+InstabilityCi bootstrap_instability_ci(
+    std::span<const Observation> observations, double confidence = 0.95,
+    int iterations = 1000, std::uint64_t seed = 1);
+
+/// Accuracy of a single environment's observations.
+double environment_accuracy(std::span<const Observation> observations,
+                            int env);
+
+/// All environment ids present.
+std::vector<int> environments(std::span<const Observation> observations);
+
+}  // namespace edgestab

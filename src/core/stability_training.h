@@ -1,0 +1,103 @@
+// Stability training for devices — the paper's §9.1 mitigation and its
+// Table 6 / Figure 7 evaluation grid.
+//
+// Fine-tunes the base model on one phone's photos (Samsung analogue) with
+// the stability objective L0 + α·Ls, pairing each photo with a companion
+// produced by one of the paper's noise schemes:
+//   two_images  — the matched photo of the same stimulus from the iPhone
+//   subsample   — a random iPhone photo of the same class from a small
+//                 per-class pool (k images — the "how much new data do I
+//                 need" question)
+//   distortion  — simulated ISP differences: hue / contrast / brightness /
+//                 saturation / JPEG-quality perturbations
+//   gaussian    — i.i.d. pixel noise (Zheng et al.'s original scheme)
+//   no_noise    — plain fine-tuning baseline
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/confidence.h"
+#include "core/instability.h"
+#include "core/workspace.h"
+#include "data/lab_rig.h"
+
+namespace edgestab {
+
+/// Paired captures of the same stimuli from two phones, split by object
+/// into train/test.
+struct PairedCaptures {
+  // Parallel arrays over stimuli.
+  std::vector<Tensor> train_a, train_b;  ///< phone A / phone B inputs
+  std::vector<int> train_labels;
+  std::vector<int> train_stimulus;
+  std::vector<Tensor> test_a, test_b;
+  std::vector<int> test_labels;
+  std::vector<int> test_stimulus;
+  std::string phone_a, phone_b;
+};
+
+/// Capture the rig stimuli with two phones and split by object id
+/// (train_fraction of objects go to training).
+PairedCaptures collect_paired_captures(const PhoneProfile& phone_a,
+                                       const PhoneProfile& phone_b,
+                                       const LabRigConfig& rig,
+                                       float train_fraction = 0.7f);
+
+/// One cell of the Table 6 grid.
+struct StabilityCell {
+  std::string noise;   ///< two_images | subsample | distortion | gaussian | no_noise
+  StabilityLoss loss = StabilityLoss::kNone;
+  float alpha = 0.0f;
+  float sigma2 = 0.0f;       ///< gaussian pixel-noise variance
+  int images_per_class = 0;  ///< subsample pool size
+
+  std::string hyper_description() const;
+  std::string cache_token() const;
+};
+
+struct StabilityCellResult {
+  StabilityCell cell;
+  double instability = 0.0;  ///< between phone A and B on held-out stimuli
+  double accuracy_a = 0.0;
+  double accuracy_b = 0.0;
+  std::vector<PrPoint> pr_curve;  ///< Fig 7 series (both phones pooled)
+};
+
+struct StabilityGridResult {
+  std::vector<StabilityCellResult> embedding_rows;  ///< Table 6a
+  std::vector<StabilityCellResult> kl_rows;         ///< Table 6b
+  double base_model_instability = 0.0;  ///< un-finetuned, for context
+};
+
+struct StabilityGridConfig {
+  TrainConfig finetune;  ///< shared fine-tuning loop parameters
+  LabRigConfig rig;
+  std::uint64_t noise_seed = 2024;
+  /// Fleet divergence for the Samsung/iPhone pair. The paper's pair
+  /// spans the largest pipeline gap in its fleet (different OS, ISP
+  /// philosophy and storage format: JPEG vs HEIF), with a pairwise
+  /// baseline instability near 7%; the calibrated fleet (divergence 1)
+  /// puts this pair much closer, so the mitigation study runs at the
+  /// exaggerated operating point to match the paper's baseline.
+  float fleet_divergence = 4.0f;
+
+  StabilityGridConfig();
+};
+
+/// Run one cell: fine-tune a copy of the base model and evaluate.
+/// Fine-tuned weights are cached in the workspace.
+StabilityCellResult run_stability_cell(Workspace& workspace,
+                                       const PairedCaptures& data,
+                                       const StabilityCell& cell,
+                                       const StabilityGridConfig& config);
+
+/// Run the full Table 6 grid (paper hyperparameters).
+StabilityGridResult run_stability_grid(Workspace& workspace,
+                                       const StabilityGridConfig& config);
+
+/// The paper's Table 6 cells with their published hyperparameters.
+std::vector<StabilityCell> table6_embedding_cells();
+std::vector<StabilityCell> table6_kl_cells();
+
+}  // namespace edgestab

@@ -1,0 +1,58 @@
+// Workspace: configuration + on-disk caching for the expensive artifacts
+// every bench and example shares (the pretrained base model, fine-tuned
+// stability models).
+//
+// Cache entries are keyed by a fingerprint of everything that influences
+// the artifact, so a config change invalidates them automatically. Set
+// EDGESTAB_CACHE to relocate the cache (default: .edgestab_cache under
+// the working directory).
+#pragma once
+
+#include <string>
+
+#include "data/dataset.h"
+#include "nn/mobilenet.h"
+#include "nn/trainer.h"
+
+namespace edgestab {
+
+struct WorkspaceConfig {
+  MobileNetConfig model;       // 32x32, 12 classes
+  PretrainConfig pretrain;     // synthetic corpus
+  TrainConfig pretrain_train;  // pretraining loop
+  std::uint64_t init_seed = 7;
+  bool verbose = true;
+
+  WorkspaceConfig();
+};
+
+class Workspace {
+ public:
+  explicit Workspace(WorkspaceConfig config = {});
+
+  const WorkspaceConfig& config() const { return config_; }
+
+  /// The shared fixed-weight model (paper: ImageNet-pretrained
+  /// MobileNetV2). Trains once and caches the checkpoint; later calls —
+  /// including in other processes — load it.
+  Model base_model();
+
+  /// Build an architecture-matched empty model (for loading fine-tuned
+  /// states into).
+  Model fresh_model() const;
+
+  /// Generic blob cache.
+  std::string cache_dir() const { return cache_dir_; }
+  bool load_blob(const std::string& key, Bytes& out) const;
+  void store_blob(const std::string& key, std::span<const std::uint8_t> data)
+      const;
+
+  /// Fingerprint of the workspace config (base of all cache keys).
+  std::uint64_t fingerprint() const;
+
+ private:
+  WorkspaceConfig config_;
+  std::string cache_dir_;
+};
+
+}  // namespace edgestab

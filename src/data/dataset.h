@@ -1,0 +1,55 @@
+// Dataset construction: pretraining corpus and model-input conversion.
+//
+// The pretraining corpus stands in for ImageNet: direct renders of all 12
+// classes with viewpoint and photometric augmentation — crucially *not*
+// passed through any phone pipeline, so the evaluation-time captures are
+// out-of-distribution for the model in the same way lab photos were for
+// the paper's ImageNet-pretrained MobileNetV2.
+#pragma once
+
+#include "data/render.h"
+#include "image/image.h"
+#include "nn/trainer.h"
+#include "util/rng.h"
+
+namespace edgestab {
+
+/// Model input geometry + normalization (MobileNetV2 convention [-1,1]).
+inline constexpr int kModelInputSize = 32;
+
+/// Convert a display-referred [0,1] image to a [1,3,S,S] model input.
+Tensor image_to_input(const Image& display_referred,
+                      int input_size = kModelInputSize);
+
+/// Convert a decoded 8-bit capture to a model input.
+Tensor capture_to_input(const ImageU8& decoded,
+                        int input_size = kModelInputSize);
+
+/// Append sample(s) utility: stack a list of [1,3,S,S] tensors.
+Tensor stack_inputs(const std::vector<Tensor>& samples);
+
+struct PretrainConfig {
+  int per_class = 250;
+  int scene_size = 96;
+  std::uint64_t seed = 1234;
+  /// Photometric augmentation ranges.
+  float brightness_jitter = 0.08f;
+  float contrast_jitter = 0.15f;
+  float noise_sigma = 0.015f;
+  float color_cast = 0.06f;       ///< per-channel gain jitter
+  float blur_probability = 0.3f;  ///< chance of a down-up blur pass
+  float jpeg_probability = 0.5f;  ///< chance of a JPEG round-trip
+  /// Chance a training image passes through a neutral reference camera
+  /// (sensor + ISP + JPEG). ImageNet photos are camera outputs; without
+  /// this the renders lack all acquisition structure and the model's
+  /// margins are unrealistically thin on captured inputs.
+  float capture_probability = 0.5f;
+};
+
+/// Build the synthetic pretraining corpus over all 12 classes.
+TensorDataset make_pretrain_dataset(const PretrainConfig& config);
+
+/// Validation split uses a disjoint instance-seed range.
+TensorDataset make_validation_dataset(const PretrainConfig& config);
+
+}  // namespace edgestab

@@ -1,0 +1,63 @@
+#include "data/lab_rig.h"
+
+#include "data/labels.h"
+
+namespace edgestab {
+
+LabRun run_lab_rig(const std::vector<PhoneProfile>& fleet,
+                   const LabRigConfig& config) {
+  ES_CHECK(!fleet.empty());
+  ES_CHECK(config.objects_per_class > 0);
+  ES_CHECK(!config.angles.empty());
+  ES_CHECK(config.shots_per_stimulus >= 1);
+
+  LabRun run;
+  run.angle_count = static_cast<int>(config.angles.size());
+  run.phone_count = static_cast<int>(fleet.size());
+
+  // Object list: objects_per_class instances of each target class.
+  std::vector<SceneSpec> objects;
+  for (int cls : target_classes()) {
+    for (int i = 0; i < config.objects_per_class; ++i) {
+      SceneSpec spec;
+      spec.class_id = cls;
+      spec.instance_seed =
+          config.seed * 131 + static_cast<std::uint64_t>(i);
+      objects.push_back(spec);
+      run.object_class.push_back(cls);
+    }
+  }
+
+  // Each phone has its own temporal-noise stream, advanced shot by shot
+  // — matching a real rig where each camera accumulates its own noise
+  // history.
+  std::vector<Pcg32> phone_rngs;
+  phone_rngs.reserve(fleet.size());
+  for (const PhoneProfile& phone : fleet)
+    phone_rngs.emplace_back(config.seed, phone.noise_stream);
+
+  for (std::size_t obj = 0; obj < objects.size(); ++obj) {
+    for (int a = 0; a < run.angle_count; ++a) {
+      SceneSpec spec = objects[obj];
+      spec.view_angle = config.angles[static_cast<std::size_t>(a)];
+      Image scene = render_scene(spec, config.scene_size);
+      Image emission = display_on_screen(scene, config.screen);
+
+      for (std::size_t p = 0; p < fleet.size(); ++p) {
+        for (int shot = 0; shot < config.shots_per_stimulus; ++shot) {
+          LabShot record;
+          record.object_index = static_cast<int>(obj);
+          record.class_id = spec.class_id;
+          record.angle_index = a;
+          record.phone_index = static_cast<int>(p);
+          record.repeat = shot;
+          record.capture = take_photo(fleet[p], emission, phone_rngs[p]);
+          run.shots.push_back(std::move(record));
+        }
+      }
+    }
+  }
+  return run;
+}
+
+}  // namespace edgestab

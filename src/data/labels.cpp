@@ -1,0 +1,30 @@
+#include "data/labels.h"
+
+#include "util/check.h"
+
+namespace edgestab {
+
+const std::string& class_name(int class_id) {
+  static const std::vector<std::string> names = {
+      "water_bottle", "beer_bottle", "wine_bottle", "purse",
+      "backpack",     "red_wine",    "pillow",      "bubble",
+      "soccer_ball",  "coffee_mug",  "laptop",      "sunhat"};
+  ES_CHECK(class_id >= 0 && class_id < kNumClasses);
+  return names[static_cast<std::size_t>(class_id)];
+}
+
+const std::vector<int>& target_classes() {
+  static const std::vector<int> targets = {kWaterBottle, kBeerBottle,
+                                           kWineBottle, kPurse, kBackpack};
+  return targets;
+}
+
+bool prediction_correct(int truth, int predicted) {
+  if (truth == predicted) return true;
+  // §3.2: overlapping ImageNet labels are accepted both ways.
+  if (truth == kWineBottle && predicted == kRedWine) return true;
+  if (truth == kRedWine && predicted == kWineBottle) return true;
+  return false;
+}
+
+}  // namespace edgestab

@@ -1,0 +1,46 @@
+// Label space for the synthetic dataset.
+//
+// The paper collected five ImageNet classes (water bottle, beer bottle,
+// wine bottle, purse, backpack — §3.1) and evaluated a 1000-class model
+// on them, accepting overlapping labels by hand (e.g. "wine bottle" vs
+// "red wine", §3.2). We mirror that: a 12-class model whose first five
+// classes are the targets, with seven distractor classes that incorrect
+// predictions can land on (including "bubble" and "pillow", the wrong
+// labels shown in the paper's Figures 1-2), plus an alias table.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace edgestab {
+
+enum ClassId : int {
+  kWaterBottle = 0,
+  kBeerBottle = 1,
+  kWineBottle = 2,
+  kPurse = 3,
+  kBackpack = 4,
+  // Distractors.
+  kRedWine = 5,
+  kPillow = 6,
+  kBubble = 7,
+  kSoccerBall = 8,
+  kCoffeeMug = 9,
+  kLaptop = 10,
+  kSunhat = 11,
+};
+
+inline constexpr int kNumClasses = 12;
+inline constexpr int kNumTargetClasses = 5;
+
+const std::string& class_name(int class_id);
+
+/// The five classes photographed in the lab experiments.
+const std::vector<int>& target_classes();
+
+/// True if `predicted` counts as correct for ground truth `truth`
+/// (identity or an accepted alias — wine_bottle accepts red_wine and
+/// vice versa, as in §3.2).
+bool prediction_correct(int truth, int predicted);
+
+}  // namespace edgestab

@@ -1,0 +1,31 @@
+// Procedural scene renderer.
+//
+// Stands in for the paper's photo collection (§3.1: Flickr scrapes,
+// Amazon product photos and self-taken photos of five classes). Every
+// object instance is a deterministic function of (class, instance seed):
+// silhouette proportions, colors, label art, background and lighting all
+// vary per instance, and the three bottle classes deliberately share
+// silhouette structure so they are mutually confusable — the regime the
+// paper's borderline-confidence findings (Fig. 4) live in.
+#pragma once
+
+#include <cstdint>
+
+#include "image/image.h"
+
+namespace edgestab {
+
+struct SceneSpec {
+  int class_id = 0;
+  std::uint64_t instance_seed = 0;
+
+  /// Horizontal viewpoint in [-1, 1]: the lab rig's five angles
+  /// (left .. right, §3.2) shift the object and skew the perspective.
+  float view_angle = 0.0f;
+};
+
+/// Render a display-referred sRGB image in [0,1] (what would be shown on
+/// the lab monitor).
+Image render_scene(const SceneSpec& spec, int size);
+
+}  // namespace edgestab

@@ -1,0 +1,28 @@
+// Monitor display simulation.
+//
+// The lab rig (paper §3.2, Fig. 2) photographs images shown on a computer
+// screen in a dark room. The screen re-emits the displayed sRGB image as
+// linear light with its own white point, backlight level, black glow and
+// subpixel structure — one more transformation every phone sees
+// identically, exactly as in the paper's setup.
+#pragma once
+
+#include <array>
+
+#include "image/image.h"
+
+namespace edgestab {
+
+struct ScreenConfig {
+  float backlight = 1.0f;        ///< peak luminance scale
+  float black_level = 0.012f;    ///< LCD glow floor (linear)
+  std::array<float, 3> white_point = {1.0f, 0.99f, 1.03f};
+  float pixel_grid = 0.05f;      ///< visibility of the subpixel grid
+  int output_scale = 2;          ///< emitted resolution multiplier
+};
+
+/// Convert a display-referred sRGB image to the linear-light emission the
+/// cameras photograph.
+Image display_on_screen(const Image& srgb_image, const ScreenConfig& config);
+
+}  // namespace edgestab

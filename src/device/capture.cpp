@@ -1,0 +1,52 @@
+#include "device/capture.h"
+
+#include "image/resize.h"
+
+namespace edgestab {
+
+Capture take_photo(const PhoneProfile& phone, const Image& screen_emission,
+                   Pcg32& rng) {
+  ES_CHECK(screen_emission.channels() == 3);
+
+  // Optics + mount: small per-phone geometric offset/tilt of the framed
+  // scene. The warp maps output (sensor-facing) coordinates to screen
+  // coordinates.
+  Image framed = screen_emission;
+  if (phone.mount_dx != 0.0f || phone.mount_dy != 0.0f ||
+      phone.mount_tilt != 0.0f) {
+    float cx = static_cast<float>(screen_emission.width()) / 2.0f;
+    float cy = static_cast<float>(screen_emission.height()) / 2.0f;
+    Affine warp = Affine::rotate_about(phone.mount_tilt, cx, cy)
+                      .compose(Affine::translate(phone.mount_dx,
+                                                 phone.mount_dy));
+    framed = warp_affine(screen_emission, warp, screen_emission.width(),
+                         screen_emission.height());
+  }
+
+  RawImage raw = expose_sensor(framed, phone.sensor, rng);
+  Image developed = run_isp(raw, phone.isp);
+
+  Capture capture;
+  capture.format = phone.storage_format;
+  capture.quality = phone.storage_quality;
+  auto codec = make_codec(phone.storage_format, phone.storage_quality);
+  capture.file = codec->encode(to_u8(developed));
+  if (phone.supports_raw) capture.raw = raw;
+  return capture;
+}
+
+ImageU8 decode_capture(const Capture& capture,
+                       const JpegDecodeOptions& os_decoder) {
+  if (capture.format == ImageFormat::kJpegLike) {
+    JpegLikeCodec codec(capture.quality, os_decoder);
+    return codec.decode(capture.file);
+  }
+  auto codec = make_codec(capture.format, capture.quality);
+  return codec->decode(capture.file);
+}
+
+Image develop_raw(const RawImage& raw, const IspConfig& software_isp) {
+  return run_isp(raw, software_isp);
+}
+
+}  // namespace edgestab

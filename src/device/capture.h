@@ -1,0 +1,40 @@
+// The photo-taking path: displayed scene -> optics -> sensor -> ISP ->
+// storage codec. Mirrors the paper's lab rig where each phone photographs
+// the same image shown on a monitor (§3.2, Figure 2).
+#pragma once
+
+#include <optional>
+
+#include "device/phone.h"
+#include "image/image.h"
+#include "util/rng.h"
+
+namespace edgestab {
+
+/// A stored photo: compressed bytes + the format they are in, plus the
+/// raw mosaic when the phone supports raw capture (§9.2).
+struct Capture {
+  Bytes file;
+  ImageFormat format = ImageFormat::kJpegLike;
+  int quality = 0;
+  std::optional<RawImage> raw;
+};
+
+/// Photograph `screen_emission` (linear-light radiance of the displayed
+/// image, any resolution) with the given phone. `rng` drives temporal
+/// sensor noise — two calls with the same phone and scene model two
+/// consecutive shots (Figure 1).
+Capture take_photo(const PhoneProfile& phone, const Image& screen_emission,
+                   Pcg32& rng);
+
+/// Decode a capture's stored bytes with a given OS decoder behaviour
+/// (inference may happen on a different device than the one that took
+/// the photo).
+ImageU8 decode_capture(const Capture& capture,
+                       const JpegDecodeOptions& os_decoder);
+
+/// Convert a raw capture with a software ISP (the §9.2 consistent
+/// pipeline), producing a display-referred image.
+Image develop_raw(const RawImage& raw, const IspConfig& software_isp);
+
+}  // namespace edgestab

@@ -1,0 +1,32 @@
+// Device fleet presets mirroring the paper's two phone sets.
+//
+// `end_to_end_fleet` models Table 1 (the lab-rig phones that *take*
+// photos): five devices with distinct sensors, ISPs and storage codecs —
+// the iPhone analogue stores HEIF, the Androids store JPEG, and only the
+// Samsung and iPhone analogues support raw capture, as in the paper.
+//
+// `firebase_fleet` models Table 5 (the Firebase Test Lab SoCs that only
+// *run inference* on a fixed image set): they differ in JPEG decoder
+// behaviour and floating-point accumulation, the §7 levers.
+#pragma once
+
+#include <vector>
+
+#include "device/phone.h"
+
+namespace edgestab {
+
+/// Strength of cross-device ISP/sensor divergence; 1.0 is the calibrated
+/// paper-like fleet (end-to-end instability in the 14-17% band), 0.0
+/// collapses every phone to the reference pipeline, values up to 4.0
+/// exaggerate the differences (used by the source-ablation bench and the
+/// stability-training study).
+std::vector<PhoneProfile> end_to_end_fleet(float divergence = 1.0f);
+
+std::vector<PhoneProfile> firebase_fleet();
+
+/// Find a profile by name; throws if absent.
+const PhoneProfile& find_phone(const std::vector<PhoneProfile>& fleet,
+                               const std::string& name);
+
+}  // namespace edgestab

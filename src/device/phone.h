@@ -1,0 +1,50 @@
+// Phone device profiles.
+//
+// A PhoneProfile bundles everything that makes "the same photo" differ
+// between devices in the paper's experiments: the sensor unit, the ISP
+// pipeline, the storage codec (format + quality), optional raw capture
+// support, the OS's JPEG decoder behaviour, and the SoC compute backend.
+#pragma once
+
+#include <string>
+
+#include "codec/codec.h"
+#include "codec/jpeg_like.h"
+#include "isp/pipeline.h"
+#include "isp/sensor.h"
+#include "tensor/ops.h"
+
+namespace edgestab {
+
+/// SoC math behaviour for on-device inference (paper §7: floating point
+/// and instruction scheduling differences).
+struct ComputeBackend {
+  std::string soc_name = "generic";
+  MatmulMode matmul_mode = MatmulMode::kStandard;
+};
+
+struct PhoneProfile {
+  std::string name;        ///< e.g. "Samsung Galaxy S10"
+  std::string model_code;  ///< e.g. "SM-G973U1"
+
+  SensorConfig sensor;
+  IspConfig isp;
+
+  ImageFormat storage_format = ImageFormat::kJpegLike;
+  int storage_quality = 90;
+  bool supports_raw = false;
+
+  /// Geometric mounting tolerances (pixels of scene offset, radians) —
+  /// every physical rig has them.
+  float mount_dx = 0.0f;
+  float mount_dy = 0.0f;
+  float mount_tilt = 0.0f;
+
+  JpegDecodeOptions os_decoder;  ///< how this OS decodes JPEG files
+  ComputeBackend backend;
+
+  /// Per-phone deterministic stream id for temporal noise.
+  std::uint64_t noise_stream = 1;
+};
+
+}  // namespace edgestab

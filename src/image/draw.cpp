@@ -1,0 +1,91 @@
+#include "image/draw.h"
+
+namespace edgestab {
+
+void fill(Image& img, const Rgb& color) {
+  ES_CHECK(img.channels() == 3);
+  auto r = img.plane(0);
+  auto g = img.plane(1);
+  auto b = img.plane(2);
+  std::fill(r.begin(), r.end(), color.r);
+  std::fill(g.begin(), g.end(), color.g);
+  std::fill(b.begin(), b.end(), color.b);
+}
+
+void fill_vertical_gradient(Image& img, const Rgb& top, const Rgb& bottom) {
+  ES_CHECK(img.channels() == 3);
+  for (int y = 0; y < img.height(); ++y) {
+    float t = img.height() > 1
+                  ? static_cast<float>(y) / (img.height() - 1)
+                  : 0.0f;
+    Rgb c = top.mixed(bottom, t);
+    for (int x = 0; x < img.width(); ++x) {
+      img.at(x, y, 0) = c.r;
+      img.at(x, y, 1) = c.g;
+      img.at(x, y, 2) = c.b;
+    }
+  }
+}
+
+namespace {
+// Hash of lattice coordinates -> [0,1).
+float lattice_hash(std::int64_t ix, std::int64_t iy, std::uint64_t seed) {
+  std::uint64_t h = seed;
+  h ^= static_cast<std::uint64_t>(ix) * 0x9e3779b97f4a7c15ULL;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h ^= static_cast<std::uint64_t>(iy) * 0x94d049bb133111ebULL;
+  h = (h ^ (h >> 27)) * 0x2545f4914f6cdd1dULL;
+  h ^= h >> 31;
+  return static_cast<float>(h >> 40) / 16777216.0f;
+}
+
+float smooth(float t) { return t * t * (3.0f - 2.0f * t); }
+}  // namespace
+
+float value_noise(float x, float y, float scale, std::uint64_t seed) {
+  float fx = x / scale;
+  float fy = y / scale;
+  auto ix = static_cast<std::int64_t>(std::floor(fx));
+  auto iy = static_cast<std::int64_t>(std::floor(fy));
+  float tx = smooth(fx - static_cast<float>(ix));
+  float ty = smooth(fy - static_cast<float>(iy));
+  float v00 = lattice_hash(ix, iy, seed);
+  float v10 = lattice_hash(ix + 1, iy, seed);
+  float v01 = lattice_hash(ix, iy + 1, seed);
+  float v11 = lattice_hash(ix + 1, iy + 1, seed);
+  float top = v00 + (v10 - v00) * tx;
+  float bot = v01 + (v11 - v01) * tx;
+  return top + (bot - top) * ty;
+}
+
+void paint_highlight(Image& img, float cx, float cy, float rx, float ry,
+                     float strength) {
+  for (int y = 0; y < img.height(); ++y)
+    for (int x = 0; x < img.width(); ++x) {
+      float dx = (static_cast<float>(x) + 0.5f - cx) / rx;
+      float dy = (static_cast<float>(y) + 0.5f - cy) / ry;
+      float d2 = dx * dx + dy * dy;
+      if (d2 >= 1.0f) continue;
+      float a = (1.0f - d2) * strength;
+      for (int c = 0; c < 3; ++c)
+        img.at(x, y, c) =
+            std::clamp(img.at(x, y, c) + (1.0f - img.at(x, y, c)) * a, 0.0f,
+                       1.0f);
+    }
+}
+
+void paint_shadow(Image& img, float cx, float cy, float rx, float ry,
+                  float strength) {
+  for (int y = 0; y < img.height(); ++y)
+    for (int x = 0; x < img.width(); ++x) {
+      float dx = (static_cast<float>(x) + 0.5f - cx) / rx;
+      float dy = (static_cast<float>(y) + 0.5f - cy) / ry;
+      float d2 = dx * dx + dy * dy;
+      if (d2 >= 1.0f) continue;
+      float a = (1.0f - d2) * strength;
+      for (int c = 0; c < 3; ++c)
+        img.at(x, y, c) = std::clamp(img.at(x, y, c) * (1.0f - a), 0.0f, 1.0f);
+    }
+}
+
+}  // namespace edgestab

@@ -1,0 +1,187 @@
+// Anti-aliased procedural drawing primitives.
+//
+// The scene renderer builds photograph-like stimuli out of signed-distance
+// shapes composited with soft edges, plus gradient and texture fills.
+// Coordinates are in pixels; colors are RGB in [0,1].
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+#include "image/image.h"
+#include "util/rng.h"
+
+namespace edgestab {
+
+struct Rgb {
+  float r = 0, g = 0, b = 0;
+
+  Rgb scaled(float s) const { return {r * s, g * s, b * s}; }
+  Rgb mixed(const Rgb& o, float t) const {
+    return {r + (o.r - r) * t, g + (o.g - g) * t, b + (o.b - b) * t};
+  }
+};
+
+/// Fill the whole image with a constant color.
+void fill(Image& img, const Rgb& color);
+
+/// Vertical linear gradient from top color to bottom color.
+void fill_vertical_gradient(Image& img, const Rgb& top, const Rgb& bottom);
+
+/// Composite `color` with per-pixel alpha from an SDF: alpha =
+/// clamp(0.5 - sdf, 0, 1) * opacity, i.e. ~1px anti-aliased edges.
+/// Sdf is any callable float(float x, float y) returning signed distance
+/// (negative inside).
+template <typename Sdf>
+void paint_sdf(Image& img, const Sdf& sdf, const Rgb& color,
+               float opacity = 1.0f) {
+  ES_CHECK(img.channels() == 3);
+  for (int y = 0; y < img.height(); ++y)
+    for (int x = 0; x < img.width(); ++x) {
+      float d = sdf(static_cast<float>(x) + 0.5f,
+                    static_cast<float>(y) + 0.5f);
+      float a = std::clamp(0.5f - d, 0.0f, 1.0f) * opacity;
+      if (a <= 0.0f) continue;
+      img.at(x, y, 0) += (color.r - img.at(x, y, 0)) * a;
+      img.at(x, y, 1) += (color.g - img.at(x, y, 1)) * a;
+      img.at(x, y, 2) += (color.b - img.at(x, y, 2)) * a;
+    }
+}
+
+/// Same, but the fill is a vertical gradient between two colors across
+/// [y0, y1] — used for cylindrical shading on bottles.
+template <typename Sdf>
+void paint_sdf_hgrad(Image& img, const Sdf& sdf, const Rgb& left,
+                     const Rgb& right, float x0, float x1,
+                     float opacity = 1.0f) {
+  ES_CHECK(img.channels() == 3);
+  float span = std::max(x1 - x0, 1e-3f);
+  for (int y = 0; y < img.height(); ++y)
+    for (int x = 0; x < img.width(); ++x) {
+      float fx = static_cast<float>(x) + 0.5f;
+      float d = sdf(fx, static_cast<float>(y) + 0.5f);
+      float a = std::clamp(0.5f - d, 0.0f, 1.0f) * opacity;
+      if (a <= 0.0f) continue;
+      float t = std::clamp((fx - x0) / span, 0.0f, 1.0f);
+      // Cosine ramp approximates cylinder shading.
+      float shade = 0.5f - 0.5f * std::cos(t * 3.14159265f);
+      Rgb c = left.mixed(right, shade);
+      img.at(x, y, 0) += (c.r - img.at(x, y, 0)) * a;
+      img.at(x, y, 1) += (c.g - img.at(x, y, 1)) * a;
+      img.at(x, y, 2) += (c.b - img.at(x, y, 2)) * a;
+    }
+}
+
+// ---- Signed distance functions -------------------------------------------
+
+/// Circle of radius r centered at (cx, cy).
+struct SdfCircle {
+  float cx, cy, r;
+  float operator()(float x, float y) const {
+    return std::sqrt((x - cx) * (x - cx) + (y - cy) * (y - cy)) - r;
+  }
+};
+
+/// Axis-aligned ellipse (approximate SDF — exact near boundary for
+/// moderate aspect ratios, which is all rendering needs).
+struct SdfEllipse {
+  float cx, cy, rx, ry;
+  float operator()(float x, float y) const {
+    float dx = (x - cx) / rx;
+    float dy = (y - cy) / ry;
+    float k = std::sqrt(dx * dx + dy * dy);
+    return (k - 1.0f) * std::min(rx, ry);
+  }
+};
+
+/// Axis-aligned rounded rectangle; (cx, cy) center, half extents hx/hy,
+/// corner radius rad.
+struct SdfRoundRect {
+  float cx, cy, hx, hy, rad;
+  float operator()(float x, float y) const {
+    float qx = std::abs(x - cx) - (hx - rad);
+    float qy = std::abs(y - cy) - (hy - rad);
+    float ox = std::max(qx, 0.0f);
+    float oy = std::max(qy, 0.0f);
+    return std::sqrt(ox * ox + oy * oy) +
+           std::min(std::max(qx, qy), 0.0f) - rad;
+  }
+};
+
+/// Capsule (thick line segment) from (x0,y0) to (x1,y1) with radius r.
+struct SdfCapsule {
+  float x0, y0, x1, y1, r;
+  float operator()(float x, float y) const {
+    float pax = x - x0, pay = y - y0;
+    float bax = x1 - x0, bay = y1 - y0;
+    float h = std::clamp((pax * bax + pay * bay) /
+                             std::max(bax * bax + bay * bay, 1e-6f),
+                         0.0f, 1.0f);
+    float dx = pax - bax * h, dy = pay - bay * h;
+    return std::sqrt(dx * dx + dy * dy) - r;
+  }
+};
+
+/// Isosceles trapezoid symmetric about x = cx, spanning y in
+/// [cy - h/2, cy + h/2], half-width wt at the top and wb at the bottom.
+/// Used for bottle necks, bag silhouettes, etc.
+struct SdfTrapezoid {
+  float cx, cy, h, wt, wb;
+  float operator()(float x, float y) const {
+    float t = std::clamp((y - (cy - h * 0.5f)) / h, 0.0f, 1.0f);
+    float half_w = wt + (wb - wt) * t;
+    float dx = std::abs(x - cx) - half_w;
+    float dy = std::max((cy - h * 0.5f) - y, y - (cy + h * 0.5f));
+    return std::max(dx, dy);
+  }
+};
+
+// ---- Textures -------------------------------------------------------------
+
+/// Deterministic value noise in [0,1] at integer lattice points, smoothly
+/// interpolated; `seed` selects the field.
+float value_noise(float x, float y, float scale, std::uint64_t seed);
+
+/// Add zero-mean speckle texture to a region selected by an SDF.
+template <typename Sdf>
+void texture_speckle(Image& img, const Sdf& sdf, float amplitude, float scale,
+                     std::uint64_t seed) {
+  for (int y = 0; y < img.height(); ++y)
+    for (int x = 0; x < img.width(); ++x) {
+      float fx = static_cast<float>(x) + 0.5f;
+      float fy = static_cast<float>(y) + 0.5f;
+      if (sdf(fx, fy) > 0.0f) continue;
+      float n = (value_noise(fx, fy, scale, seed) - 0.5f) * 2.0f * amplitude;
+      for (int c = 0; c < 3; ++c)
+        img.at(x, y, c) = std::clamp(img.at(x, y, c) + n, 0.0f, 1.0f);
+    }
+}
+
+/// Horizontal stripes inside an SDF region (e.g. label bands).
+template <typename Sdf>
+void texture_stripes(Image& img, const Sdf& sdf, const Rgb& color,
+                     float period, float duty, float phase,
+                     float opacity = 1.0f) {
+  for (int y = 0; y < img.height(); ++y)
+    for (int x = 0; x < img.width(); ++x) {
+      float fx = static_cast<float>(x) + 0.5f;
+      float fy = static_cast<float>(y) + 0.5f;
+      if (sdf(fx, fy) > 0.0f) continue;
+      float t = std::fmod(fy / period + phase, 1.0f);
+      if (t < 0) t += 1.0f;
+      if (t > duty) continue;
+      img.at(x, y, 0) += (color.r - img.at(x, y, 0)) * opacity;
+      img.at(x, y, 1) += (color.g - img.at(x, y, 1)) * opacity;
+      img.at(x, y, 2) += (color.b - img.at(x, y, 2)) * opacity;
+    }
+}
+
+/// Soft elliptical highlight (specular blob).
+void paint_highlight(Image& img, float cx, float cy, float rx, float ry,
+                     float strength);
+
+/// Soft drop shadow under an object: darkens an elliptical region.
+void paint_shadow(Image& img, float cx, float cy, float rx, float ry,
+                  float strength);
+
+}  // namespace edgestab

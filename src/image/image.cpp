@@ -1,0 +1,80 @@
+#include "image/image.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace edgestab {
+
+Image::Image(int width, int height, int channels, float fill)
+    : width_(width),
+      height_(height),
+      channels_(channels),
+      data_(static_cast<std::size_t>(width) * height * channels, fill) {
+  ES_CHECK(width > 0 && height > 0 && channels > 0);
+}
+
+float Image::at_clamped(int x, int y, int c) const {
+  x = std::clamp(x, 0, width_ - 1);
+  y = std::clamp(y, 0, height_ - 1);
+  return at(x, y, c);
+}
+
+float Image::sample_bilinear(float x, float y, int c) const {
+  float fx = std::floor(x);
+  float fy = std::floor(y);
+  int x0 = static_cast<int>(fx);
+  int y0 = static_cast<int>(fy);
+  float tx = x - fx;
+  float ty = y - fy;
+  float v00 = at_clamped(x0, y0, c);
+  float v10 = at_clamped(x0 + 1, y0, c);
+  float v01 = at_clamped(x0, y0 + 1, c);
+  float v11 = at_clamped(x0 + 1, y0 + 1, c);
+  float top = v00 + (v10 - v00) * tx;
+  float bot = v01 + (v11 - v01) * tx;
+  return top + (bot - top) * ty;
+}
+
+void Image::clamp(float lo, float hi) {
+  for (float& v : data_) v = std::clamp(v, lo, hi);
+}
+
+void Image::add_scaled(const Image& other, float scale) {
+  ES_CHECK(same_shape(other));
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    data_[i] += other.data_[i] * scale;
+}
+
+void Image::scale(float s) {
+  for (float& v : data_) v *= s;
+}
+
+ImageU8::ImageU8(int width, int height, int channels, std::uint8_t fill)
+    : width_(width),
+      height_(height),
+      channels_(channels),
+      data_(static_cast<std::size_t>(width) * height * channels, fill) {
+  ES_CHECK(width > 0 && height > 0 && channels > 0);
+}
+
+ImageU8 to_u8(const Image& img) {
+  ImageU8 out(img.width(), img.height(), img.channels());
+  for (int y = 0; y < img.height(); ++y)
+    for (int x = 0; x < img.width(); ++x)
+      for (int c = 0; c < img.channels(); ++c) {
+        float v = std::clamp(img.at(x, y, c), 0.0f, 1.0f);
+        out.at(x, y, c) = static_cast<std::uint8_t>(v * 255.0f + 0.5f);
+      }
+  return out;
+}
+
+Image to_float(const ImageU8& img) {
+  Image out(img.width(), img.height(), img.channels());
+  for (int y = 0; y < img.height(); ++y)
+    for (int x = 0; x < img.width(); ++x)
+      for (int c = 0; c < img.channels(); ++c)
+        out.at(x, y, c) = static_cast<float>(img.at(x, y, c)) / 255.0f;
+  return out;
+}
+
+}  // namespace edgestab

@@ -1,0 +1,135 @@
+// Core image types.
+//
+// `Image` is a planar float32 image (channel planes of H*W) with values
+// nominally in [0,1] for display-referred data; linear-light and raw data
+// also use it with documented ranges. `ImageU8` is an interleaved 8-bit
+// image, the form codecs and the "decoded file buffer" audits operate on.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/check.h"
+
+namespace edgestab {
+
+/// Planar float image: data()[c*H*W + y*W + x].
+class Image {
+ public:
+  Image() = default;
+  Image(int width, int height, int channels, float fill = 0.0f);
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  int channels() const { return channels_; }
+  std::size_t pixel_count() const {
+    return static_cast<std::size_t>(width_) * height_;
+  }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float& at(int x, int y, int c) {
+    ES_DCHECK(in_bounds(x, y, c));
+    return data_[plane_offset(c) + static_cast<std::size_t>(y) * width_ + x];
+  }
+  float at(int x, int y, int c) const {
+    ES_DCHECK(in_bounds(x, y, c));
+    return data_[plane_offset(c) + static_cast<std::size_t>(y) * width_ + x];
+  }
+
+  /// Clamp-to-edge sampling (for filters near borders).
+  float at_clamped(int x, int y, int c) const;
+
+  /// Bilinear sample at a continuous position (clamped borders).
+  float sample_bilinear(float x, float y, int c) const;
+
+  std::span<float> plane(int c) {
+    ES_DCHECK(c >= 0 && c < channels_);
+    return {data_.data() + plane_offset(c), pixel_count()};
+  }
+  std::span<const float> plane(int c) const {
+    ES_DCHECK(c >= 0 && c < channels_);
+    return {data_.data() + plane_offset(c), pixel_count()};
+  }
+
+  std::span<float> data() { return data_; }
+  std::span<const float> data() const { return data_; }
+
+  /// Clamp every value into [lo, hi].
+  void clamp(float lo = 0.0f, float hi = 1.0f);
+
+  /// Per-element arithmetic with shape checks.
+  void add_scaled(const Image& other, float scale);
+  void scale(float s);
+
+  bool same_shape(const Image& other) const {
+    return width_ == other.width_ && height_ == other.height_ &&
+           channels_ == other.channels_;
+  }
+
+ private:
+  bool in_bounds(int x, int y, int c) const {
+    return x >= 0 && x < width_ && y >= 0 && y < height_ && c >= 0 &&
+           c < channels_;
+  }
+  std::size_t plane_offset(int c) const {
+    return static_cast<std::size_t>(c) * pixel_count();
+  }
+
+  int width_ = 0;
+  int height_ = 0;
+  int channels_ = 0;
+  std::vector<float> data_;
+};
+
+/// Interleaved 8-bit image: data()[ (y*W + x)*C + c ].
+class ImageU8 {
+ public:
+  ImageU8() = default;
+  ImageU8(int width, int height, int channels, std::uint8_t fill = 0);
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  int channels() const { return channels_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  std::uint8_t& at(int x, int y, int c) {
+    ES_DCHECK(in_bounds(x, y, c));
+    return data_[(static_cast<std::size_t>(y) * width_ + x) * channels_ + c];
+  }
+  std::uint8_t at(int x, int y, int c) const {
+    ES_DCHECK(in_bounds(x, y, c));
+    return data_[(static_cast<std::size_t>(y) * width_ + x) * channels_ + c];
+  }
+
+  std::span<std::uint8_t> data() { return data_; }
+  std::span<const std::uint8_t> data() const { return data_; }
+
+  bool same_shape(const ImageU8& other) const {
+    return width_ == other.width_ && height_ == other.height_ &&
+           channels_ == other.channels_;
+  }
+  bool operator==(const ImageU8& other) const {
+    return same_shape(other) && data_ == other.data_;
+  }
+
+ private:
+  bool in_bounds(int x, int y, int c) const {
+    return x >= 0 && x < width_ && y >= 0 && y < height_ && c >= 0 &&
+           c < channels_;
+  }
+
+  int width_ = 0;
+  int height_ = 0;
+  int channels_ = 0;
+  std::vector<std::uint8_t> data_;
+};
+
+/// Quantize a [0,1] float image to 8 bits (round-half-up).
+ImageU8 to_u8(const Image& img);
+/// Expand an 8-bit image to floats in [0,1].
+Image to_float(const ImageU8& img);
+
+}  // namespace edgestab

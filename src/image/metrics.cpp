@@ -1,0 +1,64 @@
+#include "image/metrics.h"
+
+#include <cmath>
+#include <limits>
+
+namespace edgestab {
+
+double mse(const Image& a, const Image& b) {
+  ES_CHECK(a.same_shape(b));
+  ES_CHECK(!a.empty());
+  double sum = 0.0;
+  auto pa = a.data();
+  auto pb = b.data();
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    double d = static_cast<double>(pa[i]) - pb[i];
+    sum += d * d;
+  }
+  return sum / static_cast<double>(pa.size());
+}
+
+double psnr(const Image& a, const Image& b) {
+  double m = mse(a, b);
+  if (m <= 0.0) return std::numeric_limits<double>::infinity();
+  return 10.0 * std::log10(1.0 / m);
+}
+
+double mean_abs_diff(const Image& a, const Image& b) {
+  ES_CHECK(a.same_shape(b));
+  ES_CHECK(!a.empty());
+  double sum = 0.0;
+  auto pa = a.data();
+  auto pb = b.data();
+  for (std::size_t i = 0; i < pa.size(); ++i)
+    sum += std::abs(static_cast<double>(pa[i]) - pb[i]);
+  return sum / static_cast<double>(pa.size());
+}
+
+double diff_fraction(const Image& a, const Image& b, float threshold) {
+  ES_CHECK(a.same_shape(b));
+  std::size_t over = 0;
+  for (int y = 0; y < a.height(); ++y)
+    for (int x = 0; x < a.width(); ++x) {
+      float mx = 0.0f;
+      for (int c = 0; c < a.channels(); ++c)
+        mx = std::max(mx, std::abs(a.at(x, y, c) - b.at(x, y, c)));
+      if (mx > threshold) ++over;
+    }
+  return static_cast<double>(over) / static_cast<double>(a.pixel_count());
+}
+
+Image diff_mask(const Image& a, const Image& b, float threshold) {
+  ES_CHECK(a.same_shape(b));
+  Image mask(a.width(), a.height(), 1);
+  for (int y = 0; y < a.height(); ++y)
+    for (int x = 0; x < a.width(); ++x) {
+      float mx = 0.0f;
+      for (int c = 0; c < a.channels(); ++c)
+        mx = std::max(mx, std::abs(a.at(x, y, c) - b.at(x, y, c)));
+      mask.at(x, y, 0) = mx > threshold ? 1.0f : 0.0f;
+    }
+  return mask;
+}
+
+}  // namespace edgestab

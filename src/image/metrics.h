@@ -1,0 +1,27 @@
+// Image comparison metrics — PSNR for codec tests, pixel-difference maps
+// for the Figure-1 style "two shots, tiny diff, different label" analysis.
+#pragma once
+
+#include "image/image.h"
+
+namespace edgestab {
+
+/// Mean squared error across all channels.
+double mse(const Image& a, const Image& b);
+
+/// Peak signal-to-noise ratio in dB (peak = 1.0). Returns +inf for
+/// identical images.
+double psnr(const Image& a, const Image& b);
+
+/// Mean absolute difference.
+double mean_abs_diff(const Image& a, const Image& b);
+
+/// Fraction of pixels whose max-channel absolute difference exceeds
+/// `threshold` (the paper's Fig. 1 uses 5% => threshold = 0.05).
+double diff_fraction(const Image& a, const Image& b, float threshold);
+
+/// Binary mask (1 channel, values 0/1) of pixels differing by more than
+/// `threshold` in any channel — the red-dot map of Fig. 1.
+Image diff_mask(const Image& a, const Image& b, float threshold);
+
+}  // namespace edgestab

@@ -1,0 +1,44 @@
+// Resampling and geometric transforms.
+#pragma once
+
+#include "image/image.h"
+
+namespace edgestab {
+
+enum class ResizeFilter {
+  kNearest,
+  kBilinear,
+  kBicubic,  ///< Catmull-Rom
+  kArea,     ///< box average — best for large downscales (screen capture)
+};
+
+/// Resize to (out_w, out_h) with the given filter.
+Image resize(const Image& src, int out_w, int out_h,
+             ResizeFilter filter = ResizeFilter::kBilinear);
+
+/// Crop a rectangle; the rectangle must lie fully inside the source.
+Image crop(const Image& src, int x0, int y0, int w, int h);
+
+/// Horizontal mirror.
+Image flip_horizontal(const Image& src);
+
+/// 2x3 affine matrix mapping output pixel coordinates to source
+/// coordinates: src = M * [x, y, 1]^T.
+struct Affine {
+  float m[6];
+
+  static Affine identity();
+  static Affine translate(float dx, float dy);
+  static Affine rotate_about(float radians, float cx, float cy);
+  static Affine scale_about(float sx, float sy, float cx, float cy);
+  /// Composition: (a.then(b)) maps through a first, then b... note this
+  /// is in *output->source* convention: apply(a, apply(b, p)).
+  Affine compose(const Affine& inner) const;
+  void apply(float x, float y, float& ox, float& oy) const;
+};
+
+/// Warp with bilinear sampling and clamped borders.
+Image warp_affine(const Image& src, const Affine& out_to_src, int out_w,
+                  int out_h);
+
+}  // namespace edgestab

@@ -1,0 +1,26 @@
+#include "isp/pipeline.h"
+
+namespace edgestab {
+
+Image run_isp(const RawImage& raw, const IspConfig& config) {
+  RawImage work = raw;
+  black_level_subtract(work);
+  Image rgb = demosaic(work, config.demosaic_kind);
+  switch (config.wb_mode) {
+    case WhiteBalanceMode::kPreset:
+      white_balance_preset(rgb, config.wb_gains);
+      break;
+    case WhiteBalanceMode::kGrayWorld:
+      white_balance_gray_world(rgb);
+      break;
+  }
+  color_correct(rgb, config.ccm);
+  denoise_box(rgb, config.denoise_radius, config.denoise_strength);
+  tone_map(rgb, config.gamma, config.s_curve);
+  sharpen_unsharp(rgb, config.sharpen_radius, config.sharpen_amount);
+  saturate(rgb, config.saturation);
+  rgb.clamp();
+  return rgb;
+}
+
+}  // namespace edgestab

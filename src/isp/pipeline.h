@@ -1,0 +1,48 @@
+// Composable ISP pipeline: raw mosaic in, display-referred sRGB-like
+// image out. Each phone profile carries its own IspConfig; the §6
+// experiment swaps whole configs while holding the raw input fixed.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "image/image.h"
+#include "isp/raw.h"
+#include "isp/stages.h"
+
+namespace edgestab {
+
+enum class WhiteBalanceMode {
+  kPreset,     ///< fixed per-device gains
+  kGrayWorld,  ///< scene-adaptive
+};
+
+struct IspConfig {
+  std::string name = "generic";
+
+  DemosaicKind demosaic_kind = DemosaicKind::kMalvar;
+
+  WhiteBalanceMode wb_mode = WhiteBalanceMode::kPreset;
+  std::array<float, 3> wb_gains = {1.0f, 1.0f, 1.0f};
+
+  /// Linear-light color correction matrix (row-major).
+  std::array<float, 9> ccm = {1, 0, 0, 0, 1, 0, 0, 0, 1};
+
+  int denoise_radius = 1;
+  float denoise_strength = 0.3f;
+
+  float gamma = 2.2f;
+  float s_curve = 0.2f;
+
+  int sharpen_radius = 1;
+  float sharpen_amount = 0.4f;
+
+  float saturation = 1.0f;
+};
+
+/// Run the full pipeline:
+/// black level -> demosaic -> WB -> CCM -> denoise -> tone map ->
+/// sharpen -> saturation.
+Image run_isp(const RawImage& raw, const IspConfig& config);
+
+}  // namespace edgestab

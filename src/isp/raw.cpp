@@ -1,0 +1,74 @@
+#include "isp/raw.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace edgestab {
+
+int cfa_color(BayerPattern pattern, int x, int y) {
+  int xi = x & 1;
+  int yi = y & 1;
+  switch (pattern) {
+    case BayerPattern::kRggb:
+      if (yi == 0) return xi == 0 ? 0 : 1;
+      return xi == 0 ? 1 : 2;
+    case BayerPattern::kBggr:
+      if (yi == 0) return xi == 0 ? 2 : 1;
+      return xi == 0 ? 1 : 0;
+  }
+  ES_CHECK_MSG(false, "unknown bayer pattern");
+  return 1;
+}
+
+RawImage::RawImage(int width, int height, BayerPattern pattern,
+                   float black_level, int bit_depth)
+    : width_(width),
+      height_(height),
+      pattern_(pattern),
+      black_level_(black_level),
+      bit_depth_(bit_depth),
+      data_(static_cast<std::size_t>(width) * height, 0.0f) {
+  ES_CHECK(width > 0 && height > 0);
+  ES_CHECK(bit_depth >= 8 && bit_depth <= 16);
+  ES_CHECK(black_level >= 0.0f && black_level < 0.5f);
+}
+
+float RawImage::at_clamped(int x, int y) const {
+  x = std::clamp(x, 0, width_ - 1);
+  y = std::clamp(y, 0, height_ - 1);
+  return at(x, y);
+}
+
+Bytes RawImage::serialize() const {
+  ByteWriter w;
+  w.str("edgestab-raw-v1");
+  w.u16(static_cast<std::uint16_t>(width_));
+  w.u16(static_cast<std::uint16_t>(height_));
+  w.u8(pattern_ == BayerPattern::kRggb ? 0 : 1);
+  w.f32(black_level_);
+  w.u8(static_cast<std::uint8_t>(bit_depth_));
+  const float max_code = static_cast<float>((1 << bit_depth_) - 1);
+  for (float v : data_)
+    w.u16(static_cast<std::uint16_t>(
+        std::clamp(std::lround(v * max_code), 0L,
+                   static_cast<long>(max_code))));
+  return w.take();
+}
+
+RawImage RawImage::deserialize(std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  ES_CHECK_MSG(r.str() == "edgestab-raw-v1", "bad raw magic");
+  int w = r.u16();
+  int h = r.u16();
+  BayerPattern pattern =
+      r.u8() == 0 ? BayerPattern::kRggb : BayerPattern::kBggr;
+  float black = r.f32();
+  int depth = r.u8();
+  RawImage out(w, h, pattern, black, depth);
+  const float max_code = static_cast<float>((1 << depth) - 1);
+  for (float& v : out.data_) v = static_cast<float>(r.u16()) / max_code;
+  ES_CHECK_MSG(r.done(), "trailing bytes in raw container");
+  return out;
+}
+
+}  // namespace edgestab

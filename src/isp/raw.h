@@ -1,0 +1,67 @@
+// Raw sensor image container ("DNG-like").
+//
+// Holds the linear Bayer mosaic a sensor produced, before any ISP stage.
+// The paper's §9.2 mitigation captures these and runs them through one
+// *consistent* software ISP instead of each phone's hardware pipeline.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/check.h"
+
+namespace edgestab {
+
+enum class BayerPattern {
+  kRggb,  ///< R G / G B
+  kBggr,  ///< B G / G R
+};
+
+/// Which color a CFA site sees: 0 = R, 1 = G, 2 = B.
+int cfa_color(BayerPattern pattern, int x, int y);
+
+/// Linear mosaic samples in [0,1] after black-level headroom; one float
+/// per photosite.
+class RawImage {
+ public:
+  RawImage() = default;
+  RawImage(int width, int height, BayerPattern pattern, float black_level,
+           int bit_depth);
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  BayerPattern pattern() const { return pattern_; }
+  float black_level() const { return black_level_; }
+  int bit_depth() const { return bit_depth_; }
+
+  float& at(int x, int y) {
+    ES_DCHECK(x >= 0 && x < width_ && y >= 0 && y < height_);
+    return data_[static_cast<std::size_t>(y) * width_ + x];
+  }
+  float at(int x, int y) const {
+    ES_DCHECK(x >= 0 && x < width_ && y >= 0 && y < height_);
+    return data_[static_cast<std::size_t>(y) * width_ + x];
+  }
+  float at_clamped(int x, int y) const;
+
+  int color_at(int x, int y) const { return cfa_color(pattern_, x, y); }
+
+  std::vector<float>& data() { return data_; }
+  const std::vector<float>& data() const { return data_; }
+
+  /// Serialize / parse the container (header + quantized samples at the
+  /// sensor bit depth — like a minimal DNG).
+  Bytes serialize() const;
+  static RawImage deserialize(std::span<const std::uint8_t> bytes);
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  BayerPattern pattern_ = BayerPattern::kRggb;
+  float black_level_ = 0.0f;
+  int bit_depth_ = 10;
+  std::vector<float> data_;
+};
+
+}  // namespace edgestab

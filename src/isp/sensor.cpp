@@ -1,0 +1,123 @@
+#include "isp/sensor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "image/resize.h"
+
+namespace edgestab {
+
+namespace {
+
+/// Box blur with a fractional radius: full blur at radius >= 1, blended
+/// toward the original below that.
+Image defocus_blur(const Image& img, float radius) {
+  int r = std::max(1, static_cast<int>(std::ceil(radius)));
+  Image blurred(img.width(), img.height(), img.channels());
+  const float inv = 1.0f / static_cast<float>((2 * r + 1) * (2 * r + 1));
+  for (int c = 0; c < img.channels(); ++c)
+    for (int y = 0; y < img.height(); ++y)
+      for (int x = 0; x < img.width(); ++x) {
+        float sum = 0.0f;
+        for (int dy = -r; dy <= r; ++dy)
+          for (int dx = -r; dx <= r; ++dx)
+            sum += img.at_clamped(x + dx, y + dy, c);
+        blurred.at(x, y, c) = sum * inv;
+      }
+  float blend = std::min(radius, 1.0f);
+  Image out = img;
+  out.scale(1.0f - blend);
+  out.add_scaled(blurred, blend);
+  return out;
+}
+
+/// Lateral chromatic aberration: the red and blue channels are sampled
+/// at slightly different radial magnifications.
+Image apply_chromatic_aberration(const Image& img, float strength) {
+  Image out(img.width(), img.height(), 3);
+  float cx = static_cast<float>(img.width()) / 2.0f;
+  float cy = static_cast<float>(img.height()) / 2.0f;
+  for (int y = 0; y < img.height(); ++y)
+    for (int x = 0; x < img.width(); ++x) {
+      float dx = static_cast<float>(x) + 0.5f - cx;
+      float dy = static_cast<float>(y) + 0.5f - cy;
+      out.at(x, y, 1) = img.at(x, y, 1);
+      float sr = 1.0f - strength;
+      out.at(x, y, 0) =
+          img.sample_bilinear(cx + dx * sr - 0.5f, cy + dy * sr - 0.5f, 0);
+      float sb = 1.0f + strength;
+      out.at(x, y, 2) =
+          img.sample_bilinear(cx + dx * sb - 0.5f, cy + dy * sb - 0.5f, 2);
+    }
+  return out;
+}
+
+}  // namespace
+
+RawImage expose_sensor(const Image& scene_linear, const SensorConfig& config,
+                       Pcg32& rng) {
+  ES_CHECK(scene_linear.channels() == 3);
+  // Resample the scene onto the sensor grid.
+  Image scene = resize(scene_linear, config.width, config.height,
+                       ResizeFilter::kArea);
+  // Optics before the photosites.
+  if (config.defocus > 0.0f) scene = defocus_blur(scene, config.defocus);
+  if (config.chroma_aberration > 0.0f)
+    scene = apply_chromatic_aberration(scene, config.chroma_aberration);
+
+  RawImage raw(config.width, config.height, config.pattern,
+               config.black_level, config.bit_depth);
+
+  // Fixed-pattern PRNU for this sensor unit.
+  Pcg32 unit_rng(config.unit_seed, 11);
+
+  const float cx = static_cast<float>(config.width) / 2.0f;
+  const float cy = static_cast<float>(config.height) / 2.0f;
+  const float max_r2 = cx * cx + cy * cy;
+  const float max_code = static_cast<float>((1 << config.bit_depth) - 1);
+  const float usable = 1.0f - config.black_level;
+
+  for (int y = 0; y < config.height; ++y) {
+    for (int x = 0; x < config.width; ++x) {
+      int c = raw.color_at(x, y);
+      float signal = scene.at(x, y, c) *
+                     config.channel_response[static_cast<std::size_t>(c)] *
+                     config.exposure;
+
+      // Vignetting: cos^4-like falloff toward corners.
+      float dx = (static_cast<float>(x) + 0.5f - cx);
+      float dy = (static_cast<float>(y) + 0.5f - cy);
+      float falloff = 1.0f - config.vignetting * (dx * dx + dy * dy) / max_r2;
+      signal *= falloff;
+
+      // PRNU (fixed per unit — consumed in raster order, deterministic).
+      float prnu = 1.0f + static_cast<float>(
+                              unit_rng.normal(0.0, config.prnu_sigma));
+      signal *= prnu;
+      signal = std::max(signal, 0.0f);
+
+      // Shot noise: Poisson in electron counts.
+      float electrons = signal * config.full_well;
+      float noisy_electrons;
+      if (electrons < 1e-3f) {
+        noisy_electrons = 0.0f;
+      } else {
+        noisy_electrons =
+            static_cast<float>(rng.poisson(static_cast<double>(electrons)));
+      }
+      // Read noise in electrons.
+      noisy_electrons +=
+          static_cast<float>(rng.normal(0.0, config.read_noise));
+
+      float value = config.black_level +
+                    usable * (noisy_electrons / config.full_well);
+      // ADC quantization + clipping.
+      value = std::clamp(value, 0.0f, 1.0f);
+      value = std::round(value * max_code) / max_code;
+      raw.at(x, y) = value;
+    }
+  }
+  return raw;
+}
+
+}  // namespace edgestab

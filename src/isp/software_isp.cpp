@@ -1,0 +1,43 @@
+#include "isp/software_isp.h"
+
+namespace edgestab {
+
+IspConfig magick_isp() {
+  IspConfig c;
+  c.name = "magick_isp";
+  c.demosaic_kind = DemosaicKind::kBilinear;
+  c.wb_mode = WhiteBalanceMode::kGrayWorld;
+  c.ccm = {1.05f, -0.03f, -0.02f,  //
+           -0.04f, 1.06f, -0.02f,  //
+           -0.02f, -0.05f, 1.07f};
+  c.denoise_radius = 0;
+  c.denoise_strength = 0.0f;
+  c.gamma = 2.2f;
+  c.s_curve = 0.0f;
+  c.sharpen_radius = 0;
+  c.sharpen_amount = 0.0f;
+  c.saturation = 1.0f;
+  return c;
+}
+
+IspConfig photo_isp() {
+  IspConfig c;
+  c.name = "photo_isp";
+  c.demosaic_kind = DemosaicKind::kMalvar;
+  c.wb_mode = WhiteBalanceMode::kPreset;
+  c.wb_gains = {1.32f, 1.0f, 1.18f};
+  // Warmer rendition with more cross-channel correction.
+  c.ccm = {1.42f, -0.30f, -0.12f,  //
+           -0.22f, 1.38f, -0.16f,  //
+           -0.10f, -0.38f, 1.48f};
+  c.denoise_radius = 1;
+  c.denoise_strength = 0.25f;
+  c.gamma = 2.3f;
+  c.s_curve = 0.55f;
+  c.sharpen_radius = 1;
+  c.sharpen_amount = 0.8f;
+  c.saturation = 1.25f;
+  return c;
+}
+
+}  // namespace edgestab

@@ -1,0 +1,22 @@
+// Software ISP presets — the §6 technique of converting the same raw file
+// with two different desktop converters (the paper used ImageMagick and
+// Adobe Photoshop, following Buckler et al. 2017).
+//
+// `magick_isp` is a plain, neutral conversion; `photo_isp` is an opinion-
+// ated one (stronger contrast curve, warmer color matrix, more sharpening
+// and saturation). Both are consistent — run twice on the same raw they
+// produce identical pixels — but differ from each other, which is exactly
+// what Table 4 measures.
+#pragma once
+
+#include "isp/pipeline.h"
+
+namespace edgestab {
+
+/// Neutral converter (ImageMagick stand-in).
+IspConfig magick_isp();
+
+/// Opinionated converter (Adobe Photoshop stand-in).
+IspConfig photo_isp();
+
+}  // namespace edgestab

@@ -1,0 +1,208 @@
+#include "isp/stages.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "image/color.h"
+
+namespace edgestab {
+
+void black_level_subtract(RawImage& raw) {
+  const float black = raw.black_level();
+  const float scale = 1.0f / (1.0f - black);
+  for (float& v : raw.data())
+    v = std::max(0.0f, (v - black) * scale);
+}
+
+namespace {
+
+Image demosaic_bilinear(const RawImage& raw) {
+  const int w = raw.width();
+  const int h = raw.height();
+  Image out(w, h, 3);
+  for (int y = 0; y < h; ++y)
+    for (int x = 0; x < w; ++x) {
+      int c = raw.color_at(x, y);
+      out.at(x, y, c) = raw.at(x, y);
+      // Interpolate each missing color from adjacent same-color sites
+      // (out-of-bounds neighbors are skipped, not clamped — clamping
+      // would mix in a different CFA color at the borders).
+      for (int miss = 0; miss < 3; ++miss) {
+        if (miss == c) continue;
+        float sum = 0.0f;
+        int count = 0;
+        for (int dy = -1; dy <= 1; ++dy)
+          for (int dx = -1; dx <= 1; ++dx) {
+            if (dx == 0 && dy == 0) continue;
+            int sx = x + dx, sy = y + dy;
+            if (sx < 0 || sx >= w || sy < 0 || sy >= h) continue;
+            if (raw.color_at(sx, sy) != miss) continue;
+            sum += raw.at(sx, sy);
+            ++count;
+          }
+        out.at(x, y, miss) = count > 0 ? sum / static_cast<float>(count)
+                                       : raw.at(x, y);
+      }
+    }
+  return out;
+}
+
+/// Malvar-He-Cutler gradient-corrected demosaicing (the 5x5 kernels from
+/// the 2004 paper, coefficients /8).
+Image demosaic_malvar(const RawImage& raw) {
+  const int w = raw.width();
+  const int h = raw.height();
+  Image out(w, h, 3);
+  auto m = [&](int x, int y) { return raw.at_clamped(x, y); };
+  for (int y = 0; y < h; ++y)
+    for (int x = 0; x < w; ++x) {
+      int c = raw.color_at(x, y);
+      float v0 = m(x, y);
+      out.at(x, y, c) = v0;
+      float cross = m(x - 1, y) + m(x + 1, y) + m(x, y - 1) + m(x, y + 1);
+      float axial2 =
+          m(x - 2, y) + m(x + 2, y) + m(x, y - 2) + m(x, y + 2);
+      float diag =
+          m(x - 1, y - 1) + m(x + 1, y - 1) + m(x - 1, y + 1) +
+          m(x + 1, y + 1);
+      if (c != 1) {
+        // Green at an R or B site.
+        float g = (2.0f * cross + 4.0f * v0 - axial2) / 8.0f;
+        out.at(x, y, 1) = std::max(g, 0.0f);
+        // Opposite color (R at B / B at R): diagonal kernel.
+        float opp = (6.0f * v0 + 2.0f * diag - 1.5f * axial2) / 8.0f;
+        out.at(x, y, c == 0 ? 2 : 0) = std::max(opp, 0.0f);
+      } else {
+        // At a green site: one of R/B has horizontal neighbors, the
+        // other vertical.
+        // Neighbor colors from CFA parity (pure function — safe at
+        // borders where x+1 == w).
+        int ch = cfa_color(raw.pattern(), x + 1, y);
+        int cv = cfa_color(raw.pattern(), x, y + 1);
+        float hor =
+            (5.0f * v0 + 4.0f * (m(x - 1, y) + m(x + 1, y)) -
+             (m(x - 2, y) + m(x + 2, y)) +
+             0.5f * (m(x, y - 2) + m(x, y + 2)) - diag) /
+            8.0f;
+        float ver =
+            (5.0f * v0 + 4.0f * (m(x, y - 1) + m(x, y + 1)) -
+             (m(x, y - 2) + m(x, y + 2)) +
+             0.5f * (m(x - 2, y) + m(x + 2, y)) - diag) /
+            8.0f;
+        out.at(x, y, ch) = std::max(hor, 0.0f);
+        out.at(x, y, cv) = std::max(ver, 0.0f);
+      }
+    }
+  return out;
+}
+
+}  // namespace
+
+Image demosaic(const RawImage& raw, DemosaicKind kind) {
+  switch (kind) {
+    case DemosaicKind::kBilinear: return demosaic_bilinear(raw);
+    case DemosaicKind::kMalvar: return demosaic_malvar(raw);
+  }
+  ES_CHECK_MSG(false, "unknown demosaic kind");
+  return {};
+}
+
+void white_balance_preset(Image& rgb, const std::array<float, 3>& gains) {
+  ES_CHECK(rgb.channels() == 3);
+  for (int c = 0; c < 3; ++c) {
+    float g = gains[static_cast<std::size_t>(c)];
+    for (float& v : rgb.plane(c)) v *= g;
+  }
+}
+
+void white_balance_gray_world(Image& rgb) {
+  ES_CHECK(rgb.channels() == 3);
+  std::array<double, 3> means{};
+  for (int c = 0; c < 3; ++c) {
+    double sum = 0.0;
+    for (float v : rgb.plane(c)) sum += v;
+    means[static_cast<std::size_t>(c)] =
+        sum / static_cast<double>(rgb.pixel_count());
+  }
+  double gray = (means[0] + means[1] + means[2]) / 3.0;
+  std::array<float, 3> gains{};
+  for (int c = 0; c < 3; ++c) {
+    double m = std::max(means[static_cast<std::size_t>(c)], 1e-6);
+    gains[static_cast<std::size_t>(c)] = static_cast<float>(gray / m);
+  }
+  white_balance_preset(rgb, gains);
+}
+
+void color_correct(Image& rgb, const std::array<float, 9>& matrix) {
+  apply_color_matrix(rgb, matrix);
+  rgb.clamp(0.0f, 4.0f);  // allow modest overshoot; tone map clamps later
+}
+
+void denoise_box(Image& rgb, int radius, float strength) {
+  if (radius <= 0 || strength <= 0.0f) return;
+  ES_CHECK(strength <= 1.0f);
+  Image blurred(rgb.width(), rgb.height(), rgb.channels());
+  const float inv =
+      1.0f / static_cast<float>((2 * radius + 1) * (2 * radius + 1));
+  for (int c = 0; c < rgb.channels(); ++c)
+    for (int y = 0; y < rgb.height(); ++y)
+      for (int x = 0; x < rgb.width(); ++x) {
+        float sum = 0.0f;
+        for (int dy = -radius; dy <= radius; ++dy)
+          for (int dx = -radius; dx <= radius; ++dx)
+            sum += rgb.at_clamped(x + dx, y + dy, c);
+        blurred.at(x, y, c) = sum * inv;
+      }
+  for (std::size_t i = 0; i < rgb.data().size(); ++i)
+    rgb.data()[i] += (blurred.data()[i] - rgb.data()[i]) * strength;
+}
+
+void tone_map(Image& rgb, float gamma, float s_curve_strength) {
+  ES_CHECK(gamma > 0.0f);
+  for (float& v : rgb.data()) {
+    float g = std::pow(std::clamp(v, 0.0f, 1.0f), 1.0f / gamma);
+    if (s_curve_strength != 0.0f) {
+      // Smoothstep-based contrast curve blended with identity.
+      float s = g * g * (3.0f - 2.0f * g);
+      g = g + (s - g) * s_curve_strength;
+    }
+    v = std::clamp(g, 0.0f, 1.0f);
+  }
+}
+
+void sharpen_unsharp(Image& rgb, int radius, float amount) {
+  if (radius <= 0 || amount <= 0.0f) return;
+  Image blurred(rgb.width(), rgb.height(), rgb.channels());
+  const float inv =
+      1.0f / static_cast<float>((2 * radius + 1) * (2 * radius + 1));
+  for (int c = 0; c < rgb.channels(); ++c)
+    for (int y = 0; y < rgb.height(); ++y)
+      for (int x = 0; x < rgb.width(); ++x) {
+        float sum = 0.0f;
+        for (int dy = -radius; dy <= radius; ++dy)
+          for (int dx = -radius; dx <= radius; ++dx)
+            sum += rgb.at_clamped(x + dx, y + dy, c);
+        blurred.at(x, y, c) = sum * inv;
+      }
+  for (std::size_t i = 0; i < rgb.data().size(); ++i) {
+    float detail = rgb.data()[i] - blurred.data()[i];
+    rgb.data()[i] = std::clamp(rgb.data()[i] + amount * detail, 0.0f, 1.0f);
+  }
+}
+
+void saturate(Image& rgb, float factor) {
+  ES_CHECK(rgb.channels() == 3);
+  if (factor == 1.0f) return;
+  for (int y = 0; y < rgb.height(); ++y)
+    for (int x = 0; x < rgb.width(); ++x) {
+      float r = rgb.at(x, y, 0);
+      float g = rgb.at(x, y, 1);
+      float b = rgb.at(x, y, 2);
+      float luma = 0.299f * r + 0.587f * g + 0.114f * b;
+      rgb.at(x, y, 0) = std::clamp(luma + (r - luma) * factor, 0.0f, 1.0f);
+      rgb.at(x, y, 1) = std::clamp(luma + (g - luma) * factor, 0.0f, 1.0f);
+      rgb.at(x, y, 2) = std::clamp(luma + (b - luma) * factor, 0.0f, 1.0f);
+    }
+}
+
+}  // namespace edgestab

@@ -1,0 +1,35 @@
+// MobileNetV2 inverted-residual block (Sandler et al. 2018): 1x1 expand →
+// 3x3 depthwise → 1x1 linear projection, with a skip connection when the
+// geometry allows.
+#pragma once
+
+#include "nn/layers.h"
+
+namespace edgestab {
+
+class InvertedResidual : public Layer {
+ public:
+  /// expand_ratio 1 skips the expansion convolution (as in the paper's
+  /// first block).
+  InvertedResidual(std::string name, int in_c, int out_c, int expand_ratio,
+                   int stride);
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Param*> params() override;
+  std::string type() const override { return "inverted_residual"; }
+  void init(Pcg32& rng) override;
+  void set_matmul_mode(MatmulMode mode) override;
+
+  /// Sub-layers in forward order (exposed for serialization of
+  /// batch-norm running statistics).
+  std::vector<Layer*> sublayers();
+
+  bool has_residual() const { return residual_; }
+
+ private:
+  bool residual_;
+  std::vector<LayerPtr> seq_;
+};
+
+}  // namespace edgestab

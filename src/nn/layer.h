@@ -1,0 +1,65 @@
+// Layer abstraction for the NN library.
+//
+// The library uses explicit layer-graph backprop rather than a general
+// autograd tape: each layer caches its forward context and implements an
+// exact backward. Composite layers (inverted residual blocks) own their
+// sublayers and handle skip connections internally.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace edgestab {
+
+/// A trainable parameter: value + gradient accumulator.
+struct Param {
+  std::string name;
+  Tensor value;
+  Tensor grad;
+
+  explicit Param(std::string n, std::vector<int> shape)
+      : name(std::move(n)), value(shape), grad(std::move(shape)) {}
+
+  void zero_grad() { grad.zero(); }
+};
+
+/// Base layer. Layers are stateful across forward/backward: forward(x)
+/// caches whatever backward needs; backward(dy) must follow the matching
+/// forward.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Compute output for a batch. `train` selects training behaviour
+  /// (batch-norm statistics).
+  virtual Tensor forward(const Tensor& input, bool train) = 0;
+
+  /// Propagate gradient; accumulates into parameter grads and returns
+  /// gradient w.r.t. the layer input.
+  virtual Tensor backward(const Tensor& grad_output) = 0;
+
+  /// All trainable parameters (empty for stateless layers).
+  virtual std::vector<Param*> params() { return {}; }
+
+  /// Layer type tag for debugging / serialization sanity checks.
+  virtual std::string type() const = 0;
+
+  /// Initialize weights (He/Glorot as appropriate). Stateless layers
+  /// ignore this.
+  virtual void init(Pcg32&) {}
+
+  /// Propagate the matmul accumulation mode (compute-backend modeling).
+  virtual void set_matmul_mode(MatmulMode mode) { mode_ = mode; }
+
+ protected:
+  MatmulMode mode_ = MatmulMode::kStandard;
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+}  // namespace edgestab

@@ -1,0 +1,135 @@
+#include "nn/loss.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace edgestab {
+
+double cross_entropy_loss(const Tensor& logits, const std::vector<int>& labels,
+                          Tensor& probs, Tensor& grad_logits) {
+  ES_CHECK(logits.rank() == 2);
+  const int n = logits.dim(0);
+  const int d = logits.dim(1);
+  ES_CHECK(static_cast<int>(labels.size()) == n);
+  if (!probs.same_shape(logits)) probs = Tensor(logits.shape());
+  if (!grad_logits.same_shape(logits)) grad_logits = Tensor(logits.shape());
+  double loss = softmax_cross_entropy(logits, labels, probs);
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (int i = 0; i < n; ++i) {
+    int y = labels[static_cast<std::size_t>(i)];
+    for (int j = 0; j < d; ++j) {
+      float p = probs.at2(i, j);
+      grad_logits.at2(i, j) = (p - (j == y ? 1.0f : 0.0f)) * inv_n;
+    }
+  }
+  return loss;
+}
+
+double kl_stability_loss(const Tensor& logits_clean,
+                         const Tensor& logits_noisy, Tensor* grad_clean,
+                         Tensor* grad_noisy) {
+  ES_CHECK(logits_clean.same_shape(logits_noisy));
+  ES_CHECK(logits_clean.rank() == 2);
+  const int n = logits_clean.dim(0);
+  const int d = logits_clean.dim(1);
+  Tensor p(logits_clean.shape());
+  Tensor q(logits_clean.shape());
+  softmax_rows(logits_clean, p);
+  softmax_rows(logits_noisy, q);
+  if (grad_clean && !grad_clean->same_shape(logits_clean))
+    *grad_clean = Tensor(logits_clean.shape());
+  if (grad_noisy && !grad_noisy->same_shape(logits_clean))
+    *grad_noisy = Tensor(logits_clean.shape());
+
+  const float inv_n = 1.0f / static_cast<float>(n);
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) {
+    // Row KL.
+    double kl = 0.0;
+    for (int j = 0; j < d; ++j) {
+      double pj = std::max<double>(p.at2(i, j), 1e-12);
+      double qj = std::max<double>(q.at2(i, j), 1e-12);
+      kl += pj * (std::log(pj) - std::log(qj));
+    }
+    total += kl;
+    // d KL / d logit_q = (q - p);  d KL / d logit_p_k =
+    // p_k * ((log p_k - log q_k) - KL).
+    for (int j = 0; j < d; ++j) {
+      double pj = std::max<double>(p.at2(i, j), 1e-12);
+      double qj = std::max<double>(q.at2(i, j), 1e-12);
+      if (grad_noisy)
+        grad_noisy->at2(i, j) =
+            static_cast<float>((qj - pj) * inv_n);
+      if (grad_clean)
+        grad_clean->at2(i, j) = static_cast<float>(
+            pj * ((std::log(pj) - std::log(qj)) - kl) * inv_n);
+    }
+  }
+  return total * inv_n;
+}
+
+double embedding_distance_loss(const Tensor& emb_clean,
+                               const Tensor& emb_noisy, Tensor* grad_clean,
+                               Tensor* grad_noisy) {
+  ES_CHECK(emb_clean.same_shape(emb_noisy));
+  ES_CHECK(emb_clean.rank() == 2);
+  const int n = emb_clean.dim(0);
+  const int d = emb_clean.dim(1);
+  if (grad_clean && !grad_clean->same_shape(emb_clean))
+    *grad_clean = Tensor(emb_clean.shape());
+  if (grad_noisy && !grad_noisy->same_shape(emb_clean))
+    *grad_noisy = Tensor(emb_clean.shape());
+  const double eps = 1e-8;
+  const float inv_n = 1.0f / static_cast<float>(n);
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double sq = 0.0;
+    for (int j = 0; j < d; ++j) {
+      double diff = static_cast<double>(emb_clean.at2(i, j)) -
+                    emb_noisy.at2(i, j);
+      sq += diff * diff;
+    }
+    double dist = std::sqrt(sq + eps);
+    total += dist;
+    double scale = inv_n / dist;
+    for (int j = 0; j < d; ++j) {
+      auto g = static_cast<float>(
+          (static_cast<double>(emb_clean.at2(i, j)) - emb_noisy.at2(i, j)) *
+          scale);
+      if (grad_clean) grad_clean->at2(i, j) = g;
+      if (grad_noisy) grad_noisy->at2(i, j) = -g;
+    }
+  }
+  return total * inv_n;
+}
+
+double accuracy(const Tensor& logits, const std::vector<int>& labels) {
+  auto preds = argmax_rows(logits);
+  ES_CHECK(preds.size() == labels.size());
+  if (preds.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < preds.size(); ++i)
+    if (preds[i] == labels[i]) ++correct;
+  return static_cast<double>(correct) / static_cast<double>(preds.size());
+}
+
+std::vector<int> argmax_rows(const Tensor& logits) {
+  ES_CHECK(logits.rank() == 2);
+  const int n = logits.dim(0);
+  const int d = logits.dim(1);
+  std::vector<int> out(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    int best = 0;
+    float best_v = logits.at2(i, 0);
+    for (int j = 1; j < d; ++j)
+      if (logits.at2(i, j) > best_v) {
+        best_v = logits.at2(i, j);
+        best = j;
+      }
+    out[static_cast<std::size_t>(i)] = best;
+  }
+  return out;
+}
+
+}  // namespace edgestab

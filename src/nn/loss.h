@@ -1,0 +1,43 @@
+// Loss functions with exact gradients.
+//
+// The stability-training objective (paper §9.1, after Zheng et al. 2016):
+//   L(x, x', θ) = L0(x, θ) + α · Ls(x, x', θ)
+// with L0 = cross entropy on the clean image and Ls either the KL
+// divergence between the two predictive distributions or the Euclidean
+// distance between the two embeddings.
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace edgestab {
+
+/// Mean cross entropy of softmax(logits) vs integer labels.
+/// Outputs mean loss, fills `probs` and `grad_logits` (d mean-loss / d
+/// logits).
+double cross_entropy_loss(const Tensor& logits, const std::vector<int>& labels,
+                          Tensor& probs, Tensor& grad_logits);
+
+/// Mean KL(P || Q) where P = softmax(logits_clean), Q =
+/// softmax(logits_noisy). Fills gradients for both logit tensors
+/// (d mean-KL / d logits); either gradient output may be null to skip.
+double kl_stability_loss(const Tensor& logits_clean,
+                         const Tensor& logits_noisy, Tensor* grad_clean,
+                         Tensor* grad_noisy);
+
+/// Mean Euclidean distance between embedding rows:
+///   mean_i ||e_clean[i] - e_noisy[i]||_2.
+/// Fills per-branch gradients (either may be null). A small epsilon
+/// guards the derivative at zero distance.
+double embedding_distance_loss(const Tensor& emb_clean,
+                               const Tensor& emb_noisy, Tensor* grad_clean,
+                               Tensor* grad_noisy);
+
+/// Accuracy of argmax(logits) vs labels.
+double accuracy(const Tensor& logits, const std::vector<int>& labels);
+
+/// Row argmax.
+std::vector<int> argmax_rows(const Tensor& logits);
+
+}  // namespace edgestab

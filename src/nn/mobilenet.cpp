@@ -1,0 +1,71 @@
+#include "nn/mobilenet.h"
+
+#include <cmath>
+
+#include "nn/block.h"
+#include "nn/layers.h"
+
+namespace edgestab {
+
+namespace {
+int scaled(int channels, float width) {
+  return std::max(4, static_cast<int>(std::lround(channels * width)));
+}
+}  // namespace
+
+Model build_mini_mobilenet_v2(const MobileNetConfig& config) {
+  ES_CHECK(config.input_size >= 8);
+  ES_CHECK(config.num_classes >= 2);
+  const float w = config.width;
+  Model model;
+
+  // Stem: 3x3 full conv.
+  const int stem_c = scaled(12, w);
+  model.add(std::make_unique<Conv2D>("stem", 3, stem_c, 3, 1, 1,
+                                     /*use_bias=*/false));
+  model.add(std::make_unique<BatchNorm>("stem_bn", stem_c));
+  model.add(std::make_unique<ReLU>(6.0f));
+
+  // Inverted residual stack: (out_c, expand, stride).
+  struct BlockSpec {
+    int out_c, expand, stride;
+  };
+  const BlockSpec specs[] = {
+      {16, 2, 2},  // 32 -> 16
+      {16, 2, 1},  // residual
+      {24, 2, 2},  // 16 -> 8
+      {24, 2, 1},  // residual
+      {40, 2, 2},  // 8 -> 4
+  };
+  int in_c = stem_c;
+  int idx = 0;
+  for (const auto& spec : specs) {
+    int out_c = scaled(spec.out_c, w);
+    model.add(std::make_unique<InvertedResidual>(
+        "block" + std::to_string(idx++), in_c, out_c, spec.expand,
+        spec.stride));
+    in_c = out_c;
+  }
+
+  // Head.
+  const int head_c = scaled(64, w);
+  model.add(std::make_unique<Conv2D>("head", in_c, head_c, 1, 1, 0,
+                                     /*use_bias=*/false));
+  model.add(std::make_unique<BatchNorm>("head_bn", head_c));
+  model.add(std::make_unique<ReLU>(6.0f));
+  model.add(std::make_unique<GlobalAvgPool>());
+
+  // Embedding layer — the input to the classifier; stability training
+  // taps this activation (paper §9.1 adds exactly such an extra dense
+  // layer for the embedding-distance loss).
+  model.add(
+      std::make_unique<Dense>("embed", head_c, config.embedding_dim));
+  int tap = model.add(std::make_unique<ReLU>());
+  model.set_embedding_tap(tap);
+
+  model.add(std::make_unique<Dense>("classifier", config.embedding_dim,
+                                    config.num_classes));
+  return model;
+}
+
+}  // namespace edgestab

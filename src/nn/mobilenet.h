@@ -1,0 +1,25 @@
+// MiniMobileNetV2 — a width-scaled MobileNetV2 (Sandler et al. 2018) for
+// 32x32 inputs. Stands in for the paper's ImageNet-pretrained MobileNetV2:
+// same structural family (inverted residuals, ReLU6, linear bottlenecks,
+// global pool + classifier), sized to train from scratch on one core.
+#pragma once
+
+#include "nn/model.h"
+
+namespace edgestab {
+
+struct MobileNetConfig {
+  int input_size = 32;     ///< square input resolution
+  int num_classes = 12;    ///< synthetic label space
+  float width = 1.0f;      ///< channel width multiplier
+  int embedding_dim = 48;  ///< dim of the embedding (stability-loss tap)
+
+  bool operator==(const MobileNetConfig&) const = default;
+};
+
+/// Build the model (uninitialized weights; call model.init(rng) or
+/// model.load_state()). The embedding tap is set to the post-activation
+/// output of the penultimate dense layer.
+Model build_mini_mobilenet_v2(const MobileNetConfig& config);
+
+}  // namespace edgestab

@@ -1,0 +1,71 @@
+// Sequential model container with an embedding tap.
+//
+// The model chains layers; the "embedding" is the output of a designated
+// layer (the input to the last fully-connected layer in the paper's
+// terminology, §9.1) and is captured on every forward so stability losses
+// can read it and inject gradients at that point on backward.
+#pragma once
+
+#include "nn/layer.h"
+#include "util/bytes.h"
+
+namespace edgestab {
+
+class Model {
+ public:
+  Model() = default;
+  // Layers hold forward caches; a model is move-only.
+  Model(const Model&) = delete;
+  Model& operator=(const Model&) = delete;
+  Model(Model&&) = default;
+  Model& operator=(Model&&) = default;
+
+  /// Append a layer; returns its index.
+  int add(LayerPtr layer);
+
+  /// Mark the output of layer `index` as the embedding.
+  void set_embedding_tap(int index);
+  int embedding_tap() const { return embedding_tap_; }
+
+  /// Forward a batch [N,3,H,W] to logits [N,classes].
+  Tensor forward(const Tensor& input, bool train = false);
+
+  /// Embedding captured by the last forward (empty if no tap set).
+  const Tensor& embedding() const { return embedding_; }
+
+  /// Backward from logit gradients; optionally inject an additional
+  /// gradient at the embedding tap (for embedding-distance stability
+  /// loss). Returns gradient w.r.t. the input batch.
+  Tensor backward(const Tensor& grad_logits,
+                  const Tensor* grad_embedding = nullptr);
+
+  std::vector<Param*> params();
+  void zero_grads();
+  std::size_t param_count();
+
+  void init(Pcg32& rng);
+  void set_matmul_mode(MatmulMode mode);
+
+  /// Enable/disable batch-norm running-statistic updates on
+  /// training-mode forwards (see BatchNorm::set_update_running_stats).
+  void set_bn_stats_update(bool update);
+
+  int layer_count() const { return static_cast<int>(layers_.size()); }
+  Layer& layer(int i) { return *layers_[static_cast<std::size_t>(i)]; }
+
+  /// Serialize weights + batch-norm running statistics. The architecture
+  /// itself is not serialized; load() must be called on a model built
+  /// with the same topology (checked via a fingerprint of param shapes).
+  Bytes save_state();
+  void load_state(std::span<const std::uint8_t> bytes);
+
+ private:
+  /// All tensors that constitute model state (params + BN stats).
+  std::vector<std::pair<std::string, Tensor*>> state_tensors();
+
+  std::vector<LayerPtr> layers_;
+  int embedding_tap_ = -1;
+  Tensor embedding_;
+};
+
+}  // namespace edgestab

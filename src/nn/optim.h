@@ -1,0 +1,53 @@
+// Optimizers: SGD with momentum, and Adam.
+#pragma once
+
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace edgestab {
+
+/// Optimizer interface over a fixed parameter set.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Param*> params)
+      : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  /// Apply one update from accumulated gradients (does not zero them).
+  virtual void step() = 0;
+
+  void set_learning_rate(float lr) { lr_ = lr; }
+  float learning_rate() const { return lr_; }
+
+ protected:
+  std::vector<Param*> params_;
+  float lr_ = 1e-3f;
+};
+
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Param*> params, float lr, float momentum = 0.9f,
+      float weight_decay = 0.0f);
+
+  void step() override;
+
+ private:
+  float momentum_, weight_decay_;
+  std::vector<Tensor> velocity_;
+};
+
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Param*> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.0f);
+
+  void step() override;
+
+ private:
+  float beta1_, beta2_, eps_, weight_decay_;
+  int t_ = 0;
+  std::vector<Tensor> m_, v_;
+};
+
+}  // namespace edgestab

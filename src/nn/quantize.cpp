@@ -1,0 +1,82 @@
+#include "nn/quantize.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace edgestab {
+
+namespace {
+
+/// Fake-quantize a contiguous slice symmetrically at the given width.
+/// Returns the mean absolute reconstruction error.
+double quantize_slice(std::span<float> values, int bits, float max_abs) {
+  if (max_abs <= 0.0f) return 0.0;
+  const float levels = static_cast<float>((1 << (bits - 1)) - 1);
+  const float scale = max_abs / levels;
+  double err = 0.0;
+  for (float& v : values) {
+    float q = std::round(v / scale);
+    q = std::clamp(q, -levels, levels);
+    float back = q * scale;
+    err += std::abs(static_cast<double>(v) - back);
+    v = back;
+  }
+  return err / static_cast<double>(values.size());
+}
+
+float slice_max_abs(std::span<const float> values) {
+  float m = 0.0f;
+  for (float v : values) m = std::max(m, std::abs(v));
+  return m;
+}
+
+}  // namespace
+
+QuantizationReport quantize_weights(Model& model,
+                                    const QuantizationSpec& spec) {
+  ES_CHECK_MSG(spec.bits >= 2 && spec.bits <= 16,
+               "unsupported quantization width " << spec.bits);
+  QuantizationReport report;
+  double total_err = 0.0;
+  std::size_t total_params = 0;
+
+  for (Param* p : model.params()) {
+    TensorQuantStats stats;
+    stats.name = p->name;
+    stats.bits = spec.bits;
+    auto data = p->value.data();
+    stats.max_abs = slice_max_abs(data);
+
+    double err_sum = 0.0;
+    // Per-channel: treat the leading dimension as channels when the
+    // tensor is at least 2-D (conv [out_c, ...], dense [in, out] — for
+    // dense, per-tensor is standard, so only rank>=2 with dim0 plausible
+    // output channels use per-channel).
+    bool channelwise = spec.per_channel && p->value.rank() >= 2 &&
+                       p->value.dim(0) > 1 &&
+                       p->value.numel() % static_cast<std::size_t>(
+                           p->value.dim(0)) == 0;
+    if (channelwise) {
+      const auto channels = static_cast<std::size_t>(p->value.dim(0));
+      const std::size_t stride = p->value.numel() / channels;
+      for (std::size_t c = 0; c < channels; ++c) {
+        std::span<float> slice = data.subspan(c * stride, stride);
+        float m = slice_max_abs(slice);
+        err_sum += quantize_slice(slice, spec.bits, m) *
+                   static_cast<double>(stride);
+      }
+      stats.mean_abs_error = err_sum / static_cast<double>(p->value.numel());
+    } else {
+      stats.mean_abs_error = quantize_slice(data, spec.bits, stats.max_abs);
+      err_sum = stats.mean_abs_error * static_cast<double>(p->value.numel());
+    }
+    total_err += err_sum;
+    total_params += p->value.numel();
+    report.tensors.push_back(std::move(stats));
+  }
+  report.total_mean_abs_error =
+      total_params > 0 ? total_err / static_cast<double>(total_params) : 0.0;
+  return report;
+}
+
+}  // namespace edgestab

@@ -1,0 +1,42 @@
+// Post-training weight quantization (simulated int8/intN inference).
+//
+// Edge deployments rarely run fp32: weights are quantized per tensor and
+// arithmetic happens in int8 (Jacob et al. 2018, cited by the paper's
+// related work). Quantization is *another device-dependent transformation
+// of the same model* — two handsets running fp32 and int8 builds of one
+// network are yet another instability pair. `quantize_weights` performs
+// fake quantization (round-trip through the integer grid) so the effect
+// on predictions can be measured with the same instability harness.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/model.h"
+
+namespace edgestab {
+
+struct QuantizationSpec {
+  int bits = 8;             ///< integer width (2..16)
+  bool per_channel = true;  ///< scale per output channel for conv/dense
+};
+
+struct TensorQuantStats {
+  std::string name;
+  float max_abs = 0.0f;       ///< pre-quantization range
+  double mean_abs_error = 0;  ///< reconstruction error
+  int bits = 8;
+};
+
+struct QuantizationReport {
+  std::vector<TensorQuantStats> tensors;
+  double total_mean_abs_error = 0.0;
+};
+
+/// Quantize every trainable parameter in place (symmetric, round-to-
+/// nearest). Returns per-tensor statistics. Batch-norm running stats are
+/// left untouched (they fold into scales in real deployments).
+QuantizationReport quantize_weights(Model& model,
+                                    const QuantizationSpec& spec = {});
+
+}  // namespace edgestab

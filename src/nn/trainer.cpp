@@ -1,0 +1,245 @@
+#include "nn/trainer.h"
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "nn/loss.h"
+#include "nn/optim.h"
+#include "util/timer.h"
+
+namespace edgestab {
+
+namespace {
+
+/// Gather rows `idx` of a dataset into a batch tensor + label vector.
+void gather_batch(const TensorDataset& data, std::span<const int> idx,
+                  Tensor& images, std::vector<int>& labels) {
+  const int c = data.images.dim(1);
+  const int h = data.images.dim(2);
+  const int w = data.images.dim(3);
+  const std::size_t sample = static_cast<std::size_t>(c) * h * w;
+  images = Tensor({static_cast<int>(idx.size()), c, h, w});
+  labels.resize(idx.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    std::copy_n(data.images.raw() + idx[i] * sample, sample,
+                images.raw() + i * sample);
+    labels[i] = data.labels[static_cast<std::size_t>(idx[i])];
+  }
+}
+
+std::unique_ptr<Optimizer> make_optimizer(Model& model,
+                                          const TrainConfig& config) {
+  if (config.use_adam)
+    return std::make_unique<Adam>(model.params(), config.lr, 0.9f, 0.999f,
+                                  1e-8f, config.weight_decay);
+  return std::make_unique<Sgd>(model.params(), config.lr, config.momentum,
+                               config.weight_decay);
+}
+
+double eval_accuracy(Model& model, const TensorDataset& data) {
+  if (data.size() == 0) return 0.0;
+  Tensor probs = predict_probs(model, data.images);
+  return accuracy(probs, data.labels);
+}
+
+}  // namespace
+
+Tensor TensorDataset::sample(int i) const {
+  ES_CHECK(i >= 0 && i < size());
+  const int c = images.dim(1);
+  const int h = images.dim(2);
+  const int w = images.dim(3);
+  const std::size_t n = static_cast<std::size_t>(c) * h * w;
+  Tensor out({1, c, h, w});
+  std::copy_n(images.raw() + i * n, n, out.raw());
+  return out;
+}
+
+TrainStats train_classifier(Model& model, const TensorDataset& train,
+                            const TensorDataset* val,
+                            const TrainConfig& config) {
+  return train_stability(model, train, val, StabilityLoss::kNone, 0.0f,
+                         CompanionFn{}, config);
+}
+
+TrainStats train_stability(Model& model, const TensorDataset& train,
+                           const TensorDataset* val, StabilityLoss loss,
+                           float alpha, const CompanionFn& companion,
+                           const TrainConfig& config) {
+  ES_CHECK(train.size() > 0);
+  if (loss != StabilityLoss::kNone)
+    ES_CHECK_MSG(companion, "stability loss requires a companion function");
+
+  Pcg32 rng(config.seed, 77);
+  auto optimizer = make_optimizer(model, config);
+  TrainStats stats;
+
+  std::vector<int> order(static_cast<std::size_t>(train.size()));
+  for (int i = 0; i < train.size(); ++i)
+    order[static_cast<std::size_t>(i)] = i;
+
+  const int c = train.images.dim(1);
+  const int h = train.images.dim(2);
+  const int w = train.images.dim(3);
+  const std::size_t sample_n = static_cast<std::size_t>(c) * h * w;
+
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    WallTimer timer;
+    optimizer->set_learning_rate(
+        config.lr * std::pow(config.lr_decay, static_cast<float>(epoch)));
+    rng.shuffle(order);
+
+    double epoch_loss = 0.0;
+    double epoch_stab = 0.0;
+    std::size_t correct = 0;
+    int batches = 0;
+
+    for (int start = 0; start < train.size(); start += config.batch_size) {
+      int end = std::min(start + config.batch_size, train.size());
+      std::span<const int> idx(order.data() + start,
+                               static_cast<std::size_t>(end - start));
+      Tensor images;
+      std::vector<int> labels;
+      gather_batch(train, idx, images, labels);
+
+      model.zero_grads();
+
+      if (loss == StabilityLoss::kNone) {
+        Tensor logits = model.forward(images, /*train=*/true);
+        Tensor probs, grad;
+        double l0 = cross_entropy_loss(logits, labels, probs, grad);
+        auto preds = argmax_rows(probs);
+        for (std::size_t i = 0; i < preds.size(); ++i)
+          if (preds[i] == labels[i]) ++correct;
+        model.backward(grad);
+        epoch_loss += l0;
+      } else {
+        // Build the companion batch.
+        Tensor noisy({static_cast<int>(idx.size()), c, h, w});
+        for (std::size_t i = 0; i < idx.size(); ++i) {
+          Tensor clean({1, c, h, w});
+          std::copy_n(images.raw() + i * sample_n, sample_n, clean.raw());
+          Tensor comp = companion(clean, idx[i], rng);
+          ES_CHECK(comp.rank() == 4 && comp.dim(0) == 1 && comp.dim(1) == c &&
+                   comp.dim(2) == h && comp.dim(3) == w);
+          std::copy_n(comp.raw(), sample_n, noisy.raw() + i * sample_n);
+        }
+
+        // Pass 1: noisy branch (record outputs). Running BN statistics
+        // are frozen here: the companion inputs can be heavily noised
+        // and must not pollute inference-time statistics.
+        model.set_bn_stats_update(false);
+        Tensor logits_noisy = model.forward(noisy, /*train=*/true);
+        Tensor emb_noisy = model.embedding();
+        model.set_bn_stats_update(true);
+
+        // Pass 2: clean branch (caches now belong to the clean branch).
+        Tensor logits_clean = model.forward(images, /*train=*/true);
+        Tensor emb_clean = model.embedding();
+
+        Tensor probs, grad_ce;
+        double l0 = cross_entropy_loss(logits_clean, labels, probs, grad_ce);
+        auto preds = argmax_rows(probs);
+        for (std::size_t i = 0; i < preds.size(); ++i)
+          if (preds[i] == labels[i]) ++correct;
+
+        double ls = 0.0;
+        Tensor grad_clean_logits, grad_noisy_logits;
+        Tensor grad_clean_emb, grad_noisy_emb;
+        if (loss == StabilityLoss::kKl) {
+          ls = kl_stability_loss(logits_clean, logits_noisy,
+                                 &grad_clean_logits, &grad_noisy_logits);
+        } else {
+          ls = embedding_distance_loss(emb_clean, emb_noisy, &grad_clean_emb,
+                                       &grad_noisy_emb);
+        }
+
+        // Backward the clean branch with CE + α·Ls contributions.
+        Tensor grad_logits = grad_ce;
+        if (loss == StabilityLoss::kKl)
+          grad_logits.add_scaled(grad_clean_logits, alpha);
+        if (loss == StabilityLoss::kEmbedding) {
+          grad_clean_emb.scale(alpha);
+          model.backward(grad_logits, &grad_clean_emb);
+        } else {
+          model.backward(grad_logits);
+        }
+
+        // Re-forward the noisy branch to restore its caches, then
+        // backward its α·Ls contribution.
+        model.set_bn_stats_update(false);
+        model.forward(noisy, /*train=*/true);
+        if (loss == StabilityLoss::kKl) {
+          grad_noisy_logits.scale(alpha);
+          model.backward(grad_noisy_logits);
+        } else {
+          Tensor zero_logits(logits_clean.shape());
+          grad_noisy_emb.scale(alpha);
+          model.backward(zero_logits, &grad_noisy_emb);
+        }
+        model.set_bn_stats_update(true);
+
+        epoch_loss += l0 + alpha * ls;
+        epoch_stab += ls;
+      }
+
+      optimizer->step();
+      ++batches;
+    }
+
+    EpochStats es;
+    es.loss = epoch_loss / std::max(batches, 1);
+    es.stability_loss = epoch_stab / std::max(batches, 1);
+    es.train_accuracy =
+        static_cast<double>(correct) / static_cast<double>(train.size());
+    if (val != nullptr) es.val_accuracy = eval_accuracy(model, *val);
+    es.seconds = timer.seconds();
+    if (config.verbose) {
+      std::printf(
+          "  epoch %d/%d loss=%.4f Ls=%.4f train_acc=%.3f val_acc=%.3f "
+          "(%.1fs)\n",
+          epoch + 1, config.epochs, es.loss, es.stability_loss,
+          es.train_accuracy, es.val_accuracy, es.seconds);
+      std::fflush(stdout);
+    }
+    stats.epochs.push_back(es);
+  }
+
+  stats.final_val_accuracy =
+      stats.epochs.empty() ? 0.0 : stats.epochs.back().val_accuracy;
+  return stats;
+}
+
+Tensor predict_probs(Model& model, const Tensor& images, int batch_size) {
+  ES_CHECK(images.rank() == 4);
+  const int n = images.dim(0);
+  const int c = images.dim(1);
+  const int h = images.dim(2);
+  const int w = images.dim(3);
+  const std::size_t sample_n = static_cast<std::size_t>(c) * h * w;
+  Tensor all_probs;
+  for (int start = 0; start < n; start += batch_size) {
+    int end = std::min(start + batch_size, n);
+    Tensor batch({end - start, c, h, w});
+    std::copy_n(images.raw() + start * sample_n,
+                sample_n * static_cast<std::size_t>(end - start),
+                batch.raw());
+    Tensor logits = model.forward(batch, /*train=*/false);
+    if (all_probs.empty()) all_probs = Tensor({n, logits.dim(1)});
+    Tensor probs(logits.shape());
+    softmax_rows(logits, probs);
+    std::copy_n(probs.raw(),
+                probs.numel(),
+                all_probs.raw() +
+                    static_cast<std::size_t>(start) * logits.dim(1));
+  }
+  return all_probs;
+}
+
+std::vector<int> predict_labels(Model& model, const Tensor& images,
+                                int batch_size) {
+  return argmax_rows(predict_probs(model, images, batch_size));
+}
+
+}  // namespace edgestab

@@ -1,0 +1,36 @@
+#include "tensor/tensor.h"
+
+namespace edgestab {
+
+std::size_t Tensor::shape_numel(const std::vector<int>& shape) {
+  std::size_t n = 1;
+  for (int d : shape) {
+    ES_CHECK_MSG(d > 0, "non-positive dimension " << d);
+    n *= static_cast<std::size_t>(d);
+  }
+  return n;
+}
+
+Tensor::Tensor(std::vector<int> shape, float fill)
+    : shape_(std::move(shape)), data_(shape_numel(shape_), fill) {}
+
+Tensor Tensor::reshaped(std::vector<int> new_shape) const {
+  ES_CHECK_MSG(shape_numel(new_shape) == numel(),
+               "reshape element-count mismatch");
+  Tensor out;
+  out.shape_ = std::move(new_shape);
+  out.data_ = data_;
+  return out;
+}
+
+void Tensor::add_scaled(const Tensor& other, float scale) {
+  ES_CHECK(same_shape(other));
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    data_[i] += other.data_[i] * scale;
+}
+
+void Tensor::scale(float s) {
+  for (float& v : data_) v *= s;
+}
+
+}  // namespace edgestab

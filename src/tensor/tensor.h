@@ -1,0 +1,95 @@
+// Dense float32 tensor with NCHW convention for 4-D data.
+//
+// Deliberately minimal: shape + flat storage + checked indexing. All
+// numeric kernels live in tensor/ops.h so they can be tested and swapped
+// (the device compute backends select accumulation-order variants there).
+#pragma once
+
+#include <initializer_list>
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "util/check.h"
+
+namespace edgestab {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(std::vector<int> shape, float fill = 0.0f);
+  Tensor(std::initializer_list<int> shape, float fill = 0.0f)
+      : Tensor(std::vector<int>(shape), fill) {}
+
+  const std::vector<int>& shape() const { return shape_; }
+  int dim(int i) const {
+    ES_DCHECK(i >= 0 && i < static_cast<int>(shape_.size()));
+    return shape_[static_cast<std::size_t>(i)];
+  }
+  int rank() const { return static_cast<int>(shape_.size()); }
+  std::size_t numel() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  std::span<float> data() { return data_; }
+  std::span<const float> data() const { return data_; }
+  float* raw() { return data_.data(); }
+  const float* raw() const { return data_.data(); }
+
+  float& operator[](std::size_t i) {
+    ES_DCHECK(i < data_.size());
+    return data_[i];
+  }
+  float operator[](std::size_t i) const {
+    ES_DCHECK(i < data_.size());
+    return data_[i];
+  }
+
+  /// 2-D indexing (row-major).
+  float& at2(int r, int c) {
+    ES_DCHECK(rank() == 2);
+    return data_[static_cast<std::size_t>(r) * shape_[1] + c];
+  }
+  float at2(int r, int c) const {
+    ES_DCHECK(rank() == 2);
+    return data_[static_cast<std::size_t>(r) * shape_[1] + c];
+  }
+
+  /// 4-D NCHW indexing.
+  float& at4(int n, int c, int h, int w) {
+    return data_[offset4(n, c, h, w)];
+  }
+  float at4(int n, int c, int h, int w) const {
+    return data_[offset4(n, c, h, w)];
+  }
+
+  void fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+  void zero() { fill(0.0f); }
+
+  /// Reinterpret the flat buffer with a new shape of equal element count.
+  Tensor reshaped(std::vector<int> new_shape) const;
+
+  bool same_shape(const Tensor& other) const {
+    return shape_ == other.shape_;
+  }
+
+  /// Elementwise helpers (shape-checked).
+  void add_scaled(const Tensor& other, float scale);
+  void scale(float s);
+
+  static std::size_t shape_numel(const std::vector<int>& shape);
+
+ private:
+  std::size_t offset4(int n, int c, int h, int w) const {
+    ES_DCHECK(rank() == 4);
+    ES_DCHECK(n >= 0 && n < shape_[0] && c >= 0 && c < shape_[1] && h >= 0 &&
+              h < shape_[2] && w >= 0 && w < shape_[3]);
+    return ((static_cast<std::size_t>(n) * shape_[1] + c) * shape_[2] + h) *
+               shape_[3] +
+           w;
+  }
+
+  std::vector<int> shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace edgestab

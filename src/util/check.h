@@ -1,0 +1,51 @@
+// Lightweight precondition / invariant checking.
+//
+// ES_CHECK is always on (experiments must fail loudly, not corrupt
+// results); ES_DCHECK compiles out in release builds for hot loops.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace edgestab {
+
+/// Thrown when a checked precondition or invariant fails.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace edgestab
+
+#define ES_CHECK(expr)                                                     \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::edgestab::detail::check_failed(#expr, __FILE__, __LINE__, "");     \
+  } while (0)
+
+#define ES_CHECK_MSG(expr, msg)                                            \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      std::ostringstream es_check_os;                                      \
+      es_check_os << msg;                                                  \
+      ::edgestab::detail::check_failed(#expr, __FILE__, __LINE__,          \
+                                       es_check_os.str());                 \
+    }                                                                      \
+  } while (0)
+
+#ifdef NDEBUG
+#define ES_DCHECK(expr) ((void)0)
+#else
+#define ES_DCHECK(expr) ES_CHECK(expr)
+#endif

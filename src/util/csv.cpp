@@ -1,0 +1,46 @@
+#include "util/csv.h"
+
+#include <fstream>
+
+#include "util/check.h"
+
+namespace edgestab {
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : columns_(header.size()) {
+  ES_CHECK(columns_ > 0);
+  add_row(header);
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  bool needs_quote = cell.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quote) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& cells) {
+  ES_CHECK_MSG(cells.size() == columns_,
+               "csv row width " << cells.size() << " != " << columns_);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) body_.push_back(',');
+    body_ += escape(cells[i]);
+  }
+  body_.push_back('\n');
+}
+
+std::string CsvWriter::str() const { return body_; }
+
+void CsvWriter::write_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  ES_CHECK_MSG(out.good(), "cannot open " << path);
+  out << body_;
+  ES_CHECK_MSG(out.good(), "write failed for " << path);
+}
+
+}  // namespace edgestab

@@ -1,0 +1,28 @@
+// Minimal CSV writer — every bench also emits a machine-readable CSV so
+// figures can be re-plotted outside the harness.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace edgestab {
+
+/// Builds a CSV document in memory; write_file() flushes it to disk.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  void add_row(const std::vector<std::string>& cells);
+
+  std::string str() const;
+  /// Write to a file path; throws CheckError on I/O failure.
+  void write_file(const std::string& path) const;
+
+  static std::string escape(const std::string& cell);
+
+ private:
+  std::size_t columns_;
+  std::string body_;
+};
+
+}  // namespace edgestab

@@ -1,0 +1,56 @@
+#include "util/hashing.h"
+
+#include <cstring>
+
+namespace edgestab {
+
+namespace {
+constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+
+std::uint64_t mix(std::uint64_t h, const std::uint8_t* p, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kPrime;
+  }
+  return h;
+}
+}  // namespace
+
+std::uint64_t fnv1a64(std::span<const std::uint8_t> data) {
+  return mix(0xcbf29ce484222325ULL, data.data(), data.size());
+}
+
+std::uint64_t fnv1a64(const std::string& s) {
+  return fnv1a64(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+}
+
+Fingerprint& Fingerprint::add(std::uint64_t v) {
+  std::uint8_t bytes[8];
+  for (int i = 0; i < 8; ++i)
+    bytes[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  h_ = mix(h_, bytes, 8);
+  return *this;
+}
+
+Fingerprint& Fingerprint::add(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return add(bits);
+}
+
+Fingerprint& Fingerprint::add(const std::string& s) {
+  add(static_cast<std::uint64_t>(s.size()));
+  h_ = mix(h_, reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
+  return *this;
+}
+
+std::string Fingerprint::hex() const {
+  static const char* digits = "0123456789abcdef";
+  std::string s(16, '0');
+  for (int i = 0; i < 16; ++i)
+    s[15 - i] = digits[(h_ >> (4 * i)) & 15];
+  return s;
+}
+
+}  // namespace edgestab

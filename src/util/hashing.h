@@ -1,0 +1,31 @@
+// Non-cryptographic hashing for cache keys and config fingerprints.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace edgestab {
+
+/// FNV-1a 64-bit over a byte span.
+std::uint64_t fnv1a64(std::span<const std::uint8_t> data);
+std::uint64_t fnv1a64(const std::string& s);
+
+/// Incrementally build a config fingerprint: feed heterogeneous fields,
+/// read out a stable hex token for cache file names.
+class Fingerprint {
+ public:
+  Fingerprint& add(std::uint64_t v);
+  Fingerprint& add(std::int64_t v) { return add(static_cast<std::uint64_t>(v)); }
+  Fingerprint& add(int v) { return add(static_cast<std::uint64_t>(v)); }
+  Fingerprint& add(double v);
+  Fingerprint& add(const std::string& s);
+
+  std::uint64_t value() const { return h_; }
+  std::string hex() const;
+
+ private:
+  std::uint64_t h_ = 0xcbf29ce484222325ULL;
+};
+
+}  // namespace edgestab

@@ -1,0 +1,45 @@
+// MD5 message digest (RFC 1321), implemented from scratch.
+//
+// Used by the OS/processor experiment (§7 of the paper) to audit whether
+// two device decoders produced byte-identical decoded images.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace edgestab {
+
+/// Incremental MD5 hasher.
+class Md5 {
+ public:
+  Md5();
+
+  /// Absorb more bytes.
+  void update(std::span<const std::uint8_t> data);
+  void update(const void* data, std::size_t len);
+
+  /// Finish and return the 16-byte digest. The hasher must not be reused
+  /// after finalization.
+  std::array<std::uint8_t, 16> digest();
+
+  /// Convenience: hash a buffer and return lowercase hex.
+  static std::string hex(std::span<const std::uint8_t> data);
+  static std::string hex(const std::string& data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 4> state_;
+  std::uint64_t total_len_ = 0;
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffer_len_ = 0;
+  bool finalized_ = false;
+};
+
+/// Format a digest as lowercase hex.
+std::string to_hex(std::span<const std::uint8_t> bytes);
+
+}  // namespace edgestab

@@ -1,0 +1,100 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace edgestab {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  return n_ ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double RunningStats::stdev() const { return std::sqrt(variance()); }
+
+double quantile(std::vector<double> values, double q) {
+  ES_CHECK(!values.empty());
+  ES_CHECK(q >= 0.0 && q <= 1.0);
+  std::sort(values.begin(), values.end());
+  double pos = q * static_cast<double>(values.size() - 1);
+  auto lo = static_cast<std::size_t>(pos);
+  std::size_t hi = std::min(lo + 1, values.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double mean_of(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double s = 0.0;
+  for (double v : values) s += v;
+  return s / static_cast<double>(values.size());
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  ES_CHECK(hi > lo);
+  ES_CHECK(bins > 0);
+}
+
+void Histogram::add(double x) {
+  double t = (x - lo_) / (hi_ - lo_);
+  auto idx = static_cast<long>(t * static_cast<double>(counts_.size()));
+  idx = std::clamp(idx, 0L, static_cast<long>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+void Histogram::add_all(const std::vector<double>& xs) {
+  for (double x : xs) add(x);
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                   static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_hi(std::size_t i) const { return bin_lo(i + 1); }
+
+double Histogram::bin_center(std::size_t i) const {
+  return 0.5 * (bin_lo(i) + bin_hi(i));
+}
+
+double Histogram::bin_fraction(std::size_t i) const {
+  return total_ ? static_cast<double>(counts_[i]) /
+                      static_cast<double>(total_)
+                : 0.0;
+}
+
+std::string Histogram::ascii(std::size_t width, const std::string& label) const {
+  std::ostringstream os;
+  if (!label.empty()) os << label << "\n";
+  std::size_t max_count = 0;
+  for (std::size_t c : counts_) max_count = std::max(max_count, c);
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    std::size_t bar =
+        max_count ? counts_[i] * width / max_count : 0;
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "  [%6.3f,%6.3f) %6zu |", bin_lo(i),
+                  bin_hi(i), counts_[i]);
+    os << buf << std::string(bar, '#') << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace edgestab

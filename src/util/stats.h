@@ -1,0 +1,66 @@
+// Small statistics toolkit: running moments, quantiles, histograms.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace edgestab {
+
+/// Online mean / variance / extrema (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  ///< population variance
+  double stdev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Quantile of a sample with linear interpolation; q in [0, 1].
+/// The input is copied and sorted.
+double quantile(std::vector<double> values, double q);
+
+/// Arithmetic mean of a sample (0 for empty).
+double mean_of(const std::vector<double>& values);
+
+/// Fixed-bin histogram over [lo, hi]; out-of-range values clamp into the
+/// edge bins so nothing is silently dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  void add_all(const std::vector<double>& xs);
+
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t count() const { return total_; }
+  std::size_t bin_count(std::size_t i) const { return counts_[i]; }
+  double bin_lo(std::size_t i) const;
+  double bin_hi(std::size_t i) const;
+  double bin_center(std::size_t i) const;
+  /// Fraction of samples in bin i (0 if empty histogram).
+  double bin_fraction(std::size_t i) const;
+
+  /// Render a simple ASCII bar chart (for bench/figure output).
+  std::string ascii(std::size_t width = 40, const std::string& label = "") const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace edgestab

@@ -1,0 +1,79 @@
+#include "util/table.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace edgestab {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  ES_CHECK(!header_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  ES_CHECK_MSG(cells.size() == header_.size(),
+               "row has " << cells.size() << " cells, header has "
+                          << header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::add_separator() { rows_.emplace_back(); }
+
+std::string Table::str() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    widths[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto print_row = [&](std::ostringstream& os,
+                       const std::vector<std::string>& row) {
+    os << "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << " " << row[c]
+         << std::string(widths[c] - row[c].size(), ' ') << " |";
+    }
+    os << "\n";
+  };
+  auto print_sep = [&](std::ostringstream& os) {
+    os << "+";
+    for (std::size_t w : widths) os << std::string(w + 2, '-') << "+";
+    os << "\n";
+  };
+
+  std::ostringstream os;
+  print_sep(os);
+  print_row(os, header_);
+  print_sep(os);
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      print_sep(os);
+    } else {
+      print_row(os, row);
+    }
+  }
+  print_sep(os);
+  return os.str();
+}
+
+std::string Table::pct(double fraction, int decimals) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, fraction * 100.0);
+  return buf;
+}
+
+std::string Table::num(double value, int decimals) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+std::string Table::kb(double bytes, int decimals) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, bytes / 1024.0);
+  return buf;
+}
+
+}  // namespace edgestab

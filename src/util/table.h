@@ -1,0 +1,36 @@
+// ASCII table rendering for bench output — prints rows shaped like the
+// paper's tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace edgestab {
+
+/// Column-aligned ASCII table with a header row.
+///
+///   Table t({"METRIC", "JPEG 100", "JPEG 85"});
+///   t.add_row({"ACCURACY", "54.0%", "54.3%"});
+///   std::cout << t.str();
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  /// Insert a horizontal separator before the next row.
+  void add_separator();
+
+  std::string str() const;
+
+  /// Helpers for formatted cells.
+  static std::string pct(double fraction, int decimals = 1);   ///< 0.54 -> "54.0%"
+  static std::string num(double value, int decimals = 2);
+  static std::string kb(double bytes, int decimals = 2);       ///< bytes -> "1.23"
+
+ private:
+  std::vector<std::string> header_;
+  // Each row is a vector of cells; an empty vector marks a separator.
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace edgestab

@@ -1,0 +1,417 @@
+// Codec tests: bit I/O, Huffman coding, DCT inversion, round-trips for
+// all four codecs (parameterized quality sweeps), size orderings that the
+// paper's Tables 2-3 rely on, and the JPEG decoder variants that drive the
+// §7 OS experiment.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "codec/bitio.h"
+#include "codec/codec.h"
+#include "codec/coeffs.h"
+#include "codec/dct.h"
+#include "codec/huffman.h"
+#include "codec/jpeg_like.h"
+#include "codec/png_like.h"
+#include "image/draw.h"
+#include "image/metrics.h"
+#include "util/md5.h"
+#include "util/rng.h"
+
+namespace edgestab {
+namespace {
+
+/// A photo-like test image: gradient sky, textured ground, a few shapes.
+ImageU8 photo_like_image(int w, int h, std::uint64_t seed) {
+  Image img(w, h, 3);
+  fill_vertical_gradient(img, {0.55f, 0.65f, 0.8f}, {0.35f, 0.3f, 0.25f});
+  Pcg32 rng(seed);
+  for (int i = 0; i < 4; ++i) {
+    float cx = static_cast<float>(rng.uniform(0.2, 0.8)) * w;
+    float cy = static_cast<float>(rng.uniform(0.2, 0.8)) * h;
+    float r = static_cast<float>(rng.uniform(0.08, 0.2)) * w;
+    Rgb color{static_cast<float>(rng.uniform(0.1, 0.9)),
+              static_cast<float>(rng.uniform(0.1, 0.9)),
+              static_cast<float>(rng.uniform(0.1, 0.9))};
+    paint_sdf(img, SdfCircle{cx, cy, r}, color);
+  }
+  texture_speckle(img, SdfRoundRect{w / 2.0f, h / 2.0f, w / 2.0f, h / 2.0f,
+                                    1.0f},
+                  0.03f, 3.0f, seed + 1);
+  return to_u8(img);
+}
+
+TEST(BitIo, RoundTripVariousWidths) {
+  BitWriter bw;
+  bw.put(1, 1);
+  bw.put(0b1010, 4);
+  bw.put(0x3ff, 10);
+  bw.put(0xdeadbeef, 32);
+  bw.put(0, 3);
+  Bytes data = bw.finish();
+  BitReader br(data);
+  EXPECT_EQ(br.get(1), 1u);
+  EXPECT_EQ(br.get(4), 0b1010u);
+  EXPECT_EQ(br.get(10), 0x3ffu);
+  EXPECT_EQ(br.get(32), 0xdeadbeefu);
+  EXPECT_EQ(br.get(3), 0u);
+}
+
+TEST(BitIo, MsbFirstByteLayout) {
+  BitWriter bw;
+  bw.put(1, 1);  // high bit of first byte
+  Bytes data = bw.finish();
+  ASSERT_EQ(data.size(), 1u);
+  EXPECT_EQ(data[0], 0x80);
+}
+
+TEST(BitIo, ReadPastEndThrows) {
+  BitWriter bw;
+  bw.put(0xff, 8);
+  Bytes data = bw.finish();
+  BitReader br(data);
+  br.get(8);
+  EXPECT_THROW(br.get(1), CheckError);
+}
+
+TEST(Huffman, RoundTripRandomSymbols) {
+  Pcg32 rng(1);
+  std::vector<std::uint64_t> freq(64, 0);
+  std::vector<int> symbols;
+  for (int i = 0; i < 2000; ++i) {
+    // Skewed distribution.
+    int s = static_cast<int>(rng.uniform() * rng.uniform() * 64) % 64;
+    symbols.push_back(s);
+    ++freq[static_cast<std::size_t>(s)];
+  }
+  HuffmanTable table = HuffmanTable::from_frequencies(freq);
+  BitWriter bw;
+  table.write_table(bw);
+  for (int s : symbols) table.encode(bw, s);
+  Bytes data = bw.finish();
+
+  BitReader br(data);
+  HuffmanTable decoded_table = HuffmanTable::read_table(br);
+  for (int expected : symbols) EXPECT_EQ(decoded_table.decode(br), expected);
+}
+
+TEST(Huffman, SingleSymbolAlphabet) {
+  std::vector<std::uint64_t> freq(10, 0);
+  freq[3] = 100;
+  HuffmanTable table = HuffmanTable::from_frequencies(freq);
+  BitWriter bw;
+  for (int i = 0; i < 5; ++i) table.encode(bw, 3);
+  Bytes data = bw.finish();
+  BitReader br(data);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(table.decode(br), 3);
+}
+
+TEST(Huffman, OptimalForSkewedDistribution) {
+  // Frequencies 8,4,2,1,1: optimal lengths 1,2,3,4,4.
+  std::vector<std::uint64_t> freq{8, 4, 2, 1, 1};
+  HuffmanTable table = HuffmanTable::from_frequencies(freq);
+  EXPECT_EQ(table.lengths()[0], 1);
+  EXPECT_EQ(table.lengths()[1], 2);
+  EXPECT_EQ(table.lengths()[2], 3);
+  EXPECT_EQ(table.lengths()[3], 4);
+  EXPECT_EQ(table.lengths()[4], 4);
+  EXPECT_EQ(table.cost_bits(freq), 8u * 1 + 4 * 2 + 2 * 3 + 1 * 4 + 1 * 4);
+}
+
+TEST(Huffman, AllZeroFrequenciesThrows) {
+  std::vector<std::uint64_t> freq(8, 0);
+  EXPECT_THROW(HuffmanTable::from_frequencies(freq), CheckError);
+}
+
+class DctSizeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DctSizeTest, ForwardInverseIdentity) {
+  int n = GetParam();
+  Pcg32 rng(2);
+  std::vector<float> block(static_cast<std::size_t>(n) * n);
+  for (auto& v : block) v = static_cast<float>(rng.uniform(-128, 128));
+  std::vector<float> coeffs(block.size()), back(block.size());
+  fdct_2d(block.data(), coeffs.data(), n);
+  idct_2d(coeffs.data(), back.data(), n);
+  for (std::size_t i = 0; i < block.size(); ++i)
+    EXPECT_NEAR(back[i], block[i], 1e-2f);
+}
+
+TEST_P(DctSizeTest, ParsevalEnergyPreserved) {
+  int n = GetParam();
+  Pcg32 rng(3);
+  std::vector<float> block(static_cast<std::size_t>(n) * n);
+  for (auto& v : block) v = static_cast<float>(rng.uniform(-1, 1));
+  std::vector<float> coeffs(block.size());
+  fdct_2d(block.data(), coeffs.data(), n);
+  double e1 = 0, e2 = 0;
+  for (std::size_t i = 0; i < block.size(); ++i) {
+    e1 += static_cast<double>(block[i]) * block[i];
+    e2 += static_cast<double>(coeffs[i]) * coeffs[i];
+  }
+  EXPECT_NEAR(e1, e2, 1e-3 * e1);
+}
+
+TEST_P(DctSizeTest, ConstantBlockIsDcOnly) {
+  int n = GetParam();
+  std::vector<float> block(static_cast<std::size_t>(n) * n, 5.0f);
+  std::vector<float> coeffs(block.size());
+  fdct_2d(block.data(), coeffs.data(), n);
+  EXPECT_NEAR(coeffs[0], 5.0f * n, 1e-3f);
+  for (std::size_t i = 1; i < coeffs.size(); ++i)
+    EXPECT_NEAR(coeffs[i], 0.0f, 1e-3f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DctSizeTest, ::testing::Values(4, 8, 16));
+
+TEST(Dct, FixedPointIdctCloseToFloat) {
+  Pcg32 rng(4);
+  float coeffs[64];
+  for (auto& v : coeffs) v = static_cast<float>(rng.uniform(-100, 100));
+  float a[64], b[64];
+  idct_2d(coeffs, a, 8);
+  idct8_fixed(coeffs, b);
+  int exact = 0;
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_NEAR(a[i], b[i], 0.5f);  // close...
+    if (a[i] == b[i]) ++exact;
+  }
+  EXPECT_LT(exact, 64);  // ...but not bit-identical (that's the point)
+}
+
+TEST(Coeffs, ZigzagIsPermutationLowFreqFirst) {
+  for (int n : {4, 8, 16}) {
+    const auto& zz = codec_detail::zigzag_order(n);
+    std::vector<int> sorted = zz;
+    std::sort(sorted.begin(), sorted.end());
+    for (int i = 0; i < n * n; ++i)
+      EXPECT_EQ(sorted[static_cast<std::size_t>(i)], i);
+    EXPECT_EQ(zz[0], 0);
+    EXPECT_EQ(zz[1], 1);      // (0,1)
+    EXPECT_EQ(zz[2], n);      // (1,0)
+    EXPECT_EQ(zz.back(), n * n - 1);
+  }
+}
+
+TEST(Coeffs, AmplitudeRoundTrip) {
+  for (int v : {-255, -128, -17, -1, 0, 1, 5, 127, 255, 1000}) {
+    int cat = codec_detail::category_of(v);
+    BitWriter bw;
+    codec_detail::put_amplitude(bw, v, cat);
+    bw.put(0, 7);  // padding so finish() has data even for v=0
+    Bytes data = bw.finish();
+    BitReader br(data);
+    EXPECT_EQ(codec_detail::get_amplitude(br, cat), v) << "v=" << v;
+  }
+}
+
+TEST(Coeffs, AcRoundTripWithLongRuns) {
+  std::vector<int> block(64, 0);
+  block[0] = 7;     // DC, not coded here
+  block[5] = -3;
+  block[40] = 12;   // long zero run before this
+  block[63] = -1;
+  std::vector<std::uint64_t> freq(256, 0);
+  codec_detail::count_ac_tokens(block, freq);
+  HuffmanTable table = HuffmanTable::from_frequencies(freq);
+  BitWriter bw;
+  codec_detail::encode_ac(block, table, bw);
+  Bytes data = bw.finish();
+  BitReader br(data);
+  std::vector<int> out(64, 0);
+  codec_detail::decode_ac(out, table, br);
+  out[0] = block[0];
+  EXPECT_EQ(out, block);
+}
+
+// ---- Full codec round trips ---------------------------------------------------
+
+TEST(PngLike, LosslessRoundTrip) {
+  PngLikeCodec codec;
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    ImageU8 img = photo_like_image(37, 29, seed);  // odd sizes on purpose
+    Bytes data = codec.encode(img);
+    ImageU8 back = codec.decode(data);
+    EXPECT_EQ(back, img) << "seed " << seed;
+  }
+}
+
+TEST(PngLike, LosslessOnRandomNoise) {
+  Pcg32 rng(9);
+  ImageU8 img(16, 16, 3);
+  for (auto& v : img.data())
+    v = static_cast<std::uint8_t>(rng.uniform_int(256u));
+  PngLikeCodec codec;
+  EXPECT_EQ(codec.decode(codec.encode(img)), img);
+}
+
+TEST(PngLike, CompressesSmoothContent) {
+  ImageU8 img = photo_like_image(64, 64, 5);
+  PngLikeCodec codec;
+  Bytes data = codec.encode(img);
+  EXPECT_LT(data.size(), img.size());  // beats raw
+}
+
+struct LossyCase {
+  ImageFormat format;
+  int quality;
+  double min_psnr;
+};
+
+class LossyCodecTest : public ::testing::TestWithParam<LossyCase> {};
+
+TEST_P(LossyCodecTest, RoundTripQuality) {
+  auto [format, quality, min_psnr] = GetParam();
+  auto codec = make_codec(format, quality);
+  ImageU8 img = photo_like_image(48, 40, 7);
+  Bytes data = codec->encode(img);
+  ImageU8 back = codec->decode(data);
+  ASSERT_EQ(back.width(), img.width());
+  ASSERT_EQ(back.height(), img.height());
+  double p = psnr(to_float(img), to_float(back));
+  EXPECT_GT(p, min_psnr) << codec->name() << " psnr=" << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    QualitySweep, LossyCodecTest,
+    ::testing::Values(
+        LossyCase{ImageFormat::kJpegLike, 100, 32.0},
+        LossyCase{ImageFormat::kJpegLike, 85, 28.0},
+        LossyCase{ImageFormat::kJpegLike, 50, 26.0},
+        LossyCase{ImageFormat::kJpegLike, 20, 22.0},
+        LossyCase{ImageFormat::kWebpLike, 90, 27.0},
+        LossyCase{ImageFormat::kWebpLike, 75, 24.0},
+        LossyCase{ImageFormat::kWebpLike, 40, 20.0},
+        LossyCase{ImageFormat::kHeifLike, 95, 32.0},
+        LossyCase{ImageFormat::kHeifLike, 80, 27.0},
+        LossyCase{ImageFormat::kHeifLike, 50, 23.0}));
+
+TEST(JpegLike, HigherQualityLargerAndCloser) {
+  ImageU8 img = photo_like_image(64, 64, 11);
+  JpegLikeCodec q50(50), q85(85), q100(100);
+  Bytes d50 = q50.encode(img);
+  Bytes d85 = q85.encode(img);
+  Bytes d100 = q100.encode(img);
+  EXPECT_LT(d50.size(), d85.size());
+  EXPECT_LT(d85.size(), d100.size());
+  double p50 = psnr(to_float(img), to_float(q50.decode(d50)));
+  double p85 = psnr(to_float(img), to_float(q85.decode(d85)));
+  double p100 = psnr(to_float(img), to_float(q100.decode(d100)));
+  EXPECT_LT(p50, p85);
+  EXPECT_LT(p85, p100);
+}
+
+TEST(Codecs, SizeOrderingMatchesPaperTables) {
+  // Paper Table 3: PNG >> JPEG > HEIF > WebP (format defaults).
+  ImageU8 img = photo_like_image(96, 96, 13);
+  auto png = make_codec(ImageFormat::kPngLike);
+  auto jpeg = make_codec(ImageFormat::kJpegLike);
+  auto heif = make_codec(ImageFormat::kHeifLike);
+  auto webp = make_codec(ImageFormat::kWebpLike);
+  std::size_t s_png = png->encode(img).size();
+  std::size_t s_jpeg = jpeg->encode(img).size();
+  std::size_t s_heif = heif->encode(img).size();
+  std::size_t s_webp = webp->encode(img).size();
+  EXPECT_GT(s_png, s_jpeg);
+  EXPECT_GT(s_jpeg, s_heif);
+  EXPECT_GT(s_heif, s_webp);
+}
+
+TEST(Codecs, LossyFormatsProduceDifferentPixels) {
+  // The §5 instability mechanism: same input, different reconstructions.
+  ImageU8 img = photo_like_image(48, 48, 17);
+  auto jpeg = make_codec(ImageFormat::kJpegLike, 85);
+  auto webp = make_codec(ImageFormat::kWebpLike, 85);
+  auto heif = make_codec(ImageFormat::kHeifLike, 85);
+  ImageU8 rj = jpeg->decode(jpeg->encode(img));
+  ImageU8 rw = webp->decode(webp->encode(img));
+  ImageU8 rh = heif->decode(heif->encode(img));
+  EXPECT_FALSE(rj == rw);
+  EXPECT_FALSE(rj == rh);
+  EXPECT_FALSE(rw == rh);
+}
+
+TEST(JpegLike, EncodeIndependentOfDecodeOptions) {
+  ImageU8 img = photo_like_image(32, 32, 19);
+  JpegLikeCodec standard(85, {});
+  JpegDecodeOptions variant_opts;
+  variant_opts.upsample = JpegDecodeOptions::Upsample::kBilinear;
+  variant_opts.fixed_point_idct = true;
+  JpegLikeCodec variant(85, variant_opts);
+  EXPECT_EQ(standard.encode(img), variant.encode(img));
+}
+
+TEST(JpegLike, DecoderVariantsDifferOnSameBytes) {
+  // §7 mechanism: identical file, different decoded pixels, different MD5.
+  ImageU8 img = photo_like_image(32, 32, 23);
+  JpegLikeCodec standard(85, {});
+  Bytes data = standard.encode(img);
+
+  JpegDecodeOptions variant_opts;
+  variant_opts.upsample = JpegDecodeOptions::Upsample::kBilinear;
+  variant_opts.fixed_point_idct = true;
+  JpegLikeCodec variant(85, variant_opts);
+
+  ImageU8 decoded_standard = standard.decode(data);
+  ImageU8 decoded_variant = variant.decode(data);
+  EXPECT_FALSE(decoded_standard == decoded_variant);
+  EXPECT_NE(Md5::hex(decoded_standard.data()),
+            Md5::hex(decoded_variant.data()));
+  // Pixel difference is small — the images look identical.
+  double mad = mean_abs_diff(to_float(decoded_standard),
+                             to_float(decoded_variant));
+  EXPECT_LT(mad, 0.02);
+}
+
+TEST(JpegLike, DeterministicDecodeSameVariant) {
+  ImageU8 img = photo_like_image(32, 32, 29);
+  JpegLikeCodec codec(85, {});
+  Bytes data = codec.encode(img);
+  EXPECT_EQ(codec.decode(data), codec.decode(data));
+}
+
+TEST(PngLike, DecodeIsVariantInsensitive) {
+  // Lossless formats leave no room for decoder interpretation — the
+  // paper found zero instability on PNG inputs (§7).
+  ImageU8 img = photo_like_image(24, 24, 31);
+  PngLikeCodec a, b;
+  Bytes data = a.encode(img);
+  EXPECT_EQ(a.decode(data), b.decode(data));
+  EXPECT_EQ(Md5::hex(a.decode(data).data()), Md5::hex(b.decode(data).data()));
+}
+
+TEST(Codecs, CorruptStreamThrowsNotCrashes) {
+  ImageU8 img = photo_like_image(24, 24, 37);
+  for (ImageFormat f : {ImageFormat::kJpegLike, ImageFormat::kPngLike,
+                        ImageFormat::kWebpLike, ImageFormat::kHeifLike}) {
+    auto codec = make_codec(f, 85);
+    Bytes data = codec->encode(img);
+    Bytes truncated(data.begin(), data.begin() + data.size() / 3);
+    EXPECT_THROW(
+        {
+          ImageU8 out = codec->decode(truncated);
+          (void)out;
+        },
+        CheckError)
+        << format_name(f);
+    Bytes bad_magic = data;
+    bad_magic[0] ^= 0xff;
+    EXPECT_THROW(
+        {
+          ImageU8 out = codec->decode(bad_magic);
+          (void)out;
+        },
+        CheckError)
+        << format_name(f);
+  }
+}
+
+TEST(Codecs, QualityOutOfRangeThrows) {
+  EXPECT_THROW(make_codec(ImageFormat::kJpegLike, 0), CheckError);
+  EXPECT_THROW(make_codec(ImageFormat::kJpegLike, 101), CheckError);
+  EXPECT_THROW(make_codec(ImageFormat::kWebpLike, -5), CheckError);
+  EXPECT_THROW(make_codec(ImageFormat::kHeifLike, 1000), CheckError);
+}
+
+}  // namespace
+}  // namespace edgestab

@@ -1,0 +1,245 @@
+// Core metric + harness tests: the instability metric's definition and
+// edge cases (the paper's §2.2 semantics), grouped variants, confidence
+// splitting, precision-recall, top-k correctness, workspace caching, and
+// stability-training plumbing.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/confidence.h"
+#include "core/experiment.h"
+#include "core/instability.h"
+#include "core/stability_training.h"
+#include "core/workspace.h"
+
+namespace edgestab {
+namespace {
+
+Observation obs(int item, int env, bool correct, double conf = 0.5,
+                int cls = 0, int angle = 0) {
+  Observation o;
+  o.item = item;
+  o.env = env;
+  o.correct = correct;
+  o.confidence = conf;
+  o.class_id = cls;
+  o.angle = angle;
+  return o;
+}
+
+TEST(Instability, DefinitionFromPaper) {
+  // Item 0: one correct, one incorrect -> unstable.
+  // Item 1: both correct -> stable.
+  // Item 2: both incorrect -> NOT unstable (but in the denominator).
+  std::vector<Observation> v{obs(0, 0, true),  obs(0, 1, false),
+                             obs(1, 0, true),  obs(1, 1, true),
+                             obs(2, 0, false), obs(2, 1, false)};
+  InstabilityResult r = compute_instability(v);
+  EXPECT_EQ(r.total_items, 3);
+  EXPECT_EQ(r.unstable_items, 1);
+  EXPECT_EQ(r.all_correct_items, 1);
+  EXPECT_EQ(r.all_incorrect_items, 1);
+  EXPECT_DOUBLE_EQ(r.instability(), 1.0 / 3.0);
+}
+
+TEST(Instability, SingleEnvironmentItemsSkipped) {
+  std::vector<Observation> v{obs(0, 0, true), obs(1, 0, true),
+                             obs(1, 1, false)};
+  InstabilityResult r = compute_instability(v);
+  EXPECT_EQ(r.total_items, 1);  // item 0 observed once -> skipped
+  EXPECT_EQ(r.unstable_items, 1);
+}
+
+TEST(Instability, EmptyInput) {
+  InstabilityResult r = compute_instability({});
+  EXPECT_EQ(r.total_items, 0);
+  EXPECT_DOUBLE_EQ(r.instability(), 0.0);
+}
+
+TEST(Instability, FiveEnvironmentGroupSemantics) {
+  // One disagreeing environment out of five is enough.
+  std::vector<Observation> v;
+  for (int env = 0; env < 5; ++env) v.push_back(obs(0, env, env != 3));
+  InstabilityResult r = compute_instability(v);
+  EXPECT_EQ(r.unstable_items, 1);
+}
+
+TEST(Instability, PairwiseRestrictsEnvironments) {
+  std::vector<Observation> v{
+      obs(0, 0, true), obs(0, 1, true), obs(0, 2, false),  // unstable in group
+      obs(1, 0, true), obs(1, 1, false), obs(1, 2, true)};
+  EXPECT_DOUBLE_EQ(compute_instability(v).instability(), 1.0);
+  // Envs {0,1}: item 0 stable, item 1 unstable.
+  InstabilityResult r01 = pairwise_instability(v, 0, 1);
+  EXPECT_EQ(r01.unstable_items, 1);
+  EXPECT_EQ(r01.total_items, 2);
+  // Envs {0,2}: item 0 unstable, item 1 stable.
+  InstabilityResult r02 = pairwise_instability(v, 0, 2);
+  EXPECT_EQ(r02.unstable_items, 1);
+}
+
+TEST(Instability, GroupedByClassAndAngle) {
+  std::vector<Observation> v{
+      obs(0, 0, true, 0.5, /*cls=*/7, /*angle=*/0),
+      obs(0, 1, false, 0.5, 7, 0),
+      obs(1, 0, true, 0.5, 9, 2),
+      obs(1, 1, true, 0.5, 9, 2)};
+  auto by_class = instability_by_class(v);
+  EXPECT_DOUBLE_EQ(by_class[7].instability(), 1.0);
+  EXPECT_DOUBLE_EQ(by_class[9].instability(), 0.0);
+  auto by_angle = instability_by_angle(v);
+  EXPECT_DOUBLE_EQ(by_angle[0].instability(), 1.0);
+  EXPECT_DOUBLE_EQ(by_angle[2].instability(), 0.0);
+}
+
+TEST(Instability, EnvironmentAccuracyAndListing) {
+  std::vector<Observation> v{obs(0, 0, true), obs(1, 0, false),
+                             obs(0, 2, true)};
+  EXPECT_DOUBLE_EQ(environment_accuracy(v, 0), 0.5);
+  EXPECT_DOUBLE_EQ(environment_accuracy(v, 2), 1.0);
+  EXPECT_DOUBLE_EQ(environment_accuracy(v, 9), 0.0);
+  EXPECT_EQ(environments(v), (std::vector<int>{0, 2}));
+}
+
+TEST(Confidence, SplitsByStability) {
+  std::vector<Observation> v{
+      obs(0, 0, true, 0.9), obs(0, 1, true, 0.8),    // stable correct
+      obs(1, 0, false, 0.4), obs(1, 1, false, 0.3),  // stable incorrect
+      obs(2, 0, true, 0.55), obs(2, 1, false, 0.52)  // unstable
+  };
+  ConfidenceSplit s = split_confidences(v);
+  EXPECT_EQ(s.stable_correct.size(), 2u);
+  EXPECT_EQ(s.stable_incorrect.size(), 2u);
+  EXPECT_EQ(s.unstable_correct.size(), 1u);
+  EXPECT_EQ(s.unstable_incorrect.size(), 1u);
+  EXPECT_DOUBLE_EQ(s.unstable_correct[0], 0.55);
+}
+
+TEST(Confidence, PrCurveMonotoneRecall) {
+  std::vector<std::pair<double, bool>> data{
+      {0.9, true}, {0.8, true}, {0.7, false}, {0.6, true}, {0.2, false}};
+  auto curve = precision_recall_curve(data);
+  ASSERT_EQ(curve.size(), 5u);
+  EXPECT_DOUBLE_EQ(curve[0].precision, 1.0);
+  EXPECT_DOUBLE_EQ(curve[0].recall, 0.2);
+  EXPECT_DOUBLE_EQ(curve[1].recall, 0.4);
+  EXPECT_DOUBLE_EQ(curve[2].precision, 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(curve.back().recall, 3.0 / 5.0);
+  for (std::size_t i = 1; i < curve.size(); ++i)
+    EXPECT_GE(curve[i].recall, curve[i - 1].recall);
+  double ap = average_precision(curve);
+  EXPECT_GT(ap, 0.0);
+  EXPECT_LE(ap, 1.0);
+}
+
+TEST(TopK, AliasAwareCorrectness) {
+  ShotPrediction p;
+  p.topk = {7 /*bubble*/, 5 /*red_wine*/, 2 /*wine_bottle*/};
+  p.topk_conf = {0.4, 0.3, 0.2};
+  EXPECT_FALSE(topk_correct(p, /*truth=*/2, 1));
+  EXPECT_TRUE(topk_correct(p, 2, 2));  // red_wine aliases wine_bottle
+  EXPECT_TRUE(topk_correct(p, 2, 3));
+  EXPECT_FALSE(topk_correct(p, 0, 3));
+  EXPECT_THROW(topk_correct(p, 2, 4), CheckError);
+}
+
+TEST(StabilityCells, PaperGridStructure) {
+  auto emb = table6_embedding_cells();
+  auto kl = table6_kl_cells();
+  ASSERT_EQ(emb.size(), 5u);
+  ASSERT_EQ(kl.size(), 5u);
+  EXPECT_EQ(emb[0].noise, "two_images");
+  EXPECT_EQ(emb[1].images_per_class, 10);  // subsample-10
+  EXPECT_EQ(emb[4].noise, "no_noise");
+  EXPECT_EQ(emb[4].loss, StabilityLoss::kNone);
+  EXPECT_EQ(kl[2].noise, "distortion");
+  EXPECT_EQ(kl[2].loss, StabilityLoss::kKl);
+  // Cache tokens are unique across the grid except the two no_noise
+  // baselines, which share a cell (they differ by training seed, which
+  // enters the cache key at a higher level).
+  std::set<std::string> tokens;
+  int collisions = 0;
+  for (const auto& c : emb)
+    collisions += tokens.insert(c.cache_token()).second ? 0 : 1;
+  for (const auto& c : kl)
+    collisions += tokens.insert(c.cache_token()).second ? 0 : 1;
+  EXPECT_EQ(collisions, 1);
+  // Hyper descriptions match the paper's table format.
+  EXPECT_EQ(emb[4].hyper_description(), "N/A");
+  EXPECT_NE(emb[1].hyper_description().find("#images=10"),
+            std::string::npos);
+  EXPECT_NE(kl[3].hyper_description().find("sigma2"), std::string::npos);
+}
+
+TEST(Workspace, BlobCacheRoundTrip) {
+  setenv("EDGESTAB_CACHE", "/tmp/edgestab_test_cache", 1);
+  std::filesystem::remove_all("/tmp/edgestab_test_cache");
+  {
+    WorkspaceConfig cfg;
+    cfg.verbose = false;
+    Workspace ws(cfg);
+    Bytes data{1, 2, 3};
+    Bytes out;
+    EXPECT_FALSE(ws.load_blob("key1", out));
+    ws.store_blob("key1", data);
+    EXPECT_TRUE(ws.load_blob("key1", out));
+    EXPECT_EQ(out, data);
+  }
+  std::filesystem::remove_all("/tmp/edgestab_test_cache");
+  unsetenv("EDGESTAB_CACHE");
+}
+
+TEST(Workspace, FingerprintTracksConfig) {
+  WorkspaceConfig a;
+  a.verbose = false;
+  WorkspaceConfig b = a;
+  b.pretrain.per_class += 1;
+  setenv("EDGESTAB_CACHE", "/tmp/edgestab_test_cache2", 1);
+  Workspace wa(a), wb(b);
+  EXPECT_NE(wa.fingerprint(), wb.fingerprint());
+  Workspace wa2(a);
+  EXPECT_EQ(wa.fingerprint(), wa2.fingerprint());
+  std::filesystem::remove_all("/tmp/edgestab_test_cache2");
+  unsetenv("EDGESTAB_CACHE");
+}
+
+TEST(Workspace, FreshModelMatchesConfig) {
+  setenv("EDGESTAB_CACHE", "/tmp/edgestab_test_cache3", 1);
+  WorkspaceConfig cfg;
+  cfg.verbose = false;
+  Workspace ws(cfg);
+  Model m = ws.fresh_model();
+  Pcg32 rng(1);
+  m.init(rng);
+  Tensor x({1, 3, cfg.model.input_size, cfg.model.input_size});
+  Tensor logits = m.forward(x, false);
+  EXPECT_EQ(logits.dim(1), cfg.model.num_classes);
+  std::filesystem::remove_all("/tmp/edgestab_test_cache3");
+  unsetenv("EDGESTAB_CACHE");
+}
+
+TEST(PairedCaptures, SplitCoversAllClassesBothSides) {
+  auto fleet = end_to_end_fleet();
+  LabRigConfig rig;
+  rig.objects_per_class = 10;
+  rig.angles = {0.0f};
+  PairedCaptures data = collect_paired_captures(fleet[0], fleet[4], rig,
+                                                0.7f);
+  EXPECT_EQ(data.train_a.size() + data.test_a.size(), 50u);
+  EXPECT_EQ(data.train_a.size(), data.train_b.size());
+  EXPECT_NEAR(static_cast<double>(data.train_a.size()) / 50.0, 0.7, 0.05);
+  std::set<int> train_classes(data.train_labels.begin(),
+                              data.train_labels.end());
+  std::set<int> test_classes(data.test_labels.begin(),
+                             data.test_labels.end());
+  EXPECT_EQ(train_classes.size(), 5u);
+  EXPECT_EQ(test_classes.size(), 5u);
+  // Stimulus ids are disjoint between the splits.
+  for (int s : data.train_stimulus)
+    EXPECT_EQ(std::count(data.test_stimulus.begin(),
+                         data.test_stimulus.end(), s),
+              0);
+}
+
+}  // namespace
+}  // namespace edgestab

@@ -1,0 +1,335 @@
+// Image library tests: storage/indexing, u8 conversions, color-space
+// round trips, resizing (including property sweeps over filters), affine
+// warps, drawing invariants, and comparison metrics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "image/color.h"
+#include "image/draw.h"
+#include "image/image.h"
+#include "image/metrics.h"
+#include "image/resize.h"
+#include "util/rng.h"
+
+namespace edgestab {
+namespace {
+
+Image random_image(int w, int h, int c, Pcg32& rng) {
+  Image img(w, h, c);
+  for (float& v : img.data()) v = static_cast<float>(rng.uniform());
+  return img;
+}
+
+TEST(Image, PlanarLayout) {
+  Image img(4, 3, 2);
+  img.at(1, 2, 1) = 0.5f;
+  // plane 1 offset = 12, row 2 offset = 8, x = 1.
+  EXPECT_FLOAT_EQ(img.data()[12 + 8 + 1], 0.5f);
+  EXPECT_EQ(img.plane(1).size(), 12u);
+}
+
+TEST(Image, ClampedSampling) {
+  Image img(2, 2, 1);
+  img.at(0, 0, 0) = 1.0f;
+  EXPECT_FLOAT_EQ(img.at_clamped(-5, -5, 0), 1.0f);
+  EXPECT_FLOAT_EQ(img.at_clamped(7, 0, 0), img.at(1, 0, 0));
+}
+
+TEST(Image, BilinearSampleInterpolates) {
+  Image img(2, 1, 1);
+  img.at(0, 0, 0) = 0.0f;
+  img.at(1, 0, 0) = 1.0f;
+  EXPECT_NEAR(img.sample_bilinear(0.5f, 0.0f, 0), 0.5f, 1e-6f);
+  EXPECT_NEAR(img.sample_bilinear(0.25f, 0.0f, 0), 0.25f, 1e-6f);
+}
+
+TEST(Image, U8RoundTripExact) {
+  Pcg32 rng(1);
+  Image img = random_image(8, 8, 3, rng);
+  ImageU8 u8 = to_u8(img);
+  Image back = to_float(u8);
+  // Quantization error bounded by half a step.
+  for (std::size_t i = 0; i < img.data().size(); ++i)
+    EXPECT_NEAR(back.data()[i], img.data()[i], 0.5f / 255.0f + 1e-6f);
+  // u8 -> float -> u8 is lossless.
+  EXPECT_EQ(to_u8(back), u8);
+}
+
+TEST(Image, ArithmeticHelpers) {
+  Image a(2, 2, 1, 0.5f);
+  Image b(2, 2, 1, 1.0f);
+  a.add_scaled(b, 0.25f);
+  EXPECT_FLOAT_EQ(a.at(0, 0, 0), 0.75f);
+  a.scale(2.0f);
+  EXPECT_FLOAT_EQ(a.at(1, 1, 0), 1.5f);
+  a.clamp(0.0f, 1.0f);
+  EXPECT_FLOAT_EQ(a.at(1, 1, 0), 1.0f);
+}
+
+TEST(Color, YCbCrRoundTrip) {
+  Pcg32 rng(2);
+  for (int i = 0; i < 200; ++i) {
+    float r = static_cast<float>(rng.uniform());
+    float g = static_cast<float>(rng.uniform());
+    float b = static_cast<float>(rng.uniform());
+    float y, cb, cr, r2, g2, b2;
+    rgb_to_ycbcr(r, g, b, y, cb, cr);
+    ycbcr_to_rgb(y, cb, cr, r2, g2, b2);
+    EXPECT_NEAR(r, r2, 5e-3f);
+    EXPECT_NEAR(g, g2, 5e-3f);
+    EXPECT_NEAR(b, b2, 5e-3f);
+  }
+}
+
+TEST(Color, GrayHasCenteredChroma) {
+  float y, cb, cr;
+  rgb_to_ycbcr(0.5f, 0.5f, 0.5f, y, cb, cr);
+  EXPECT_NEAR(y, 0.5f, 1e-5f);
+  EXPECT_NEAR(cb, 0.5f, 1e-5f);
+  EXPECT_NEAR(cr, 0.5f, 1e-5f);
+}
+
+TEST(Color, HsvRoundTrip) {
+  Pcg32 rng(3);
+  for (int i = 0; i < 200; ++i) {
+    float r = static_cast<float>(rng.uniform());
+    float g = static_cast<float>(rng.uniform());
+    float b = static_cast<float>(rng.uniform());
+    float h, s, v, r2, g2, b2;
+    rgb_to_hsv(r, g, b, h, s, v);
+    hsv_to_rgb(h, s, v, r2, g2, b2);
+    EXPECT_NEAR(r, r2, 1e-4f);
+    EXPECT_NEAR(g, g2, 1e-4f);
+    EXPECT_NEAR(b, b2, 1e-4f);
+  }
+}
+
+TEST(Color, HsvPrimaries) {
+  float h, s, v;
+  rgb_to_hsv(1.0f, 0.0f, 0.0f, h, s, v);
+  EXPECT_NEAR(h, 0.0f, 1e-5f);
+  EXPECT_NEAR(s, 1.0f, 1e-5f);
+  EXPECT_NEAR(v, 1.0f, 1e-5f);
+  rgb_to_hsv(0.0f, 1.0f, 0.0f, h, s, v);
+  EXPECT_NEAR(h, 1.0f / 3.0f, 1e-5f);
+}
+
+TEST(Color, SrgbRoundTripAndEndpoints) {
+  EXPECT_NEAR(srgb_encode(0.0f), 0.0f, 1e-6f);
+  EXPECT_NEAR(srgb_encode(1.0f), 1.0f, 1e-6f);
+  Pcg32 rng(4);
+  for (int i = 0; i < 100; ++i) {
+    float v = static_cast<float>(rng.uniform());
+    EXPECT_NEAR(srgb_decode(srgb_encode(v)), v, 1e-5f);
+  }
+}
+
+TEST(Color, AdjustHsvIdentityIsNoOp) {
+  Pcg32 rng(5);
+  Image img = random_image(6, 6, 3, rng);
+  Image copy = img;
+  adjust_hsv(copy, 0.0f, 1.0f, 1.0f);
+  for (std::size_t i = 0; i < img.data().size(); ++i)
+    EXPECT_NEAR(copy.data()[i], img.data()[i], 1e-4f);
+}
+
+TEST(Color, ContrastBrightness) {
+  Image img(1, 1, 3, 0.5f);
+  adjust_contrast_brightness(img, 2.0f, 0.1f);
+  EXPECT_NEAR(img.at(0, 0, 0), 0.6f, 1e-6f);
+  Image img2(1, 1, 3, 0.75f);
+  adjust_contrast_brightness(img2, 2.0f, 0.0f);
+  EXPECT_NEAR(img2.at(0, 0, 0), 1.0f, 1e-6f);  // clamped
+}
+
+TEST(Color, ColorMatrixIdentity) {
+  Pcg32 rng(6);
+  Image img = random_image(4, 4, 3, rng);
+  Image copy = img;
+  apply_color_matrix(copy, {1, 0, 0, 0, 1, 0, 0, 0, 1});
+  for (std::size_t i = 0; i < img.data().size(); ++i)
+    EXPECT_FLOAT_EQ(copy.data()[i], img.data()[i]);
+}
+
+class ResizeFilterTest : public ::testing::TestWithParam<ResizeFilter> {};
+
+TEST_P(ResizeFilterTest, PreservesConstantImages) {
+  Image img(9, 7, 3, 0.42f);
+  Image out = resize(img, 5, 4, GetParam());
+  for (float v : out.data()) EXPECT_NEAR(v, 0.42f, 1e-5f);
+}
+
+TEST_P(ResizeFilterTest, IdentityWhenSameSize) {
+  Pcg32 rng(7);
+  Image img = random_image(6, 6, 3, rng);
+  Image out = resize(img, 6, 6, GetParam());
+  for (std::size_t i = 0; i < img.data().size(); ++i)
+    EXPECT_FLOAT_EQ(out.data()[i], img.data()[i]);
+}
+
+TEST_P(ResizeFilterTest, OutputInInputRangeForUpscale) {
+  Pcg32 rng(8);
+  Image img = random_image(4, 4, 1, rng);
+  Image out = resize(img, 13, 11, GetParam());
+  // Catmull-Rom can overshoot slightly; allow a small margin.
+  for (float v : out.data()) {
+    EXPECT_GT(v, -0.2f);
+    EXPECT_LT(v, 1.2f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFilters, ResizeFilterTest,
+                         ::testing::Values(ResizeFilter::kNearest,
+                                           ResizeFilter::kBilinear,
+                                           ResizeFilter::kBicubic,
+                                           ResizeFilter::kArea));
+
+TEST(Resize, AreaDownscaleAverages) {
+  Image img(4, 4, 1);
+  for (int y = 0; y < 4; ++y)
+    for (int x = 0; x < 4; ++x)
+      img.at(x, y, 0) = static_cast<float>(y * 4 + x);
+  Image out = resize(img, 2, 2, ResizeFilter::kArea);
+  EXPECT_NEAR(out.at(0, 0, 0), (0 + 1 + 4 + 5) / 4.0f, 1e-5f);
+  EXPECT_NEAR(out.at(1, 1, 0), (10 + 11 + 14 + 15) / 4.0f, 1e-5f);
+}
+
+TEST(Resize, CropExtractsRegion) {
+  Pcg32 rng(9);
+  Image img = random_image(8, 8, 2, rng);
+  Image c = crop(img, 2, 3, 4, 2);
+  EXPECT_EQ(c.width(), 4);
+  EXPECT_EQ(c.height(), 2);
+  EXPECT_FLOAT_EQ(c.at(0, 0, 1), img.at(2, 3, 1));
+  EXPECT_FLOAT_EQ(c.at(3, 1, 0), img.at(5, 4, 0));
+  EXPECT_THROW(crop(img, 6, 6, 4, 4), CheckError);
+}
+
+TEST(Resize, FlipHorizontalInvolution) {
+  Pcg32 rng(10);
+  Image img = random_image(7, 5, 3, rng);
+  Image back = flip_horizontal(flip_horizontal(img));
+  for (std::size_t i = 0; i < img.data().size(); ++i)
+    EXPECT_FLOAT_EQ(back.data()[i], img.data()[i]);
+}
+
+TEST(Affine, IdentityWarpIsNearNoOp) {
+  Pcg32 rng(11);
+  Image img = random_image(8, 8, 3, rng);
+  Image out = warp_affine(img, Affine::identity(), 8, 8);
+  for (int y = 1; y < 7; ++y)
+    for (int x = 1; x < 7; ++x)
+      for (int c = 0; c < 3; ++c)
+        EXPECT_NEAR(out.at(x, y, c), img.at(x, y, c), 1e-5f);
+}
+
+TEST(Affine, TranslationMovesContent) {
+  Image img(8, 8, 1);
+  img.at(3, 3, 0) = 1.0f;
+  // Output pixel (5,3) should sample source (3,3).
+  Image out = warp_affine(img, Affine::translate(-2, 0), 8, 8);
+  EXPECT_NEAR(out.at(5, 3, 0), 1.0f, 1e-5f);
+}
+
+TEST(Affine, ComposeMatchesSequentialApplication) {
+  Affine a = Affine::rotate_about(0.3f, 4.0f, 4.0f);
+  Affine b = Affine::scale_about(1.2f, 0.8f, 2.0f, 2.0f);
+  Affine ab = a.compose(b);
+  float x1, y1, x2, y2;
+  b.apply(1.5f, 2.5f, x1, y1);
+  a.apply(x1, y1, x1, y1);
+  ab.apply(1.5f, 2.5f, x2, y2);
+  EXPECT_NEAR(x1, x2, 1e-4f);
+  EXPECT_NEAR(y1, y2, 1e-4f);
+}
+
+TEST(Affine, RotationPreservesCenter) {
+  Affine r = Affine::rotate_about(1.1f, 5.0f, 6.0f);
+  float x, y;
+  r.apply(5.0f, 6.0f, x, y);
+  EXPECT_NEAR(x, 5.0f, 1e-4f);
+  EXPECT_NEAR(y, 6.0f, 1e-4f);
+}
+
+TEST(Draw, FillAndGradient) {
+  Image img(4, 4, 3);
+  fill(img, {0.2f, 0.4f, 0.6f});
+  EXPECT_FLOAT_EQ(img.at(2, 2, 1), 0.4f);
+  fill_vertical_gradient(img, {0, 0, 0}, {1, 1, 1});
+  EXPECT_FLOAT_EQ(img.at(0, 0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(img.at(0, 3, 0), 1.0f);
+}
+
+TEST(Draw, CircleCoverage) {
+  Image img(20, 20, 3);
+  fill(img, {0, 0, 0});
+  paint_sdf(img, SdfCircle{10, 10, 5}, {1, 1, 1});
+  EXPECT_NEAR(img.at(10, 10, 0), 1.0f, 1e-5f);   // center inside
+  EXPECT_NEAR(img.at(1, 1, 0), 0.0f, 1e-5f);     // corner outside
+}
+
+TEST(Draw, SdfSigns) {
+  SdfCircle c{0, 0, 2};
+  EXPECT_LT(c(0, 0), 0.0f);
+  EXPECT_GT(c(5, 0), 0.0f);
+  SdfRoundRect r{0, 0, 4, 3, 1};
+  EXPECT_LT(r(0, 0), 0.0f);
+  EXPECT_GT(r(10, 0), 0.0f);
+  SdfEllipse e{0, 0, 4, 2};
+  EXPECT_LT(e(0, 0), 0.0f);
+  EXPECT_GT(e(0, 5), 0.0f);
+  SdfCapsule cap{0, 0, 4, 0, 1};
+  EXPECT_LT(cap(2, 0), 0.0f);
+  EXPECT_GT(cap(2, 3), 0.0f);
+  SdfTrapezoid t{0, 0, 4, 1, 3};
+  EXPECT_LT(t(0, 0), 0.0f);
+  EXPECT_GT(t(5, 0), 0.0f);
+}
+
+TEST(Draw, ValueNoiseDeterministicAndBounded) {
+  float a = value_noise(3.7f, 9.1f, 4.0f, 42);
+  float b = value_noise(3.7f, 9.1f, 4.0f, 42);
+  EXPECT_FLOAT_EQ(a, b);
+  EXPECT_NE(a, value_noise(3.7f, 9.1f, 4.0f, 43));
+  Pcg32 rng(12);
+  for (int i = 0; i < 200; ++i) {
+    float v = value_noise(static_cast<float>(rng.uniform(0, 100)),
+                          static_cast<float>(rng.uniform(0, 100)), 7.0f, 7);
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+}
+
+TEST(Metrics, PsnrIdenticalIsInfinite) {
+  Pcg32 rng(13);
+  Image img = random_image(6, 6, 3, rng);
+  EXPECT_TRUE(std::isinf(psnr(img, img)));
+}
+
+TEST(Metrics, PsnrKnownValue) {
+  Image a(10, 10, 1, 0.0f);
+  Image b(10, 10, 1, 0.1f);
+  // MSE = 0.01 -> PSNR = 20 dB.
+  EXPECT_NEAR(psnr(a, b), 20.0, 1e-6);
+}
+
+TEST(Metrics, DiffMaskAndFraction) {
+  Image a(4, 4, 3, 0.5f);
+  Image b = a;
+  b.at(1, 1, 0) = 0.8f;  // above 5% threshold
+  b.at(2, 2, 1) = 0.52f; // below threshold
+  EXPECT_NEAR(diff_fraction(a, b, 0.05f), 1.0 / 16.0, 1e-9);
+  Image mask = diff_mask(a, b, 0.05f);
+  EXPECT_FLOAT_EQ(mask.at(1, 1, 0), 1.0f);
+  EXPECT_FLOAT_EQ(mask.at(2, 2, 0), 0.0f);
+}
+
+TEST(Metrics, ShapeMismatchThrows) {
+  Image a(4, 4, 3);
+  Image b(4, 5, 3);
+  EXPECT_THROW(mse(a, b), CheckError);
+}
+
+}  // namespace
+}  // namespace edgestab

@@ -1,0 +1,230 @@
+// Unit tests for the tensor library: shape bookkeeping, GEMM variants
+// (including the blocked accumulation mode), im2col/col2im adjointness,
+// depthwise convolution, and softmax/cross-entropy.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace edgestab {
+namespace {
+
+Tensor random_tensor(std::vector<int> shape, Pcg32& rng, double scale = 1.0) {
+  Tensor t(std::move(shape));
+  for (float& v : t.data())
+    v = static_cast<float>(rng.normal(0.0, scale));
+  return t;
+}
+
+TEST(Tensor, ShapeAndNumel) {
+  Tensor t({2, 3, 4, 5});
+  EXPECT_EQ(t.rank(), 4);
+  EXPECT_EQ(t.numel(), 120u);
+  EXPECT_EQ(t.dim(2), 4);
+}
+
+TEST(Tensor, RejectsNonPositiveDims) {
+  EXPECT_THROW(Tensor({2, 0}), CheckError);
+  EXPECT_THROW(Tensor({-1}), CheckError);
+}
+
+TEST(Tensor, At4Layout) {
+  Tensor t({2, 3, 4, 5});
+  t.at4(1, 2, 3, 4) = 7.0f;
+  // NCHW: offset = ((1*3+2)*4+3)*5+4 = 119
+  EXPECT_FLOAT_EQ(t.data()[119], 7.0f);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t({2, 6});
+  for (std::size_t i = 0; i < t.numel(); ++i) t[i] = static_cast<float>(i);
+  Tensor r = t.reshaped({3, 4});
+  EXPECT_EQ(r.dim(0), 3);
+  EXPECT_FLOAT_EQ(r[7], 7.0f);
+  EXPECT_THROW(t.reshaped({5, 5}), CheckError);
+}
+
+TEST(Tensor, AddScaledAndScale) {
+  Tensor a({2, 2}, 1.0f);
+  Tensor b({2, 2}, 2.0f);
+  a.add_scaled(b, 0.5f);
+  EXPECT_FLOAT_EQ(a[0], 2.0f);
+  a.scale(2.0f);
+  EXPECT_FLOAT_EQ(a[3], 4.0f);
+  Tensor c({3, 1});
+  EXPECT_THROW(a.add_scaled(c, 1.0f), CheckError);
+}
+
+TEST(Matmul, MatchesNaiveReference) {
+  Pcg32 rng(1);
+  Tensor a = random_tensor({5, 7}, rng);
+  Tensor b = random_tensor({7, 4}, rng);
+  Tensor c({5, 4});
+  matmul(a, b, c);
+  for (int i = 0; i < 5; ++i)
+    for (int j = 0; j < 4; ++j) {
+      float expect = 0.0f;
+      for (int k = 0; k < 7; ++k) expect += a.at2(i, k) * b.at2(k, j);
+      EXPECT_NEAR(c.at2(i, j), expect, 1e-5f);
+    }
+}
+
+TEST(Matmul, AccumulateAddsToExisting) {
+  Pcg32 rng(2);
+  Tensor a = random_tensor({3, 3}, rng);
+  Tensor b = random_tensor({3, 3}, rng);
+  Tensor c({3, 3}, 1.0f);
+  Tensor fresh({3, 3});
+  matmul(a, b, fresh);
+  matmul(a, b, c, /*accumulate=*/true);
+  for (std::size_t i = 0; i < c.numel(); ++i)
+    EXPECT_NEAR(c[i], fresh[i] + 1.0f, 1e-5f);
+}
+
+TEST(Matmul, BlockedModeCloseButNotRequiredIdentical) {
+  Pcg32 rng(3);
+  Tensor a = random_tensor({8, 33}, rng);
+  Tensor b = random_tensor({33, 9}, rng);
+  Tensor c1({8, 9}), c2({8, 9});
+  matmul(a, b, c1, false, MatmulMode::kStandard);
+  matmul(a, b, c2, false, MatmulMode::kBlocked);
+  for (std::size_t i = 0; i < c1.numel(); ++i)
+    EXPECT_NEAR(c1[i], c2[i], 1e-4f);
+}
+
+TEST(Matmul, TransposedVariantsMatch) {
+  Pcg32 rng(4);
+  Tensor a = random_tensor({6, 5}, rng);   // [m,k]
+  Tensor b = random_tensor({5, 7}, rng);   // [k,n]
+  Tensor ref({6, 7});
+  matmul(a, b, ref);
+
+  // A^T stored as [k,m].
+  Tensor at({5, 6});
+  for (int i = 0; i < 6; ++i)
+    for (int k = 0; k < 5; ++k) at.at2(k, i) = a.at2(i, k);
+  Tensor c1({6, 7});
+  matmul_at_b(at, b, c1);
+  for (std::size_t i = 0; i < ref.numel(); ++i)
+    EXPECT_NEAR(c1[i], ref[i], 1e-5f);
+
+  // B^T stored as [n,k].
+  Tensor bt({7, 5});
+  for (int k = 0; k < 5; ++k)
+    for (int j = 0; j < 7; ++j) bt.at2(j, k) = b.at2(k, j);
+  Tensor c2({6, 7});
+  matmul_a_bt(a, bt, c2);
+  for (std::size_t i = 0; i < ref.numel(); ++i)
+    EXPECT_NEAR(c2[i], ref[i], 1e-5f);
+}
+
+TEST(Matmul, ShapeMismatchThrows) {
+  Tensor a({2, 3});
+  Tensor b({4, 2});
+  Tensor c({2, 2});
+  EXPECT_THROW(matmul(a, b, c), CheckError);
+}
+
+// im2col of a known tiny input.
+TEST(Im2Col, ExtractsPatchesWithPadding) {
+  // 1 channel 3x3 input, 3x3 kernel, stride 1, pad 1 -> 9 output positions.
+  ConvGeom g{1, 3, 3, 1, 3, 1, 1};
+  EXPECT_EQ(g.out_h(), 3);
+  std::vector<float> input(9);
+  for (int i = 0; i < 9; ++i) input[static_cast<std::size_t>(i)] = i + 1.0f;
+  std::vector<float> cols(9u * 9u);
+  im2col(input.data(), g, cols.data());
+  // Row for kernel position (ky=1,kx=1) — the center — is the identity.
+  const float* center = cols.data() + 4u * 9u;
+  for (int i = 0; i < 9; ++i) EXPECT_FLOAT_EQ(center[i], input[i]);
+  // Row for (0,0): output (0,0) samples input(-1,-1) = 0 padding.
+  const float* topleft = cols.data();
+  EXPECT_FLOAT_EQ(topleft[0], 0.0f);
+  // Output (2,2) samples input(1,1) = 5.
+  EXPECT_FLOAT_EQ(topleft[8], 5.0f);
+}
+
+// col2im must be the adjoint of im2col: <im2col(x), y> == <x, col2im(y)>.
+TEST(Im2Col, Col2ImIsAdjoint) {
+  Pcg32 rng(5);
+  for (int stride : {1, 2}) {
+    ConvGeom g{2, 6, 5, 1, 3, stride, 1};
+    std::size_t in_n = 2u * 6u * 5u;
+    std::size_t cols_n =
+        static_cast<std::size_t>(2 * 9) * g.out_h() * g.out_w();
+    std::vector<float> x(in_n), y(cols_n), cols(cols_n),
+        back(in_n, 0.0f);
+    for (auto& v : x) v = static_cast<float>(rng.normal());
+    for (auto& v : y) v = static_cast<float>(rng.normal());
+    im2col(x.data(), g, cols.data());
+    col2im(y.data(), g, back.data());
+    double lhs = 0.0, rhs = 0.0;
+    for (std::size_t i = 0; i < cols_n; ++i) lhs += cols[i] * y[i];
+    for (std::size_t i = 0; i < in_n; ++i) rhs += x[i] * back[i];
+    EXPECT_NEAR(lhs, rhs, 1e-3) << "stride=" << stride;
+  }
+}
+
+TEST(Depthwise, MatchesDirectComputation) {
+  Pcg32 rng(6);
+  ConvGeom g{3, 5, 5, 3, 3, 1, 1};
+  Tensor input = random_tensor({2, 3, 5, 5}, rng);
+  Tensor weights = random_tensor({3, 3, 3}, rng);
+  Tensor bias = random_tensor({3}, rng);
+  Tensor out({2, 3, 5, 5});
+  depthwise_conv_forward(input, weights, bias.raw(), g, out);
+  // Check one interior pixel by hand.
+  float expect = bias[1];
+  for (int ky = 0; ky < 3; ++ky)
+    for (int kx = 0; kx < 3; ++kx)
+      expect += weights[static_cast<std::size_t>(1 * 9 + ky * 3 + kx)] *
+                input.at4(1, 1, 1 + ky, 2 + kx);
+  EXPECT_NEAR(out.at4(1, 1, 2, 3), expect, 1e-5f);
+}
+
+TEST(Depthwise, StrideTwoGeometry) {
+  ConvGeom g{1, 8, 8, 1, 3, 2, 1};
+  EXPECT_EQ(g.out_h(), 4);
+  Tensor input({1, 1, 8, 8}, 1.0f);
+  Tensor weights({1, 3, 3}, 1.0f);
+  Tensor out({1, 1, 4, 4});
+  depthwise_conv_forward(input, weights, nullptr, g, out);
+  // Interior outputs sum 9 ones.
+  EXPECT_FLOAT_EQ(out.at4(0, 0, 1, 1), 9.0f);
+  // Corner (0,0) covers 2x2 valid inputs.
+  EXPECT_FLOAT_EQ(out.at4(0, 0, 0, 0), 4.0f);
+}
+
+TEST(Softmax, RowsSumToOneAndOrderPreserved) {
+  Tensor logits({2, 3});
+  logits.at2(0, 0) = 1.0f;
+  logits.at2(0, 1) = 2.0f;
+  logits.at2(0, 2) = 3.0f;
+  logits.at2(1, 0) = 1000.0f;  // overflow-stability check
+  logits.at2(1, 1) = 1001.0f;
+  logits.at2(1, 2) = 999.0f;
+  Tensor probs({2, 3});
+  softmax_rows(logits, probs);
+  for (int i = 0; i < 2; ++i) {
+    float sum = probs.at2(i, 0) + probs.at2(i, 1) + probs.at2(i, 2);
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+  EXPECT_GT(probs.at2(0, 2), probs.at2(0, 1));
+  EXPECT_GT(probs.at2(1, 1), probs.at2(1, 0));
+  EXPECT_FALSE(std::isnan(probs.at2(1, 0)));
+}
+
+TEST(Softmax, CrossEntropyKnownValue) {
+  Tensor logits({1, 2});
+  logits.at2(0, 0) = 0.0f;
+  logits.at2(0, 1) = 0.0f;
+  Tensor probs({1, 2});
+  double loss = softmax_cross_entropy(logits, {1}, probs);
+  EXPECT_NEAR(loss, std::log(2.0), 1e-6);
+}
+
+}  // namespace
+}  // namespace edgestab
