@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_confidence.dir/bench_fig4_confidence.cpp.o"
+  "CMakeFiles/bench_fig4_confidence.dir/bench_fig4_confidence.cpp.o.d"
+  "bench_fig4_confidence"
+  "bench_fig4_confidence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_confidence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

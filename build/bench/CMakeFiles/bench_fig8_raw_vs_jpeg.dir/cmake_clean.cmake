@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_raw_vs_jpeg.dir/bench_fig8_raw_vs_jpeg.cpp.o"
+  "CMakeFiles/bench_fig8_raw_vs_jpeg.dir/bench_fig8_raw_vs_jpeg.cpp.o.d"
+  "bench_fig8_raw_vs_jpeg"
+  "bench_fig8_raw_vs_jpeg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_raw_vs_jpeg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

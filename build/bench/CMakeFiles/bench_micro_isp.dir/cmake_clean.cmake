@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_isp.dir/bench_micro_isp.cpp.o"
+  "CMakeFiles/bench_micro_isp.dir/bench_micro_isp.cpp.o.d"
+  "bench_micro_isp"
+  "bench_micro_isp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_isp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

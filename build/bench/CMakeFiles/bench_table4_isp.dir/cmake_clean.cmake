@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_isp.dir/bench_table4_isp.cpp.o"
+  "CMakeFiles/bench_table4_isp.dir/bench_table4_isp.cpp.o.d"
+  "bench_table4_isp"
+  "bench_table4_isp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_isp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_os_cpu.dir/bench_table5_os_cpu.cpp.o"
+  "CMakeFiles/bench_table5_os_cpu.dir/bench_table5_os_cpu.cpp.o.d"
+  "bench_table5_os_cpu"
+  "bench_table5_os_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_os_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

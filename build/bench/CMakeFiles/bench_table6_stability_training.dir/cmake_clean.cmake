@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_stability_training.dir/bench_table6_stability_training.cpp.o"
+  "CMakeFiles/bench_table6_stability_training.dir/bench_table6_stability_training.cpp.o.d"
+  "bench_table6_stability_training"
+  "bench_table6_stability_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_stability_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

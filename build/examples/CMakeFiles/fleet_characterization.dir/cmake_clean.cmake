@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_characterization.dir/fleet_characterization.cpp.o"
+  "CMakeFiles/fleet_characterization.dir/fleet_characterization.cpp.o.d"
+  "fleet_characterization"
+  "fleet_characterization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

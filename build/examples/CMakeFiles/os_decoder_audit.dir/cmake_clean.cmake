@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/os_decoder_audit.dir/os_decoder_audit.cpp.o"
+  "CMakeFiles/os_decoder_audit.dir/os_decoder_audit.cpp.o.d"
+  "os_decoder_audit"
+  "os_decoder_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/os_decoder_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

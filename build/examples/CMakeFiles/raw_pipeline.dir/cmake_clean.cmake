@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raw_pipeline.dir/raw_pipeline.cpp.o"
+  "CMakeFiles/raw_pipeline.dir/raw_pipeline.cpp.o.d"
+  "raw_pipeline"
+  "raw_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raw_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

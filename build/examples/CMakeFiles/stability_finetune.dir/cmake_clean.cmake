@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stability_finetune.dir/stability_finetune.cpp.o"
+  "CMakeFiles/stability_finetune.dir/stability_finetune.cpp.o.d"
+  "stability_finetune"
+  "stability_finetune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stability_finetune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

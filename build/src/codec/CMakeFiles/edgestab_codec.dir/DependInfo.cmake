@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codec/bitio.cpp" "src/codec/CMakeFiles/edgestab_codec.dir/bitio.cpp.o" "gcc" "src/codec/CMakeFiles/edgestab_codec.dir/bitio.cpp.o.d"
+  "/root/repo/src/codec/codec.cpp" "src/codec/CMakeFiles/edgestab_codec.dir/codec.cpp.o" "gcc" "src/codec/CMakeFiles/edgestab_codec.dir/codec.cpp.o.d"
+  "/root/repo/src/codec/coeffs.cpp" "src/codec/CMakeFiles/edgestab_codec.dir/coeffs.cpp.o" "gcc" "src/codec/CMakeFiles/edgestab_codec.dir/coeffs.cpp.o.d"
+  "/root/repo/src/codec/dct.cpp" "src/codec/CMakeFiles/edgestab_codec.dir/dct.cpp.o" "gcc" "src/codec/CMakeFiles/edgestab_codec.dir/dct.cpp.o.d"
+  "/root/repo/src/codec/heif_like.cpp" "src/codec/CMakeFiles/edgestab_codec.dir/heif_like.cpp.o" "gcc" "src/codec/CMakeFiles/edgestab_codec.dir/heif_like.cpp.o.d"
+  "/root/repo/src/codec/huffman.cpp" "src/codec/CMakeFiles/edgestab_codec.dir/huffman.cpp.o" "gcc" "src/codec/CMakeFiles/edgestab_codec.dir/huffman.cpp.o.d"
+  "/root/repo/src/codec/jpeg_like.cpp" "src/codec/CMakeFiles/edgestab_codec.dir/jpeg_like.cpp.o" "gcc" "src/codec/CMakeFiles/edgestab_codec.dir/jpeg_like.cpp.o.d"
+  "/root/repo/src/codec/planes.cpp" "src/codec/CMakeFiles/edgestab_codec.dir/planes.cpp.o" "gcc" "src/codec/CMakeFiles/edgestab_codec.dir/planes.cpp.o.d"
+  "/root/repo/src/codec/png_like.cpp" "src/codec/CMakeFiles/edgestab_codec.dir/png_like.cpp.o" "gcc" "src/codec/CMakeFiles/edgestab_codec.dir/png_like.cpp.o.d"
+  "/root/repo/src/codec/webp_like.cpp" "src/codec/CMakeFiles/edgestab_codec.dir/webp_like.cpp.o" "gcc" "src/codec/CMakeFiles/edgestab_codec.dir/webp_like.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/image/CMakeFiles/edgestab_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/edgestab_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

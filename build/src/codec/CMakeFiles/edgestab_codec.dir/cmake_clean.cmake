@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgestab_codec.dir/bitio.cpp.o"
+  "CMakeFiles/edgestab_codec.dir/bitio.cpp.o.d"
+  "CMakeFiles/edgestab_codec.dir/codec.cpp.o"
+  "CMakeFiles/edgestab_codec.dir/codec.cpp.o.d"
+  "CMakeFiles/edgestab_codec.dir/coeffs.cpp.o"
+  "CMakeFiles/edgestab_codec.dir/coeffs.cpp.o.d"
+  "CMakeFiles/edgestab_codec.dir/dct.cpp.o"
+  "CMakeFiles/edgestab_codec.dir/dct.cpp.o.d"
+  "CMakeFiles/edgestab_codec.dir/heif_like.cpp.o"
+  "CMakeFiles/edgestab_codec.dir/heif_like.cpp.o.d"
+  "CMakeFiles/edgestab_codec.dir/huffman.cpp.o"
+  "CMakeFiles/edgestab_codec.dir/huffman.cpp.o.d"
+  "CMakeFiles/edgestab_codec.dir/jpeg_like.cpp.o"
+  "CMakeFiles/edgestab_codec.dir/jpeg_like.cpp.o.d"
+  "CMakeFiles/edgestab_codec.dir/planes.cpp.o"
+  "CMakeFiles/edgestab_codec.dir/planes.cpp.o.d"
+  "CMakeFiles/edgestab_codec.dir/png_like.cpp.o"
+  "CMakeFiles/edgestab_codec.dir/png_like.cpp.o.d"
+  "CMakeFiles/edgestab_codec.dir/webp_like.cpp.o"
+  "CMakeFiles/edgestab_codec.dir/webp_like.cpp.o.d"
+  "libedgestab_codec.a"
+  "libedgestab_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgestab_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgestab_core.dir/confidence.cpp.o"
+  "CMakeFiles/edgestab_core.dir/confidence.cpp.o.d"
+  "CMakeFiles/edgestab_core.dir/experiment.cpp.o"
+  "CMakeFiles/edgestab_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/edgestab_core.dir/instability.cpp.o"
+  "CMakeFiles/edgestab_core.dir/instability.cpp.o.d"
+  "CMakeFiles/edgestab_core.dir/stability_training.cpp.o"
+  "CMakeFiles/edgestab_core.dir/stability_training.cpp.o.d"
+  "CMakeFiles/edgestab_core.dir/workspace.cpp.o"
+  "CMakeFiles/edgestab_core.dir/workspace.cpp.o.d"
+  "libedgestab_core.a"
+  "libedgestab_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgestab_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

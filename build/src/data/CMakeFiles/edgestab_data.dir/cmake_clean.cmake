@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgestab_data.dir/dataset.cpp.o"
+  "CMakeFiles/edgestab_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/edgestab_data.dir/lab_rig.cpp.o"
+  "CMakeFiles/edgestab_data.dir/lab_rig.cpp.o.d"
+  "CMakeFiles/edgestab_data.dir/labels.cpp.o"
+  "CMakeFiles/edgestab_data.dir/labels.cpp.o.d"
+  "CMakeFiles/edgestab_data.dir/render.cpp.o"
+  "CMakeFiles/edgestab_data.dir/render.cpp.o.d"
+  "CMakeFiles/edgestab_data.dir/screen.cpp.o"
+  "CMakeFiles/edgestab_data.dir/screen.cpp.o.d"
+  "libedgestab_data.a"
+  "libedgestab_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgestab_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

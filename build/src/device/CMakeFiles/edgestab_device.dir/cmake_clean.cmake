@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgestab_device.dir/capture.cpp.o"
+  "CMakeFiles/edgestab_device.dir/capture.cpp.o.d"
+  "CMakeFiles/edgestab_device.dir/fleets.cpp.o"
+  "CMakeFiles/edgestab_device.dir/fleets.cpp.o.d"
+  "libedgestab_device.a"
+  "libedgestab_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgestab_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/image/color.cpp" "src/image/CMakeFiles/edgestab_image.dir/color.cpp.o" "gcc" "src/image/CMakeFiles/edgestab_image.dir/color.cpp.o.d"
+  "/root/repo/src/image/draw.cpp" "src/image/CMakeFiles/edgestab_image.dir/draw.cpp.o" "gcc" "src/image/CMakeFiles/edgestab_image.dir/draw.cpp.o.d"
+  "/root/repo/src/image/image.cpp" "src/image/CMakeFiles/edgestab_image.dir/image.cpp.o" "gcc" "src/image/CMakeFiles/edgestab_image.dir/image.cpp.o.d"
+  "/root/repo/src/image/metrics.cpp" "src/image/CMakeFiles/edgestab_image.dir/metrics.cpp.o" "gcc" "src/image/CMakeFiles/edgestab_image.dir/metrics.cpp.o.d"
+  "/root/repo/src/image/resize.cpp" "src/image/CMakeFiles/edgestab_image.dir/resize.cpp.o" "gcc" "src/image/CMakeFiles/edgestab_image.dir/resize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/edgestab_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgestab_image.dir/color.cpp.o"
+  "CMakeFiles/edgestab_image.dir/color.cpp.o.d"
+  "CMakeFiles/edgestab_image.dir/draw.cpp.o"
+  "CMakeFiles/edgestab_image.dir/draw.cpp.o.d"
+  "CMakeFiles/edgestab_image.dir/image.cpp.o"
+  "CMakeFiles/edgestab_image.dir/image.cpp.o.d"
+  "CMakeFiles/edgestab_image.dir/metrics.cpp.o"
+  "CMakeFiles/edgestab_image.dir/metrics.cpp.o.d"
+  "CMakeFiles/edgestab_image.dir/resize.cpp.o"
+  "CMakeFiles/edgestab_image.dir/resize.cpp.o.d"
+  "libedgestab_image.a"
+  "libedgestab_image.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgestab_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isp/pipeline.cpp" "src/isp/CMakeFiles/edgestab_isp.dir/pipeline.cpp.o" "gcc" "src/isp/CMakeFiles/edgestab_isp.dir/pipeline.cpp.o.d"
+  "/root/repo/src/isp/raw.cpp" "src/isp/CMakeFiles/edgestab_isp.dir/raw.cpp.o" "gcc" "src/isp/CMakeFiles/edgestab_isp.dir/raw.cpp.o.d"
+  "/root/repo/src/isp/sensor.cpp" "src/isp/CMakeFiles/edgestab_isp.dir/sensor.cpp.o" "gcc" "src/isp/CMakeFiles/edgestab_isp.dir/sensor.cpp.o.d"
+  "/root/repo/src/isp/software_isp.cpp" "src/isp/CMakeFiles/edgestab_isp.dir/software_isp.cpp.o" "gcc" "src/isp/CMakeFiles/edgestab_isp.dir/software_isp.cpp.o.d"
+  "/root/repo/src/isp/stages.cpp" "src/isp/CMakeFiles/edgestab_isp.dir/stages.cpp.o" "gcc" "src/isp/CMakeFiles/edgestab_isp.dir/stages.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/image/CMakeFiles/edgestab_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/edgestab_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

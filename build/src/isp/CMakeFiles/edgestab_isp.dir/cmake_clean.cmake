@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgestab_isp.dir/pipeline.cpp.o"
+  "CMakeFiles/edgestab_isp.dir/pipeline.cpp.o.d"
+  "CMakeFiles/edgestab_isp.dir/raw.cpp.o"
+  "CMakeFiles/edgestab_isp.dir/raw.cpp.o.d"
+  "CMakeFiles/edgestab_isp.dir/sensor.cpp.o"
+  "CMakeFiles/edgestab_isp.dir/sensor.cpp.o.d"
+  "CMakeFiles/edgestab_isp.dir/software_isp.cpp.o"
+  "CMakeFiles/edgestab_isp.dir/software_isp.cpp.o.d"
+  "CMakeFiles/edgestab_isp.dir/stages.cpp.o"
+  "CMakeFiles/edgestab_isp.dir/stages.cpp.o.d"
+  "libedgestab_isp.a"
+  "libedgestab_isp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgestab_isp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

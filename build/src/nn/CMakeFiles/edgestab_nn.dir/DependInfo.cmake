@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/block.cpp" "src/nn/CMakeFiles/edgestab_nn.dir/block.cpp.o" "gcc" "src/nn/CMakeFiles/edgestab_nn.dir/block.cpp.o.d"
+  "/root/repo/src/nn/layers.cpp" "src/nn/CMakeFiles/edgestab_nn.dir/layers.cpp.o" "gcc" "src/nn/CMakeFiles/edgestab_nn.dir/layers.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/edgestab_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/edgestab_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/mobilenet.cpp" "src/nn/CMakeFiles/edgestab_nn.dir/mobilenet.cpp.o" "gcc" "src/nn/CMakeFiles/edgestab_nn.dir/mobilenet.cpp.o.d"
+  "/root/repo/src/nn/model.cpp" "src/nn/CMakeFiles/edgestab_nn.dir/model.cpp.o" "gcc" "src/nn/CMakeFiles/edgestab_nn.dir/model.cpp.o.d"
+  "/root/repo/src/nn/optim.cpp" "src/nn/CMakeFiles/edgestab_nn.dir/optim.cpp.o" "gcc" "src/nn/CMakeFiles/edgestab_nn.dir/optim.cpp.o.d"
+  "/root/repo/src/nn/quantize.cpp" "src/nn/CMakeFiles/edgestab_nn.dir/quantize.cpp.o" "gcc" "src/nn/CMakeFiles/edgestab_nn.dir/quantize.cpp.o.d"
+  "/root/repo/src/nn/trainer.cpp" "src/nn/CMakeFiles/edgestab_nn.dir/trainer.cpp.o" "gcc" "src/nn/CMakeFiles/edgestab_nn.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/edgestab_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/edgestab_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

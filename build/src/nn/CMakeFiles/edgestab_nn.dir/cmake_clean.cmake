@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgestab_nn.dir/block.cpp.o"
+  "CMakeFiles/edgestab_nn.dir/block.cpp.o.d"
+  "CMakeFiles/edgestab_nn.dir/layers.cpp.o"
+  "CMakeFiles/edgestab_nn.dir/layers.cpp.o.d"
+  "CMakeFiles/edgestab_nn.dir/loss.cpp.o"
+  "CMakeFiles/edgestab_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/edgestab_nn.dir/mobilenet.cpp.o"
+  "CMakeFiles/edgestab_nn.dir/mobilenet.cpp.o.d"
+  "CMakeFiles/edgestab_nn.dir/model.cpp.o"
+  "CMakeFiles/edgestab_nn.dir/model.cpp.o.d"
+  "CMakeFiles/edgestab_nn.dir/optim.cpp.o"
+  "CMakeFiles/edgestab_nn.dir/optim.cpp.o.d"
+  "CMakeFiles/edgestab_nn.dir/quantize.cpp.o"
+  "CMakeFiles/edgestab_nn.dir/quantize.cpp.o.d"
+  "CMakeFiles/edgestab_nn.dir/trainer.cpp.o"
+  "CMakeFiles/edgestab_nn.dir/trainer.cpp.o.d"
+  "libedgestab_nn.a"
+  "libedgestab_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgestab_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

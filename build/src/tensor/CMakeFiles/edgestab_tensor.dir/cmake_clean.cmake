@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgestab_tensor.dir/ops.cpp.o"
+  "CMakeFiles/edgestab_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/edgestab_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/edgestab_tensor.dir/tensor.cpp.o.d"
+  "libedgestab_tensor.a"
+  "libedgestab_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgestab_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgestab_util.dir/bytes.cpp.o"
+  "CMakeFiles/edgestab_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/edgestab_util.dir/csv.cpp.o"
+  "CMakeFiles/edgestab_util.dir/csv.cpp.o.d"
+  "CMakeFiles/edgestab_util.dir/hashing.cpp.o"
+  "CMakeFiles/edgestab_util.dir/hashing.cpp.o.d"
+  "CMakeFiles/edgestab_util.dir/md5.cpp.o"
+  "CMakeFiles/edgestab_util.dir/md5.cpp.o.d"
+  "CMakeFiles/edgestab_util.dir/rng.cpp.o"
+  "CMakeFiles/edgestab_util.dir/rng.cpp.o.d"
+  "CMakeFiles/edgestab_util.dir/stats.cpp.o"
+  "CMakeFiles/edgestab_util.dir/stats.cpp.o.d"
+  "CMakeFiles/edgestab_util.dir/table.cpp.o"
+  "CMakeFiles/edgestab_util.dir/table.cpp.o.d"
+  "libedgestab_util.a"
+  "libedgestab_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgestab_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

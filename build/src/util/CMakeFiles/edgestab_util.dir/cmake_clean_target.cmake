@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libedgestab_util.a"
+)

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/test_extensions.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/test_extensions.dir/test_extensions.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/edgestab_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/isp/CMakeFiles/edgestab_isp.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/edgestab_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/edgestab_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/edgestab_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/edgestab_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/edgestab_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/edgestab_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/edgestab_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
