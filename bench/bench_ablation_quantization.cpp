@@ -11,7 +11,9 @@
 using namespace edgestab;
 
 int main() {
-  bench::banner("Ablation — quantized inference as an instability source");
+  bench::Run bench_run(
+      "ablation_quantization",
+      "Ablation — quantized inference as an instability source");
   Workspace ws;
   Model float_model = ws.base_model();
 
@@ -20,6 +22,9 @@ int main() {
   rig.objects_per_class = 20;
   std::vector<PhoneProfile> fleet = end_to_end_fleet();
   std::vector<PhoneProfile> one_phone{fleet[0]};
+  bench_run.record_workspace(ws);
+  bench_run.record_rig(rig);
+  bench_run.record_fleet(one_phone);
   LabRun run = run_lab_rig(one_phone, rig);
 
   std::vector<Tensor> inputs;
@@ -81,6 +86,6 @@ int main() {
       "borderline predictions against the fp32 build; aggressive widths\n"
       "trade accuracy for rapidly growing divergence — a deployment-side\n"
       "instability source on top of the paper's input-side ones.\n");
-  bench::write_csv(csv, "ablation_quantization.csv");
-  return 0;
+  bench_run.write_csv(csv, "ablation_quantization.csv");
+  return bench_run.finish();
 }

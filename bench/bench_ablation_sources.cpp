@@ -37,11 +37,14 @@ std::vector<PhoneProfile> unify(std::vector<PhoneProfile> fleet, bool isp,
 }  // namespace
 
 int main() {
-  bench::banner("Ablation — instability source decomposition");
+  bench::Run bench_run("ablation_sources",
+                       "Ablation — instability source decomposition");
   Workspace ws;
   Model model = ws.base_model();
   LabRigConfig rig = bench::standard_rig();
   rig.objects_per_class = 20;
+  bench_run.record_workspace(ws);
+  bench_run.record_rig(rig);
 
   CsvWriter csv({"configuration", "instability", "min_accuracy",
                  "max_accuracy"});
@@ -64,6 +67,7 @@ int main() {
 
   // Factor toggles at the calibrated operating point.
   auto fleet = end_to_end_fleet();
+  bench_run.record_fleet(fleet);
   run("sensor noise only (all unified)", unify(fleet, true, true, true));
   run("+ codec differences", unify(fleet, true, false, true));
   run("+ ISP differences", unify(fleet, false, true, true));
@@ -79,6 +83,6 @@ int main() {
       "\nReading: ISP differences contribute the most, codec differences\n"
       "a moderate amount, sensor/mount little — matching the paper's\n"
       "attribution (ISP ~14%%, compression 5-10%%, OS/CPU negligible).\n");
-  bench::write_csv(csv, "ablation_sources.csv");
-  return 0;
+  bench_run.write_csv(csv, "ablation_sources.csv");
+  return bench_run.finish();
 }

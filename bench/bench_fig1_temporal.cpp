@@ -15,7 +15,8 @@
 using namespace edgestab;
 
 int main() {
-  bench::banner(
+  bench::Run bench_run(
+      "fig1",
       "Figure 1 — same phone, seconds apart: tiny pixel change, different "
       "label");
   Workspace ws;
@@ -28,6 +29,9 @@ int main() {
   std::vector<PhoneProfile> fleet = end_to_end_fleet();
   std::vector<PhoneProfile> samsung{
       find_phone(fleet, "Samsung Galaxy S10")};
+  bench_run.record_workspace(ws);
+  bench_run.record_rig(rig);
+  bench_run.record_fleet(samsung);
   LabRun run = run_lab_rig(samsung, rig);
 
   // Classify both shots of every stimulus.
@@ -102,6 +106,6 @@ int main() {
       "stimuli while the two shots differ on only a tiny fraction of\n"
       "pixels (the phone was never touched between shots).\n");
 
-  bench::write_csv(csv, "fig1_temporal.csv");
-  return 0;
+  bench_run.write_csv(csv, "fig1_temporal.csv");
+  return bench_run.finish();
 }

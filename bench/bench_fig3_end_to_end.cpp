@@ -12,13 +12,16 @@
 using namespace edgestab;
 
 int main() {
-  bench::banner("Figure 3 — end-to-end accuracy and instability");
+  bench::Run run("fig3", "Figure 3 — end-to-end accuracy and instability");
   Workspace ws;
   Model model = ws.base_model();
 
   LabRigConfig rig = bench::standard_rig();
   rig.shots_per_stimulus = 2;  // enables the Fig 3(d) analysis
   std::vector<PhoneProfile> fleet = end_to_end_fleet();
+  run.record_workspace(ws);
+  run.record_rig(rig);
+  run.record_fleet(fleet);
 
   WallTimer timer;
   EndToEndResult r = run_end_to_end(model, fleet, rig);
@@ -36,7 +39,7 @@ int main() {
                    Table::num(r.accuracy_by_phone[p], 4)});
     }
     std::printf("\n(a) Accuracy by phone model\n%s", t.str().c_str());
-    bench::write_csv(csv, "fig3a_accuracy_by_phone.csv");
+    run.write_csv(csv, "fig3a_accuracy_by_phone.csv");
   }
 
   // (b) Instability by class.
@@ -60,7 +63,7 @@ int main() {
     std::printf("\n(b) Instability by class (group, all 5 phones)\n%s",
                 t.str().c_str());
     std::printf("paper band: 14-17%% overall; varies strongly by class\n");
-    bench::write_csv(csv, "fig3b_instability_by_class.csv");
+    run.write_csv(csv, "fig3b_instability_by_class.csv");
   }
 
   // (c) Instability by angle.
@@ -76,7 +79,7 @@ int main() {
       csv.add_row({label, Table::num(res.instability(), 4)});
     }
     std::printf("\n(c) Instability by experiment angle\n%s", t.str().c_str());
-    bench::write_csv(csv, "fig3c_instability_by_angle.csv");
+    run.write_csv(csv, "fig3c_instability_by_angle.csv");
   }
 
   // (d) Within-phone instability over repeat photos.
@@ -98,7 +101,7 @@ int main() {
         "point:\nwithin-model instability is much lower than across "
         "models.\n",
         mean_within * 100.0, r.overall.instability() * 100.0);
-    bench::write_csv(csv, "fig3d_within_phone.csv");
+    run.write_csv(csv, "fig3d_within_phone.csv");
   }
-  return 0;
+  return run.finish();
 }

@@ -25,12 +25,17 @@ void print_distribution(const char* label, const std::vector<double>& v) {
 }  // namespace
 
 int main() {
-  bench::banner("Figure 4 — prediction score for stable and unstable images");
+  bench::Run run("fig4",
+                 "Figure 4 — prediction score for stable and unstable images");
   Workspace ws;
   Model model = ws.base_model();
 
   LabRigConfig rig = bench::standard_rig();
-  EndToEndResult r = run_end_to_end(model, end_to_end_fleet(), rig);
+  std::vector<PhoneProfile> fleet = end_to_end_fleet();
+  run.record_workspace(ws);
+  run.record_rig(rig);
+  run.record_fleet(fleet);
+  EndToEndResult r = run_end_to_end(model, fleet, rig);
   ConfidenceSplit split = split_confidences(r.observations);
 
   std::printf("\n(a) Stable images (all phones agree)\n");
@@ -59,6 +64,6 @@ int main() {
   dump("stable_incorrect", split.stable_incorrect);
   dump("unstable_correct", split.unstable_correct);
   dump("unstable_incorrect", split.unstable_incorrect);
-  bench::write_csv(csv, "fig4_confidence.csv");
-  return 0;
+  run.write_csv(csv, "fig4_confidence.csv");
+  return run.finish();
 }

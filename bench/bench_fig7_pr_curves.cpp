@@ -10,9 +10,13 @@
 using namespace edgestab;
 
 int main() {
-  bench::banner("Figure 7 — precision-recall by fine-tuning scheme");
+  bench::Run run("fig7", "Figure 7 — precision-recall by fine-tuning scheme");
   Workspace ws;
   StabilityGridConfig config;
+  run.record_workspace(ws);
+  run.record_rig(config.rig);
+  run.manifest().set_field("noise_seed",
+                           static_cast<double>(config.noise_seed));
   StabilityGridResult grid = run_stability_grid(ws, config);
 
   CsvWriter csv({"loss", "noise", "recall", "precision", "threshold"});
@@ -51,6 +55,6 @@ int main() {
       "\nPaper shape: all stability-trained models trace PR curves at or\n"
       "above the plain fine-tuning baseline; the two-image and subsample\n"
       "modes (which see iPhone photos) sit highest.\n");
-  bench::write_csv(csv, "fig7_pr_curves.csv");
-  return 0;
+  run.write_csv(csv, "fig7_pr_curves.csv");
+  return run.finish();
 }

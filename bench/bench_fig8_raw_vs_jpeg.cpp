@@ -11,12 +11,15 @@
 using namespace edgestab;
 
 int main() {
-  bench::banner("Figure 8 — JPEG vs raw-converted photos");
+  bench::Run run("fig8", "Figure 8 — JPEG vs raw-converted photos");
   Workspace ws;
   Model model = ws.base_model();
 
   LabRigConfig rig = bench::standard_rig();
   std::vector<PhoneProfile> fleet = end_to_end_fleet();
+  run.record_workspace(ws);
+  run.record_rig(rig);
+  run.record_fleet(fleet);
   std::vector<RawShot> bank = collect_raw_bank(fleet, rig);
   RawVsJpegResult r = run_raw_vs_jpeg(model, fleet, bank);
 
@@ -51,7 +54,7 @@ int main() {
                    Table::num(raw_v, 4)});
     }
     std::printf("\n(b) Instability by class\n%s", t.str().c_str());
-    bench::write_csv(csv, "fig8b_by_class.csv");
+    run.write_csv(csv, "fig8b_by_class.csv");
   }
 
   // (c) Accuracy.
@@ -71,7 +74,7 @@ int main() {
         "\nPaper shape: raw + consistent conversion reduces instability\n"
         "but does not eliminate it, and accuracy barely moves — accuracy\n"
         "and instability are not the same thing.\n");
-    bench::write_csv(csv, "fig8c_accuracy.csv");
+    run.write_csv(csv, "fig8c_accuracy.csv");
   }
-  return 0;
+  return run.finish();
 }

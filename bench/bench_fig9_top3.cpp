@@ -8,12 +8,15 @@
 using namespace edgestab;
 
 int main() {
-  bench::banner("Figure 9 — top-3 vs top-1 prediction");
+  bench::Run run("fig9", "Figure 9 — top-3 vs top-1 prediction");
   Workspace ws;
   Model model = ws.base_model();
 
   LabRigConfig rig = bench::standard_rig();
   std::vector<PhoneProfile> fleet = end_to_end_fleet();
+  run.record_workspace(ws);
+  run.record_rig(rig);
+  run.record_fleet(fleet);
   EndToEndResult r = run_end_to_end(model, fleet, rig);
 
   // (a) Accuracy.
@@ -27,7 +30,7 @@ int main() {
                    Table::num(r.accuracy_by_phone_top3[p], 4)});
     }
     std::printf("\n(a) Accuracy, top-3 vs top-1\n%s", t.str().c_str());
-    bench::write_csv(csv, "fig9a_top3_accuracy.csv");
+    run.write_csv(csv, "fig9a_top3_accuracy.csv");
   }
 
   // (b) Instability.
@@ -45,7 +48,7 @@ int main() {
     CsvWriter csv({"k", "instability"});
     csv.add_row({"1", Table::num(r.overall.instability(), 4)});
     csv.add_row({"3", Table::num(r.overall_top3.instability(), 4)});
-    bench::write_csv(csv, "fig9b_top3_instability.csv");
+    run.write_csv(csv, "fig9b_top3_instability.csv");
   }
-  return 0;
+  return run.finish();
 }

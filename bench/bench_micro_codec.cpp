@@ -1,6 +1,7 @@
 // Microbenchmark: codec encode/decode throughput (google-benchmark).
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
 #include "codec/codec.h"
 #include "image/draw.h"
 #include "util/rng.h"
@@ -68,4 +69,10 @@ BENCHMARK_CAPTURE(BM_Decode, heif, ImageFormat::kHeifLike)
 }  // namespace
 }  // namespace edgestab
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return edgestab::bench::micro_manifest("micro_codec");
+}

@@ -1,6 +1,7 @@
 // Microbenchmark: ISP stage costs and full pipeline latency.
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
 #include "isp/pipeline.h"
 #include "isp/sensor.h"
 #include "isp/software_isp.h"
@@ -62,4 +63,10 @@ BENCHMARK(BM_SensorExposure)->Arg(64)->Arg(128);
 }  // namespace
 }  // namespace edgestab
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return edgestab::bench::micro_manifest("micro_isp");
+}

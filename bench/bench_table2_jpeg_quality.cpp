@@ -9,12 +9,16 @@
 using namespace edgestab;
 
 int main() {
-  bench::banner("Table 2 — JPEG compression quality");
+  bench::Run run("table2", "Table 2 — JPEG compression quality");
   Workspace ws;
   Model model = ws.base_model();
 
   LabRigConfig rig = bench::standard_rig();
-  std::vector<RawShot> bank = collect_raw_bank(end_to_end_fleet(), rig);
+  std::vector<PhoneProfile> fleet = end_to_end_fleet();
+  run.record_workspace(ws);
+  run.record_rig(rig);
+  run.record_fleet(fleet);
+  std::vector<RawShot> bank = collect_raw_bank(fleet, rig);
   std::printf("raw bank: %zu photos (Samsung + iPhone analogues)\n",
               bank.size());
 
@@ -43,6 +47,6 @@ int main() {
     csv.add_row({c.label, Table::num(c.avg_size_bytes, 1),
                  Table::num(c.accuracy, 4),
                  Table::num(r.instability.instability(), 4)});
-  bench::write_csv(csv, "table2_jpeg_quality.csv");
-  return 0;
+  run.write_csv(csv, "table2_jpeg_quality.csv");
+  return run.finish();
 }

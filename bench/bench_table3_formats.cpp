@@ -8,12 +8,16 @@
 using namespace edgestab;
 
 int main() {
-  bench::banner("Table 3 — compression formats (default parameters)");
+  bench::Run run("table3", "Table 3 — compression formats (default parameters)");
   Workspace ws;
   Model model = ws.base_model();
 
   LabRigConfig rig = bench::standard_rig();
-  std::vector<RawShot> bank = collect_raw_bank(end_to_end_fleet(), rig);
+  std::vector<PhoneProfile> fleet = end_to_end_fleet();
+  run.record_workspace(ws);
+  run.record_rig(rig);
+  run.record_fleet(fleet);
+  std::vector<RawShot> bank = collect_raw_bank(fleet, rig);
 
   CompressionResult r = run_format_experiment(model, bank);
   ES_CHECK(r.conditions.size() == 4);
@@ -41,6 +45,6 @@ int main() {
     csv.add_row({c.label, Table::num(c.avg_size_bytes, 1),
                  Table::num(c.accuracy, 4),
                  Table::num(r.instability.instability(), 4)});
-  bench::write_csv(csv, "table3_formats.csv");
-  return 0;
+  run.write_csv(csv, "table3_formats.csv");
+  return run.finish();
 }

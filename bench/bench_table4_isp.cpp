@@ -10,12 +10,18 @@
 using namespace edgestab;
 
 int main() {
-  bench::banner("Table 4 — image signal processors (software ISPs)");
+  bench::Run run("table4", "Table 4 — image signal processors (software ISPs)");
   Workspace ws;
   Model model = ws.base_model();
 
   LabRigConfig rig = bench::standard_rig();
-  std::vector<RawShot> bank = collect_raw_bank(end_to_end_fleet(), rig);
+  std::vector<PhoneProfile> fleet = end_to_end_fleet();
+  run.record_workspace(ws);
+  run.record_rig(rig);
+  run.record_fleet(fleet);
+  run.manifest().add_digest("isp_magick", isp_digest(magick_isp()));
+  run.manifest().add_digest("isp_photo", isp_digest(photo_isp()));
+  std::vector<RawShot> bank = collect_raw_bank(fleet, rig);
 
   IspResult r = run_isp_experiment(model, bank, {magick_isp(), photo_isp()});
 
@@ -34,6 +40,6 @@ int main() {
   for (std::size_t i = 0; i < r.isp_names.size(); ++i)
     csv.add_row({r.isp_names[i], Table::num(r.accuracy[i], 4),
                  Table::num(r.instability.instability(), 4)});
-  bench::write_csv(csv, "table4_isp.csv");
-  return 0;
+  run.write_csv(csv, "table4_isp.csv");
+  return run.finish();
 }

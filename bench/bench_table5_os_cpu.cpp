@@ -10,13 +10,18 @@
 using namespace edgestab;
 
 int main() {
-  bench::banner("Table 5 / §7 — processor and OS");
+  bench::Run run("table5", "Table 5 / §7 — processor and OS");
   Workspace ws;
   Model model = ws.base_model();
 
   OsCpuConfig config;
   config.images_per_class = 20;  // 240 fixed images across 12 classes
   std::vector<PhoneProfile> fleet = firebase_fleet();
+  run.record_workspace(ws);
+  run.record_fleet(fleet);
+  run.manifest().set_seed(config.seed);
+  run.manifest().set_field("images_per_class",
+                           static_cast<double>(config.images_per_class));
   OsCpuResult r = run_os_cpu_experiment(model, fleet, config);
 
   Table t({"PHONE", "SOC", "JPEG DECODE MD5", "PNG DECODE MD5"});
@@ -49,10 +54,10 @@ int main() {
       "the remaining three share another, so the divergence is OS JPEG\n"
       "decoding, not silicon.\n");
 
-  bench::write_csv(csv, "table5_os_cpu.csv");
+  run.write_csv(csv, "table5_os_cpu.csv");
   CsvWriter summary({"input", "instability"});
   summary.add_row({"jpeg", Table::num(r.jpeg_instability.instability(), 5)});
   summary.add_row({"png", Table::num(r.png_instability.instability(), 5)});
-  bench::write_csv(summary, "table5_summary.csv");
-  return 0;
+  run.write_csv(summary, "table5_summary.csv");
+  return run.finish();
 }

@@ -33,9 +33,16 @@ void print_rows(const char* title,
 }  // namespace
 
 int main() {
-  bench::banner("Table 6 — stability training grid (Samsung vs iPhone)");
+  bench::Run run("table6",
+                 "Table 6 — stability training grid (Samsung vs iPhone)");
   Workspace ws;
   StabilityGridConfig config;  // calibrated defaults (see DESIGN.md)
+  run.record_workspace(ws);
+  run.record_rig(config.rig);
+  run.manifest().set_field("noise_seed",
+                           static_cast<double>(config.noise_seed));
+  run.manifest().set_field("fleet_divergence",
+                           static_cast<double>(config.fleet_divergence));
 
   WallTimer timer;
   StabilityGridResult grid = run_stability_grid(ws, config);
@@ -80,6 +87,6 @@ int main() {
       "close behind (4.22%%); distortion+KL is the best scheme that needs\n"
       "no new data collection (4.52%%).\n");
 
-  bench::write_csv(csv, "table6_stability_training.csv");
-  return 0;
+  run.write_csv(csv, "table6_stability_training.csv");
+  return run.finish();
 }

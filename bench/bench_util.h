@@ -1,13 +1,22 @@
 // Shared scaffolding for the experiment bench binaries: standard
-// workspace, rig sizes, and CSV emission. Every bench prints the paper's
-// rows/series and writes a machine-readable CSV to bench_out/.
+// workspace, rig sizes, CSV emission, and the per-run observability
+// hook. Every bench prints the paper's rows/series and writes a
+// machine-readable CSV to bench_out/; the Run wrapper additionally emits
+// a provenance manifest (`<name>.meta.json`), and — when tracing is
+// compiled in — a Chrome trace (`<name>.trace.json`, open in
+// chrome://tracing or https://ui.perfetto.dev) plus a flat stage-timing
+// CSV aggregated from the span histograms.
 #pragma once
 
 #include <cstdio>
+#include <filesystem>
 #include <string>
+#include <vector>
 
 #include "core/workspace.h"
 #include "data/lab_rig.h"
+#include "device/fleets.h"
+#include "obs/obs.h"
 #include "util/csv.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -15,17 +24,21 @@
 
 namespace edgestab::bench {
 
-/// Directory the CSV artifacts go to (created on demand).
-inline std::string out_dir() {
-  std::string dir = "bench_out";
-  make_dirs(dir);
-  return dir;
-}
-
-inline void write_csv(const CsvWriter& csv, const std::string& name) {
-  std::string path = out_dir() + "/" + name;
-  csv.write_file(path);
-  std::printf("[csv] %s\n", path.c_str());
+/// Directory the artifacts go to (created on demand). Returns false —
+/// with a stderr report — when the directory cannot be created, e.g.
+/// because a file named bench_out is in the way; callers must not write
+/// into the void.
+inline bool ensure_out_dir(std::string& dir) {
+  dir = "bench_out";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec || !std::filesystem::is_directory(dir)) {
+    std::fprintf(stderr, "[bench] cannot create output directory %s: %s\n",
+                 dir.c_str(),
+                 ec ? ec.message().c_str() : "path is not a directory");
+    return false;
+  }
+  return true;
 }
 
 /// Production rig: 30 objects per target class, 5 angles — 150 objects,
@@ -41,6 +54,124 @@ inline void banner(const std::string& title) {
   std::printf("\n================================================================\n");
   std::printf("%s\n", title.c_str());
   std::printf("================================================================\n");
+}
+
+/// One bench execution: prints the banner, enables span tracing for the
+/// process, tracks artifact-write failures, and on finish() exports the
+/// run's trace, stage-timing CSV and provenance manifest. main() should
+/// `return run.finish();` so a bench whose artifacts failed to land
+/// exits non-zero.
+class Run {
+ public:
+  Run(std::string name, const std::string& title)
+      : name_(std::move(name)), manifest_(name_) {
+    banner(title);
+    if (obs::kTracingCompiledIn) obs::Tracer::global().set_enabled(true);
+  }
+
+  obs::RunManifest& manifest() { return manifest_; }
+
+  /// Record the capture-rig configuration (seed, geometry, digest).
+  void record_rig(const LabRigConfig& rig) {
+    manifest_.set_seed(rig.seed);
+    manifest_.set_field("objects_per_class",
+                        static_cast<double>(rig.objects_per_class));
+    manifest_.set_field("angles", static_cast<double>(rig.angles.size()));
+    manifest_.set_field("shots_per_stimulus",
+                        static_cast<double>(rig.shots_per_stimulus));
+    manifest_.set_field("scene_size", static_cast<double>(rig.scene_size));
+    manifest_.add_digest("lab_rig", rig_digest(rig));
+  }
+
+  /// Record every fleet member's identity and full-pipeline digest.
+  void record_fleet(const std::vector<PhoneProfile>& fleet) {
+    for (const PhoneProfile& phone : fleet) {
+      obs::ManifestDevice d;
+      d.name = phone.name;
+      d.model_code = phone.model_code;
+      d.isp = phone.isp.name;
+      d.format = format_name(phone.storage_format);
+      d.quality = phone.storage_quality;
+      d.soc = phone.backend.soc_name;
+      d.digest = obs::hex_digest(profile_digest(phone));
+      manifest_.add_device(std::move(d));
+    }
+  }
+
+  /// Record the shared-model workspace fingerprint (base of every cached
+  /// checkpoint the bench loaded).
+  void record_workspace(const Workspace& ws) {
+    manifest_.add_digest("workspace", ws.fingerprint());
+  }
+
+  /// Write a result CSV into bench_out/ and list it in the manifest.
+  /// Failures are reported and remembered for finish()'s exit code.
+  bool write_csv(const CsvWriter& csv, const std::string& file) {
+    std::string dir;
+    if (!ensure_out_dir(dir)) {
+      ok_ = false;
+      return false;
+    }
+    std::string path = dir + "/" + file;
+    try {
+      csv.write_file(path);
+    } catch (const CheckError& e) {
+      std::fprintf(stderr, "[csv] FAILED %s: %s\n", path.c_str(), e.what());
+      ok_ = false;
+      return false;
+    }
+    std::printf("[csv] %s\n", path.c_str());
+    manifest_.add_artifact(file);
+    return true;
+  }
+
+  /// Export trace + stage timing (tracing builds) and the provenance
+  /// manifest; returns the process exit code.
+  int finish() {
+    manifest_.set_wall_seconds(timer_.seconds());
+    std::string dir;
+    if (!ensure_out_dir(dir)) return 1;
+    if (obs::kTracingCompiledIn) {
+      write_csv(obs::stage_timing_csv(obs::MetricsRegistry::global()),
+                name_ + "_stage_timing.csv");
+      std::string trace_file = name_ + ".trace.json";
+      if (obs::write_chrome_trace(obs::Tracer::global(),
+                                  dir + "/" + trace_file)) {
+        std::printf("[trace] %s/%s (%zu spans, %llu dropped)\n", dir.c_str(),
+                    trace_file.c_str(), obs::Tracer::global().size(),
+                    static_cast<unsigned long long>(
+                        obs::Tracer::global().dropped()));
+        manifest_.add_artifact(trace_file);
+      } else {
+        ok_ = false;
+      }
+    }
+    std::string meta = dir + "/" + name_ + ".meta.json";
+    if (manifest_.write(meta)) {
+      std::printf("[meta] %s\n", meta.c_str());
+    } else {
+      ok_ = false;
+    }
+    return ok_ ? 0 : 1;
+  }
+
+ private:
+  std::string name_;
+  WallTimer timer_;
+  obs::RunManifest manifest_;
+  bool ok_ = true;
+};
+
+/// Manifest-only hook for the google-benchmark micros (their hot loops
+/// are timed by the benchmark library itself, so span tracing stays off).
+inline int micro_manifest(const std::string& name) {
+  obs::RunManifest manifest(name);
+  std::string dir;
+  if (!ensure_out_dir(dir)) return 1;
+  std::string path = dir + "/" + name + ".meta.json";
+  if (!manifest.write(path)) return 1;
+  std::printf("[meta] %s\n", path.c_str());
+  return 0;
 }
 
 }  // namespace edgestab::bench

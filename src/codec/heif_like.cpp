@@ -7,6 +7,7 @@
 #include "codec/coeffs.h"
 #include "codec/dct.h"
 #include "codec/planes.h"
+#include "obs/obs.h"
 
 namespace edgestab {
 
@@ -139,6 +140,7 @@ HeifLikeCodec::HeifLikeCodec(int quality) : quality_(quality) {
 }
 
 Bytes HeifLikeCodec::encode(const ImageU8& image) const {
+  ES_TRACE_SCOPE("codec", "heif_encode");
   ES_CHECK(image.channels() == 3);
   const int w = image.width();
   const int h = image.height();
@@ -178,10 +180,13 @@ Bytes HeifLikeCodec::encode(const ImageU8& image) const {
       codec_detail::encode_ac(block, ac_table, bw);
     }
   }
-  return bw.finish();
+  Bytes out = bw.finish();
+  ES_COUNT("codec.bytes_encoded", out.size());
+  return out;
 }
 
 ImageU8 HeifLikeCodec::decode(std::span<const std::uint8_t> data) const {
+  ES_TRACE_SCOPE("codec", "heif_decode");
   BitReader br(data);
   ES_CHECK_MSG(br.get(16) == kMagic, "heif_like: bad magic");
   int w = static_cast<int>(br.get(16));

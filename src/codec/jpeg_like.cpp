@@ -7,6 +7,7 @@
 #include "codec/dct.h"
 #include "codec/huffman.h"
 #include "codec/planes.h"
+#include "obs/obs.h"
 
 namespace edgestab {
 
@@ -205,6 +206,7 @@ std::string JpegLikeCodec::name() const {
 }
 
 Bytes JpegLikeCodec::encode(const ImageU8& image) const {
+  ES_TRACE_SCOPE("codec", "jpeg_encode");
   ES_CHECK(image.channels() == 3);
   const int w = image.width();
   const int h = image.height();
@@ -231,10 +233,13 @@ Bytes JpegLikeCodec::encode(const ImageU8& image) const {
   ac_table.write_table(bw);
   for (const QuantizedPlane* qp : {&qy, &qcb, &qcr})
     encode_plane_tokens(*qp, dc_table, ac_table, bw);
-  return bw.finish();
+  Bytes out = bw.finish();
+  ES_COUNT("codec.bytes_encoded", out.size());
+  return out;
 }
 
 ImageU8 JpegLikeCodec::decode(std::span<const std::uint8_t> data) const {
+  ES_TRACE_SCOPE("codec", "jpeg_decode");
   BitReader br(data);
   ES_CHECK_MSG(br.get(16) == kMagic, "jpeg_like: bad magic");
   int w = static_cast<int>(br.get(16));

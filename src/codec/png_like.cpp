@@ -6,6 +6,7 @@
 #include <cstdlib>
 
 #include "codec/huffman.h"
+#include "obs/obs.h"
 
 namespace edgestab {
 
@@ -139,6 +140,7 @@ std::vector<Token> lzss_tokenize(const Bytes& data) {
 }  // namespace
 
 Bytes PngLikeCodec::encode(const ImageU8& image) const {
+  ES_TRACE_SCOPE("codec", "png_encode");
   ES_CHECK(image.channels() == 3);
   const int w = image.width();
   const int h = image.height();
@@ -197,10 +199,13 @@ Bytes PngLikeCodec::encode(const ImageU8& image) const {
       table.encode(bw, t.literal);
     }
   }
-  return bw.finish();
+  Bytes out = bw.finish();
+  ES_COUNT("codec.bytes_encoded", out.size());
+  return out;
 }
 
 ImageU8 PngLikeCodec::decode(std::span<const std::uint8_t> data) const {
+  ES_TRACE_SCOPE("codec", "png_decode");
   BitReader br(data);
   ES_CHECK_MSG(br.get(16) == kMagic, "png_like: bad magic");
   int w = static_cast<int>(br.get(16));

@@ -7,6 +7,7 @@
 #include "codec/coeffs.h"
 #include "codec/dct.h"
 #include "codec/planes.h"
+#include "obs/obs.h"
 
 namespace edgestab {
 
@@ -192,6 +193,7 @@ WebpLikeCodec::WebpLikeCodec(int quality) : quality_(quality) {
 }
 
 Bytes WebpLikeCodec::encode(const ImageU8& image) const {
+  ES_TRACE_SCOPE("codec", "webp_encode");
   ES_CHECK(image.channels() == 3);
   const int w = image.width();
   const int h = image.height();
@@ -236,10 +238,13 @@ Bytes WebpLikeCodec::encode(const ImageU8& image) const {
           std::span<const int>(block.data(), block.size()), ac_table, bw);
     }
   }
-  return bw.finish();
+  Bytes out = bw.finish();
+  ES_COUNT("codec.bytes_encoded", out.size());
+  return out;
 }
 
 ImageU8 WebpLikeCodec::decode(std::span<const std::uint8_t> data) const {
+  ES_TRACE_SCOPE("codec", "webp_decode");
   BitReader br(data);
   ES_CHECK_MSG(br.get(16) == kMagic, "webp_like: bad magic");
   int w = static_cast<int>(br.get(16));

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "obs/obs.h"
 #include "util/hashing.h"
 #include "util/timer.h"
 
@@ -101,6 +102,10 @@ Model Workspace::base_model() {
         "[workspace] training base model (first run only; cached "
         "afterwards)...\n");
   WallTimer timer;
+  // One-time cached-artifact construction: its millions of forward
+  // passes are not part of the run being measured, so keep them out of
+  // the trace and the stage-timing histograms.
+  obs::SuspendTracing suspend;
   TensorDataset train = make_pretrain_dataset(config_.pretrain);
   TensorDataset val = make_validation_dataset(config_.pretrain);
   Pcg32 init_rng(config_.init_seed);

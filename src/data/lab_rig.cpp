@@ -1,11 +1,14 @@
 #include "data/lab_rig.h"
 
 #include "data/labels.h"
+#include "obs/obs.h"
+#include "util/hashing.h"
 
 namespace edgestab {
 
 LabRun run_lab_rig(const std::vector<PhoneProfile>& fleet,
                    const LabRigConfig& config) {
+  ES_TRACE_SCOPE("rig", "run_lab_rig");
   ES_CHECK(!fleet.empty());
   ES_CHECK(config.objects_per_class > 0);
   ES_CHECK(!config.angles.empty());
@@ -58,6 +61,20 @@ LabRun run_lab_rig(const std::vector<PhoneProfile>& fleet,
     }
   }
   return run;
+}
+
+std::uint64_t rig_digest(const LabRigConfig& config) {
+  Fingerprint fp;
+  fp.add("lab-rig-v1");
+  fp.add(config.objects_per_class).add(config.scene_size);
+  fp.add(static_cast<double>(config.screen.backlight))
+      .add(static_cast<double>(config.screen.black_level));
+  for (float w : config.screen.white_point) fp.add(static_cast<double>(w));
+  fp.add(static_cast<double>(config.screen.pixel_grid))
+      .add(config.screen.output_scale);
+  for (float a : config.angles) fp.add(static_cast<double>(a));
+  fp.add(config.seed).add(config.shots_per_stimulus);
+  return fp.value();
 }
 
 }  // namespace edgestab

@@ -7,6 +7,7 @@
 // variability exactly as the paper's setup does.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "data/render.h"
@@ -47,6 +48,11 @@ struct LabRun {
 /// Shots are ordered by (object, angle, phone, repeat).
 LabRun run_lab_rig(const std::vector<PhoneProfile>& fleet,
                    const LabRigConfig& config);
+
+/// Stable fingerprint of the rig configuration (seed, geometry, screen) —
+/// recorded in run manifests so a result row names the exact capture
+/// setup that produced it.
+std::uint64_t rig_digest(const LabRigConfig& config);
 
 /// Stimulus id helper — groups shots of the same displayed image.
 inline int stimulus_id(const LabRun& run, const LabShot& shot) {

@@ -1,11 +1,13 @@
 #include "device/capture.h"
 
 #include "image/resize.h"
+#include "obs/obs.h"
 
 namespace edgestab {
 
 Capture take_photo(const PhoneProfile& phone, const Image& screen_emission,
                    Pcg32& rng) {
+  ES_TRACE_SCOPE("device", "take_photo");
   ES_CHECK(screen_emission.channels() == 3);
 
   // Optics + mount: small per-phone geometric offset/tilt of the framed
@@ -14,6 +16,7 @@ Capture take_photo(const PhoneProfile& phone, const Image& screen_emission,
   Image framed = screen_emission;
   if (phone.mount_dx != 0.0f || phone.mount_dy != 0.0f ||
       phone.mount_tilt != 0.0f) {
+    ES_TRACE_SCOPE("device", "frame_warp");
     float cx = static_cast<float>(screen_emission.width()) / 2.0f;
     float cy = static_cast<float>(screen_emission.height()) / 2.0f;
     Affine warp = Affine::rotate_about(phone.mount_tilt, cx, cy)
@@ -29,14 +32,19 @@ Capture take_photo(const PhoneProfile& phone, const Image& screen_emission,
   Capture capture;
   capture.format = phone.storage_format;
   capture.quality = phone.storage_quality;
-  auto codec = make_codec(phone.storage_format, phone.storage_quality);
-  capture.file = codec->encode(to_u8(developed));
+  {
+    ES_TRACE_SCOPE("device", "store_file");
+    auto codec = make_codec(phone.storage_format, phone.storage_quality);
+    capture.file = codec->encode(to_u8(developed));
+  }
   if (phone.supports_raw) capture.raw = raw;
+  ES_COUNT("device.shots_captured", 1);
   return capture;
 }
 
 ImageU8 decode_capture(const Capture& capture,
                        const JpegDecodeOptions& os_decoder) {
+  ES_TRACE_SCOPE("device", "decode_capture");
   if (capture.format == ImageFormat::kJpegLike) {
     JpegLikeCodec codec(capture.quality, os_decoder);
     return codec.decode(capture.file);
@@ -46,6 +54,7 @@ ImageU8 decode_capture(const Capture& capture,
 }
 
 Image develop_raw(const RawImage& raw, const IspConfig& software_isp) {
+  ES_TRACE_SCOPE("device", "develop_raw");
   return run_isp(raw, software_isp);
 }
 

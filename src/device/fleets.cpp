@@ -1,6 +1,7 @@
 #include "device/fleets.h"
 
 #include "util/check.h"
+#include "util/hashing.h"
 
 namespace edgestab {
 
@@ -221,6 +222,25 @@ std::vector<PhoneProfile> firebase_fleet() {
   add("Sony XZ3", "Snapdragon 845", false);
   add("Xiaomi Mi 8 Pro", "Helio G90T (MT6785T)", true);
   return fleet;
+}
+
+std::uint64_t profile_digest(const PhoneProfile& phone) {
+  Fingerprint fp;
+  fp.add("phone-profile-v1");
+  fp.add(phone.name).add(phone.model_code);
+  fp.add(sensor_digest(phone.sensor));
+  fp.add(isp_digest(phone.isp));
+  fp.add(static_cast<int>(phone.storage_format)).add(phone.storage_quality);
+  fp.add(static_cast<int>(phone.supports_raw));
+  fp.add(static_cast<double>(phone.mount_dx))
+      .add(static_cast<double>(phone.mount_dy))
+      .add(static_cast<double>(phone.mount_tilt));
+  fp.add(static_cast<int>(phone.os_decoder.upsample))
+      .add(static_cast<int>(phone.os_decoder.fixed_point_idct));
+  fp.add(phone.backend.soc_name)
+      .add(static_cast<int>(phone.backend.matmul_mode));
+  fp.add(phone.noise_stream);
+  return fp.value();
 }
 
 const PhoneProfile& find_phone(const std::vector<PhoneProfile>& fleet,

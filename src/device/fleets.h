@@ -10,6 +10,7 @@
 // behaviour and floating-point accumulation, the §7 levers.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "device/phone.h"
@@ -28,5 +29,11 @@ std::vector<PhoneProfile> firebase_fleet();
 /// Find a profile by name; throws if absent.
 const PhoneProfile& find_phone(const std::vector<PhoneProfile>& fleet,
                                const std::string& name);
+
+/// Stable fingerprint of everything that makes this phone's pipeline
+/// unique (sensor, ISP, storage codec, OS decoder, compute backend) —
+/// run manifests record one per fleet member so divergent results can be
+/// attributed to an exact device configuration.
+std::uint64_t profile_digest(const PhoneProfile& phone);
 
 }  // namespace edgestab

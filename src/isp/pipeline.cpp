@@ -1,26 +1,73 @@
 #include "isp/pipeline.h"
 
+#include "obs/obs.h"
+#include "util/hashing.h"
+
 namespace edgestab {
 
 Image run_isp(const RawImage& raw, const IspConfig& config) {
+  ES_TRACE_SCOPE("isp", "pipeline");
   RawImage work = raw;
-  black_level_subtract(work);
-  Image rgb = demosaic(work, config.demosaic_kind);
-  switch (config.wb_mode) {
-    case WhiteBalanceMode::kPreset:
-      white_balance_preset(rgb, config.wb_gains);
-      break;
-    case WhiteBalanceMode::kGrayWorld:
-      white_balance_gray_world(rgb);
-      break;
+  {
+    ES_TRACE_SCOPE("isp", "black_level");
+    black_level_subtract(work);
   }
-  color_correct(rgb, config.ccm);
-  denoise_box(rgb, config.denoise_radius, config.denoise_strength);
-  tone_map(rgb, config.gamma, config.s_curve);
-  sharpen_unsharp(rgb, config.sharpen_radius, config.sharpen_amount);
-  saturate(rgb, config.saturation);
-  rgb.clamp();
+  Image rgb;
+  {
+    ES_TRACE_SCOPE("isp", "demosaic");
+    rgb = demosaic(work, config.demosaic_kind);
+  }
+  {
+    ES_TRACE_SCOPE("isp", "white_balance");
+    switch (config.wb_mode) {
+      case WhiteBalanceMode::kPreset:
+        white_balance_preset(rgb, config.wb_gains);
+        break;
+      case WhiteBalanceMode::kGrayWorld:
+        white_balance_gray_world(rgb);
+        break;
+    }
+  }
+  {
+    ES_TRACE_SCOPE("isp", "color_correct");
+    color_correct(rgb, config.ccm);
+  }
+  {
+    ES_TRACE_SCOPE("isp", "denoise");
+    denoise_box(rgb, config.denoise_radius, config.denoise_strength);
+  }
+  {
+    ES_TRACE_SCOPE("isp", "tone_map");
+    tone_map(rgb, config.gamma, config.s_curve);
+  }
+  {
+    ES_TRACE_SCOPE("isp", "sharpen");
+    sharpen_unsharp(rgb, config.sharpen_radius, config.sharpen_amount);
+  }
+  {
+    ES_TRACE_SCOPE("isp", "saturate");
+    saturate(rgb, config.saturation);
+    rgb.clamp();
+  }
   return rgb;
+}
+
+std::uint64_t isp_digest(const IspConfig& config) {
+  Fingerprint fp;
+  fp.add("isp-config-v1");
+  fp.add(config.name);
+  fp.add(static_cast<int>(config.demosaic_kind));
+  fp.add(static_cast<int>(config.wb_mode));
+  for (float g : config.wb_gains) fp.add(static_cast<double>(g));
+  for (float c : config.ccm) fp.add(static_cast<double>(c));
+  fp.add(config.denoise_radius)
+      .add(static_cast<double>(config.denoise_strength));
+  fp.add(static_cast<double>(config.gamma))
+      .add(static_cast<double>(config.s_curve));
+  fp.add(config.sharpen_radius)
+      .add(static_cast<double>(config.sharpen_amount));
+  fp.add(static_cast<double>(config.saturation));
+  return fp.value();
 }
 
 }  // namespace edgestab

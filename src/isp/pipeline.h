@@ -4,6 +4,7 @@
 #pragma once
 
 #include <array>
+#include <cstdint>
 #include <string>
 
 #include "image/image.h"
@@ -44,5 +45,10 @@ struct IspConfig {
 /// black level -> demosaic -> WB -> CCM -> denoise -> tone map ->
 /// sharpen -> saturation.
 Image run_isp(const RawImage& raw, const IspConfig& config);
+
+/// Stable fingerprint of every field that changes the pipeline's output —
+/// run manifests record it so a CSV row can be traced to the exact ISP
+/// configuration that produced it.
+std::uint64_t isp_digest(const IspConfig& config);
 
 }  // namespace edgestab

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "image/resize.h"
+#include "obs/obs.h"
+#include "util/hashing.h"
 
 namespace edgestab {
 
@@ -56,6 +58,7 @@ Image apply_chromatic_aberration(const Image& img, float strength) {
 
 RawImage expose_sensor(const Image& scene_linear, const SensorConfig& config,
                        Pcg32& rng) {
+  ES_TRACE_SCOPE("sensor", "expose");
   ES_CHECK(scene_linear.channels() == 3);
   // Resample the scene onto the sensor grid.
   Image scene = resize(scene_linear, config.width, config.height,
@@ -118,6 +121,25 @@ RawImage expose_sensor(const Image& scene_linear, const SensorConfig& config,
     }
   }
   return raw;
+}
+
+std::uint64_t sensor_digest(const SensorConfig& config) {
+  Fingerprint fp;
+  fp.add("sensor-config-v1");
+  fp.add(config.width).add(config.height);
+  fp.add(static_cast<int>(config.pattern));
+  for (float r : config.channel_response) fp.add(static_cast<double>(r));
+  fp.add(static_cast<double>(config.exposure))
+      .add(static_cast<double>(config.full_well))
+      .add(static_cast<double>(config.read_noise))
+      .add(static_cast<double>(config.prnu_sigma))
+      .add(static_cast<double>(config.vignetting))
+      .add(static_cast<double>(config.black_level));
+  fp.add(config.bit_depth);
+  fp.add(static_cast<double>(config.defocus))
+      .add(static_cast<double>(config.chroma_aberration));
+  fp.add(config.unit_seed);
+  return fp.value();
 }
 
 }  // namespace edgestab

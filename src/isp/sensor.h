@@ -7,6 +7,7 @@
 #pragma once
 
 #include <array>
+#include <cstdint>
 
 #include "image/image.h"
 #include "isp/raw.h"
@@ -44,5 +45,8 @@ struct SensorConfig {
 /// shots from the same unit share it, as on a real phone.
 RawImage expose_sensor(const Image& scene_linear, const SensorConfig& config,
                        Pcg32& rng);
+
+/// Stable fingerprint of the sensor configuration (for run manifests).
+std::uint64_t sensor_digest(const SensorConfig& config);
 
 }  // namespace edgestab

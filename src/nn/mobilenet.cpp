@@ -4,6 +4,7 @@
 
 #include "nn/block.h"
 #include "nn/layers.h"
+#include "obs/obs.h"
 
 namespace edgestab {
 
@@ -14,6 +15,7 @@ int scaled(int channels, float width) {
 }  // namespace
 
 Model build_mini_mobilenet_v2(const MobileNetConfig& config) {
+  ES_TRACE_SCOPE("nn", "build_model");
   ES_CHECK(config.input_size >= 8);
   ES_CHECK(config.num_classes >= 2);
   const float w = config.width;

@@ -4,6 +4,7 @@
 
 #include "nn/block.h"
 #include "nn/layers.h"
+#include "obs/obs.h"
 #include "util/hashing.h"
 
 namespace edgestab {
@@ -19,6 +20,8 @@ void Model::set_embedding_tap(int index) {
 }
 
 Tensor Model::forward(const Tensor& input, bool train) {
+  ES_TRACE_SCOPE("nn", "forward");
+  ES_COUNT("nn.inferences", 1);
   ES_CHECK(!layers_.empty());
   Tensor x = input;
   for (int i = 0; i < layer_count(); ++i) {

@@ -1,0 +1,130 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace edgestab::obs {
+
+void JsonWriter::comma_for_value() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!has_element_.empty()) {
+    if (has_element_.back()) out_ += ',';
+    has_element_.back() = true;
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  comma_for_value();
+  out_ += '{';
+  has_element_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  ES_CHECK_MSG(!has_element_.empty() && !after_key_,
+               "unbalanced end_object()");
+  has_element_.pop_back();
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  comma_for_value();
+  out_ += '[';
+  has_element_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  ES_CHECK_MSG(!has_element_.empty() && !after_key_, "unbalanced end_array()");
+  has_element_.pop_back();
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  ES_CHECK_MSG(!has_element_.empty() && !after_key_,
+               "key() outside an object");
+  if (has_element_.back()) out_ += ',';
+  has_element_.back() = true;
+  out_ += '"';
+  out_ += escape(k);
+  out_ += "\":";
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view s) {
+  comma_for_value();
+  out_ += '"';
+  out_ += escape(s);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  comma_for_value();
+  if (!std::isfinite(v)) {
+    out_ += "null";  // JSON has no NaN/Inf
+    return *this;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  comma_for_value();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  comma_for_value();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  comma_for_value();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+std::string JsonWriter::take() {
+  ES_CHECK_MSG(has_element_.empty() && !after_key_,
+               "take() with open containers");
+  return std::move(out_);
+}
+
+std::string JsonWriter::escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace edgestab::obs

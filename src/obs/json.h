@@ -1,0 +1,48 @@
+// Minimal streaming JSON writer for the observability exporters (Chrome
+// traces, provenance manifests). Handles comma placement and string
+// escaping; the caller is responsible for well-formed nesting (checked
+// with ES_CHECK so malformed exporter code fails loudly in tests).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace edgestab::obs {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Object key; must be followed by exactly one value or container.
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(bool v);
+
+  /// The finished document; the writer must be back at nesting depth 0.
+  std::string take();
+  const std::string& str() const { return out_; }
+
+  static std::string escape(std::string_view s);
+
+ private:
+  void comma_for_value();
+
+  std::string out_;
+  /// One frame per open container: true once the first element was
+  /// written (so the next element is comma-separated).
+  std::vector<bool> has_element_;
+  bool after_key_ = false;
+};
+
+}  // namespace edgestab::obs

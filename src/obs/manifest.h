@@ -1,0 +1,72 @@
+// Per-run provenance manifests.
+//
+// Every bench emits `bench_out/<name>.meta.json` describing how its CSV
+// rows were produced: rig seed, fleet composition, config digests
+// (util/hashing fingerprints of the phone/ISP/codec configs), the git
+// commit, counters and stage-timing summaries, and the artifact list —
+// enough to re-derive or diff any result without spelunking the binary.
+//
+// The manifest is deliberately generic (string fields, named digests,
+// device rows) so this layer depends only on util; the bench harness
+// fills it from the typed configs it owns.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace edgestab::obs {
+
+/// One device row in the manifest's fleet table.
+struct ManifestDevice {
+  std::string name;
+  std::string model_code;
+  std::string isp;
+  std::string format;
+  int quality = 0;
+  std::string soc;
+  std::string digest;  ///< hex fingerprint of the full profile
+};
+
+class RunManifest {
+ public:
+  explicit RunManifest(std::string bench_name);
+
+  void set_seed(std::uint64_t seed);
+  void set_wall_seconds(double seconds);
+  void set_field(const std::string& key, const std::string& value);
+  void set_field(const std::string& key, double value);
+
+  void add_digest(const std::string& name, std::uint64_t digest);
+  void add_device(ManifestDevice device);
+  void add_artifact(const std::string& path);
+
+  const std::string& bench_name() const { return bench_name_; }
+
+  /// Render the manifest, folding in the current global counter and
+  /// stage-timing state (milliseconds).
+  std::string to_json() const;
+
+  /// Write to `path`; reports failure on stderr and via the return value.
+  bool write(const std::string& path) const;
+
+ private:
+  std::string bench_name_;
+  bool has_seed_ = false;
+  std::uint64_t seed_ = 0;
+  double wall_seconds_ = -1.0;
+  std::vector<std::pair<std::string, std::string>> string_fields_;
+  std::vector<std::pair<std::string, double>> number_fields_;
+  std::vector<std::pair<std::string, std::uint64_t>> digests_;
+  std::vector<ManifestDevice> devices_;
+  std::vector<std::string> artifacts_;
+};
+
+/// Commit SHA of the enclosing git checkout (searches upward from the
+/// working directory); empty when not in a repository.
+std::string git_head_sha();
+
+/// 16-hex-digit rendering of a util/hashing fingerprint.
+std::string hex_digest(std::uint64_t digest);
+
+}  // namespace edgestab::obs

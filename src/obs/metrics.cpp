@@ -1,0 +1,150 @@
+#include "obs/metrics.h"
+
+#include <bit>
+#include <cmath>
+
+#include "util/csv.h"
+
+namespace edgestab::obs {
+
+namespace {
+
+void atomic_min(std::atomic<std::uint64_t>& target, std::uint64_t value) {
+  std::uint64_t cur = target.load(std::memory_order_relaxed);
+  while (value < cur &&
+         !target.compare_exchange_weak(cur, value, std::memory_order_relaxed))
+    ;
+}
+
+void atomic_max(std::atomic<std::uint64_t>& target, std::uint64_t value) {
+  std::uint64_t cur = target.load(std::memory_order_relaxed);
+  while (value > cur &&
+         !target.compare_exchange_weak(cur, value, std::memory_order_relaxed))
+    ;
+}
+
+}  // namespace
+
+int Histogram::bucket_index(std::uint64_t value) {
+  if (value < kSubBuckets) return static_cast<int>(value);
+  int msb = 63 - std::countl_zero(value);
+  int shift = msb - kSubBucketBits;
+  int sub = static_cast<int>((value >> shift) & (kSubBuckets - 1));
+  return ((msb - kSubBucketBits + 1) << kSubBucketBits) + sub;
+}
+
+double Histogram::bucket_midpoint(int index) {
+  // Small values have their own unit bucket and are exact.
+  if (index < kSubBuckets) return static_cast<double>(index);
+  int octave = index >> kSubBucketBits;
+  int sub = index & (kSubBuckets - 1);
+  int msb = octave + kSubBucketBits - 1;
+  double lower = std::ldexp(1.0, msb) +
+                 std::ldexp(static_cast<double>(sub), msb - kSubBucketBits);
+  double width = std::ldexp(1.0, msb - kSubBucketBits);
+  return lower + width / 2.0;
+}
+
+void Histogram::record(std::uint64_t value) {
+  buckets_[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  atomic_min(min_, value);
+  atomic_max(max_, value);
+}
+
+double Histogram::quantile(double q) const {
+  std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  q = q < 0.0 ? 0.0 : (q > 1.0 ? 1.0 : q);
+  auto target = static_cast<std::uint64_t>(std::ceil(q * n));
+  if (target == 0) target = 1;
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBucketCount; ++i) {
+    seen += buckets_[i].load(std::memory_order_relaxed);
+    if (seen >= target) return bucket_midpoint(i);
+  }
+  return bucket_midpoint(kBucketCount - 1);
+}
+
+HistogramSummary Histogram::summary() const {
+  HistogramSummary s;
+  s.count = count();
+  s.sum = sum();
+  if (s.count > 0) {
+    s.min = min_.load(std::memory_order_relaxed);
+    s.max = max_.load(std::memory_order_relaxed);
+    s.p50 = p50();
+    s.p95 = p95();
+    s.p99 = p99();
+  }
+  return s;
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(UINT64_MAX, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> MetricsRegistry::counters()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_)
+    out.emplace_back(name, counter->value());
+  return out;
+}
+
+std::vector<std::pair<std::string, HistogramSummary>>
+MetricsRegistry::histograms() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, HistogramSummary>> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_)
+    out.emplace_back(name, histogram->summary());
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->reset();
+  for (auto& [name, histogram] : histograms_) histogram->reset();
+}
+
+CsvWriter stage_timing_csv(const MetricsRegistry& registry) {
+  CsvWriter csv({"stage", "count", "total_ms", "mean_ms", "p50_ms", "p95_ms",
+                 "p99_ms"});
+  auto ms = [](double ns) { return ns / 1e6; };
+  for (const auto& [name, s] : registry.histograms()) {
+    csv.add_row({name, std::to_string(s.count),
+                 std::to_string(ms(static_cast<double>(s.sum))),
+                 std::to_string(ms(s.mean())), std::to_string(ms(s.p50)),
+                 std::to_string(ms(s.p95)), std::to_string(ms(s.p99))});
+  }
+  return csv;
+}
+
+}  // namespace edgestab::obs

@@ -1,0 +1,62 @@
+// Umbrella header + instrumentation macros for the observability layer.
+//
+// Hot-path sites use the macros, not the classes, so a build with
+// -DEDGESTAB_TRACING=OFF compiles every span to `((void)0)` — zero code,
+// zero data, zero clock reads. With tracing compiled in, spans still cost
+// only a relaxed atomic load until a bench enables the tracer.
+//
+//   {
+//     ES_TRACE_SCOPE("isp", "demosaic");   // span + latency histogram
+//     rgb = demosaic(raw, kind);
+//   }
+//   ES_COUNT("codec.bytes_encoded", out.size());
+//
+// ES_TRACE_SCOPE declares block-scoped locals: use it inside a braced
+// scope (never as the single statement of an unbraced `if`). The
+// category/name arguments must be string literals; the span feeds the
+// registry histogram named "<category>.<name>", resolved once per call
+// site via a static local.
+#pragma once
+
+#include "obs/manifest.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace edgestab::obs {
+
+#ifdef EDGESTAB_TRACING
+inline constexpr bool kTracingCompiledIn = true;
+#else
+inline constexpr bool kTracingCompiledIn = false;
+#endif
+
+}  // namespace edgestab::obs
+
+#define ES_OBS_CONCAT_INNER(a, b) a##b
+#define ES_OBS_CONCAT(a, b) ES_OBS_CONCAT_INNER(a, b)
+
+#ifdef EDGESTAB_TRACING
+
+#define ES_TRACE_SCOPE(category, name)                                     \
+  static ::edgestab::obs::Histogram& ES_OBS_CONCAT(es_obs_hist_,           \
+                                                   __LINE__) =             \
+      ::edgestab::obs::MetricsRegistry::global().histogram(category        \
+                                                           "." name);      \
+  ::edgestab::obs::ScopedSpan ES_OBS_CONCAT(es_obs_span_, __LINE__)(       \
+      category, name, &ES_OBS_CONCAT(es_obs_hist_, __LINE__))
+
+#define ES_COUNT(name, delta)                                              \
+  do {                                                                     \
+    if (::edgestab::obs::Tracer::global().enabled()) {                     \
+      static ::edgestab::obs::Counter& es_obs_counter =                    \
+          ::edgestab::obs::MetricsRegistry::global().counter(name);        \
+      es_obs_counter.add(static_cast<std::uint64_t>(delta));               \
+    }                                                                      \
+  } while (0)
+
+#else
+
+#define ES_TRACE_SCOPE(category, name) ((void)0)
+#define ES_COUNT(name, delta) ((void)0)
+
+#endif  // EDGESTAB_TRACING

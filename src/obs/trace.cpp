@@ -1,0 +1,177 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cstdio>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace edgestab::obs {
+
+namespace {
+
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Per-thread span nesting depth (only maintained by active spans).
+thread_local std::uint16_t t_span_depth = 0;
+
+}  // namespace
+
+Tracer::Tracer() : epoch_ns_(steady_ns()) {}
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+std::uint64_t Tracer::now_ns() const { return steady_ns() - epoch_ns_; }
+
+Tracer::ThreadBuffer& Tracer::local_buffer() {
+  // One buffer per (tracer, thread); the shared_ptr in buffers_ keeps it
+  // alive for exporters even after the thread exits.
+  thread_local std::shared_ptr<ThreadBuffer> t_buffer;
+  if (t_buffer == nullptr) {
+    auto buffer = std::make_shared<ThreadBuffer>();
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    buffer->thread_id = next_thread_id_++;
+    buffers_.push_back(buffer);
+    t_buffer = std::move(buffer);
+  }
+  return *t_buffer;
+}
+
+void Tracer::record(const SpanEvent& event) {
+  ThreadBuffer& buffer = local_buffer();
+  std::lock_guard<std::mutex> lock(buffer.mutex);
+  if (buffer.events.size() >= kMaxEventsPerThread) {
+    ++buffer.dropped;
+    return;
+  }
+  SpanEvent stamped = event;
+  stamped.thread_id = buffer.thread_id;
+  buffer.events.push_back(stamped);
+}
+
+std::vector<SpanEvent> Tracer::snapshot() const {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    buffers = buffers_;
+  }
+  std::vector<SpanEvent> out;
+  for (const auto& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mutex);
+    out.insert(out.end(), buffer->events.begin(), buffer->events.end());
+  }
+  return out;
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  std::uint64_t dropped = 0;
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    dropped += buffer->dropped;
+  }
+  return dropped;
+}
+
+std::size_t Tracer::size() const {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  std::size_t n = 0;
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    n += buffer->events.size();
+  }
+  return n;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    buffer->events.clear();
+    buffer->dropped = 0;
+  }
+}
+
+ScopedSpan::ScopedSpan(const char* category, const char* name,
+                       Histogram* histogram)
+    : category_(category), name_(name), histogram_(histogram) {
+  Tracer& tracer = Tracer::global();
+  if (!tracer.enabled()) return;
+  active_ = true;
+  depth_ = t_span_depth++;
+  start_ns_ = tracer.now_ns();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  --t_span_depth;
+  Tracer& tracer = Tracer::global();
+  std::uint64_t duration = tracer.now_ns() - start_ns_;
+  SpanEvent event;
+  event.category = category_;
+  event.name = name_;
+  event.start_ns = start_ns_;
+  event.duration_ns = duration;
+  event.depth = depth_;
+  tracer.record(event);
+  if (histogram_ != nullptr) histogram_->record(duration);
+}
+
+SuspendTracing::SuspendTracing() : was_enabled_(Tracer::global().enabled()) {
+  Tracer::global().set_enabled(false);
+}
+
+SuspendTracing::~SuspendTracing() {
+  Tracer::global().set_enabled(was_enabled_);
+}
+
+std::string chrome_trace_json(const Tracer& tracer) {
+  std::vector<SpanEvent> events = tracer.snapshot();
+  JsonWriter w;
+  w.begin_object();
+  w.key("traceEvents");
+  w.begin_array();
+  for (const SpanEvent& e : events) {
+    w.begin_object();
+    w.key("name").value(e.name);
+    w.key("cat").value(e.category);
+    w.key("ph").value("X");
+    w.key("ts").value(static_cast<double>(e.start_ns) / 1e3);
+    w.key("dur").value(static_cast<double>(e.duration_ns) / 1e3);
+    w.key("pid").value(std::uint64_t{1});
+    w.key("tid").value(static_cast<std::uint64_t>(e.thread_id));
+    w.key("args");
+    w.begin_object();
+    w.key("depth").value(static_cast<std::uint64_t>(e.depth));
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.key("displayTimeUnit").value("ms");
+  w.key("droppedEvents").value(tracer.dropped());
+  w.end_object();
+  return w.take();
+}
+
+bool write_chrome_trace(const Tracer& tracer, const std::string& path) {
+  std::string doc = chrome_trace_json(tracer);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "[obs] cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  std::size_t written = std::fwrite(doc.data(), 1, doc.size(), f);
+  bool ok = written == doc.size() && std::fclose(f) == 0;
+  if (!ok) std::fprintf(stderr, "[obs] short write to %s\n", path.c_str());
+  return ok;
+}
+
+}  // namespace edgestab::obs

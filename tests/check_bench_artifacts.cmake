@@ -1,0 +1,57 @@
+# Runs one bench binary end-to-end in a scratch directory and asserts its
+# artifacts land: the result CSV and provenance manifest always, the
+# Chrome trace only when tracing is compiled in (and its absence when
+# not). Invoked by the `bench_artifacts` ctest entry; the model cache
+# lives in the build tree so only the first run pays for pretraining.
+#
+# Expected -D variables: BENCH_EXE, WORK_DIR, CACHE_DIR, BENCH_NAME,
+# CSV_FILE, TRACING_ON.
+foreach(var BENCH_EXE WORK_DIR CACHE_DIR BENCH_NAME CSV_FILE)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "check_bench_artifacts: ${var} not set")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE "${WORK_DIR}/bench_out")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env "EDGESTAB_CACHE=${CACHE_DIR}" "${BENCH_EXE}"
+  WORKING_DIRECTORY "${WORK_DIR}"
+  RESULT_VARIABLE bench_rc)
+if(NOT bench_rc EQUAL 0)
+  message(FATAL_ERROR "bench exited with ${bench_rc}")
+endif()
+
+set(out "${WORK_DIR}/bench_out")
+foreach(artifact "${CSV_FILE}" "${BENCH_NAME}.meta.json")
+  if(NOT EXISTS "${out}/${artifact}")
+    message(FATAL_ERROR "missing artifact ${out}/${artifact}")
+  endif()
+endforeach()
+
+# The manifest must be non-trivial (schema header present).
+file(READ "${out}/${BENCH_NAME}.meta.json" meta)
+if(NOT meta MATCHES "edgestab-run-manifest-v1")
+  message(FATAL_ERROR "manifest ${out}/${BENCH_NAME}.meta.json lacks schema")
+endif()
+
+set(trace "${out}/${BENCH_NAME}.trace.json")
+if(TRACING_ON)
+  if(NOT EXISTS "${trace}")
+    message(FATAL_ERROR "tracing build produced no ${trace}")
+  endif()
+  file(READ "${trace}" trace_doc)
+  if(NOT trace_doc MATCHES "traceEvents")
+    message(FATAL_ERROR "${trace} is not a Chrome trace document")
+  endif()
+  if(NOT EXISTS "${out}/${BENCH_NAME}_stage_timing.csv")
+    message(FATAL_ERROR "missing ${out}/${BENCH_NAME}_stage_timing.csv")
+  endif()
+else()
+  if(EXISTS "${trace}")
+    message(FATAL_ERROR "non-tracing build still wrote ${trace}")
+  endif()
+endif()
+
+message(STATUS "bench artifacts OK in ${out}")

@@ -1,0 +1,406 @@
+// Unit tests for the observability layer: JSON writer output and
+// escaping, histogram bucketing and quantiles, registry behavior, span
+// recording/nesting/suspension, Chrome-trace export (validated with a
+// minimal JSON parser), and the provenance manifest document.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
+#include <thread>
+
+#include "obs/json.h"
+#include "obs/obs.h"
+#include "util/check.h"
+#include "util/csv.h"
+
+namespace edgestab::obs {
+namespace {
+
+// ---- Minimal recursive-descent JSON validator -------------------------------
+// Enough grammar to prove the exporters emit well-formed documents without
+// pulling in a JSON dependency. Returns true iff the whole input is one
+// valid JSON value.
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : s_(text) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+      }
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool number() {
+    std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-'))
+      ++pos_;
+    return pos_ > start;
+  }
+
+  bool literal(const char* word) {
+    std::size_t n = std::string(word).size();
+    if (s_.compare(pos_, n, word) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+// Restores the tracer to a clean, disabled state around each span test so
+// tests do not leak state into one another.
+struct TracerSandbox {
+  TracerSandbox() {
+    Tracer::global().clear();
+    Tracer::global().set_enabled(true);
+  }
+  ~TracerSandbox() {
+    Tracer::global().set_enabled(false);
+    Tracer::global().clear();
+  }
+};
+
+// ---- JsonWriter -------------------------------------------------------------
+
+TEST(JsonWriter, ObjectsArraysAndCommas) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("a").value(1);
+  w.key("b");
+  w.begin_array();
+  w.value("x").value(2.5).value(true);
+  w.end_array();
+  w.key("c").value("z");
+  w.end_object();
+  EXPECT_EQ(w.take(), R"({"a":1,"b":["x",2.5,true],"c":"z"})");
+}
+
+TEST(JsonWriter, EscapesControlAndSpecialCharacters) {
+  EXPECT_EQ(JsonWriter::escape("q\"b\\s\n\t"), "q\\\"b\\\\s\\n\\t");
+  // Control characters must come out as \u00xx escapes.
+  EXPECT_EQ(JsonWriter::escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(JsonWriter, EmptyContainers) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("list");
+  w.begin_array();
+  w.end_array();
+  w.key("obj");
+  w.begin_object();
+  w.end_object();
+  w.end_object();
+  std::string doc = w.take();
+  EXPECT_EQ(doc, R"({"list":[],"obj":{}})");
+  EXPECT_TRUE(JsonChecker(doc).valid());
+}
+
+TEST(JsonWriter, UnbalancedNestingIsRejected) {
+  JsonWriter w;
+  w.begin_object();
+  EXPECT_THROW(w.take(), CheckError);
+}
+
+// ---- Counter / Histogram ----------------------------------------------------
+
+TEST(Counter, AddAndReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Histogram, SmallValuesAreExact) {
+  Histogram h;
+  for (std::uint64_t v : {1, 2, 3, 4, 5, 6, 7}) h.record(v);
+  // Values below kSubBuckets land in unit-width buckets, so quantiles on
+  // this input are exact order statistics.
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 4.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 7.0);
+  EXPECT_EQ(h.count(), 7u);
+  EXPECT_EQ(h.sum(), 28u);
+}
+
+TEST(Histogram, BucketIndexMonotonicAndBounded) {
+  int prev = -1;
+  for (std::uint64_t v = 0; v < 100000; v = v < 16 ? v + 1 : v * 2) {
+    int idx = Histogram::bucket_index(v);
+    EXPECT_GE(idx, prev);
+    prev = idx;
+  }
+  EXPECT_LT(Histogram::bucket_index(UINT64_MAX), Histogram::kBucketCount);
+}
+
+TEST(Histogram, LargeValueQuantilesWithinRelativeError) {
+  Histogram h;
+  // 100 samples at exactly 1e6 ns: every quantile must come back within
+  // the documented <= 1/16 relative bucket error.
+  for (int i = 0; i < 100; ++i) h.record(1000000);
+  for (double q : {0.5, 0.95, 0.99}) {
+    double est = h.quantile(q);
+    EXPECT_NEAR(est, 1e6, 1e6 / 16.0) << "q=" << q;
+  }
+  HistogramSummary s = h.summary();
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_EQ(s.min, 1000000u);
+  EXPECT_EQ(s.max, 1000000u);
+  EXPECT_DOUBLE_EQ(s.mean(), 1e6);
+}
+
+TEST(Histogram, MixedDistributionQuantileOrdering) {
+  Histogram h;
+  for (int i = 0; i < 95; ++i) h.record(100);
+  for (int i = 0; i < 5; ++i) h.record(100000);
+  // p50 sits in the bulk, p99 in the tail — the orders of magnitude must
+  // not blur together.
+  EXPECT_LT(h.quantile(0.5), 200.0);
+  EXPECT_GT(h.quantile(0.99), 50000.0);
+}
+
+TEST(MetricsRegistry, StableReferencesAndSnapshot) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("alpha");
+  Counter& a2 = reg.counter("alpha");
+  EXPECT_EQ(&a, &a2);
+  a.add(3);
+  reg.counter("beta").add(1);
+  reg.histogram("stage").record(5);
+
+  auto counters = reg.counters();
+  ASSERT_EQ(counters.size(), 2u);
+  EXPECT_EQ(counters[0].first, "alpha");
+  EXPECT_EQ(counters[0].second, 3u);
+  EXPECT_EQ(counters[1].first, "beta");
+
+  auto histograms = reg.histograms();
+  ASSERT_EQ(histograms.size(), 1u);
+  EXPECT_EQ(histograms[0].first, "stage");
+  EXPECT_EQ(histograms[0].second.count, 1u);
+
+  reg.reset();
+  EXPECT_EQ(reg.counters()[0].second, 0u);
+  EXPECT_EQ(reg.histograms()[0].second.count, 0u);
+}
+
+TEST(MetricsRegistry, StageTimingCsvShape) {
+  MetricsRegistry reg;
+  reg.histogram("isp.demosaic").record(2000000);  // 2 ms
+  CsvWriter csv = stage_timing_csv(reg);
+  std::string text = csv.str();
+  EXPECT_NE(text.find("stage,count,total_ms"), std::string::npos);
+  EXPECT_NE(text.find("isp.demosaic,1,2"), std::string::npos);
+}
+
+// ---- Tracer / ScopedSpan ----------------------------------------------------
+
+TEST(Tracer, RecordsNestedSpansWithDepth) {
+  TracerSandbox sandbox;
+  {
+    ScopedSpan outer("test", "outer");
+    ScopedSpan inner("test", "inner");
+  }
+  auto events = Tracer::global().snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  // Inner destructs first, so it is recorded first.
+  EXPECT_STREQ(events[0].name, "inner");
+  EXPECT_EQ(events[0].depth, 1);
+  EXPECT_STREQ(events[1].name, "outer");
+  EXPECT_EQ(events[1].depth, 0);
+  EXPECT_GE(events[1].duration_ns, events[0].duration_ns);
+}
+
+TEST(Tracer, DisabledTracerRecordsNothing) {
+  TracerSandbox sandbox;
+  Tracer::global().set_enabled(false);
+  {
+    ScopedSpan span("test", "ignored");
+  }
+  EXPECT_EQ(Tracer::global().size(), 0u);
+}
+
+TEST(Tracer, SuspendTracingIsNestingSafe) {
+  TracerSandbox sandbox;
+  {
+    SuspendTracing outer;
+    EXPECT_FALSE(Tracer::global().enabled());
+    {
+      SuspendTracing inner;
+      EXPECT_FALSE(Tracer::global().enabled());
+    }
+    EXPECT_FALSE(Tracer::global().enabled());
+    ScopedSpan span("test", "suppressed");
+  }
+  EXPECT_TRUE(Tracer::global().enabled());
+  EXPECT_EQ(Tracer::global().size(), 0u);
+}
+
+TEST(Tracer, SpanFeedsHistogram) {
+  TracerSandbox sandbox;
+  Histogram h;
+  {
+    ScopedSpan span("test", "timed", &h);
+  }
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(Tracer, ThreadsGetDistinctIds) {
+  TracerSandbox sandbox;
+  {
+    ScopedSpan span("test", "main_thread");
+  }
+  std::thread([] { ScopedSpan span("test", "worker"); }).join();
+  auto events = Tracer::global().snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_NE(events[0].thread_id, events[1].thread_id);
+}
+
+TEST(Tracer, ChromeTraceJsonRoundTrips) {
+  TracerSandbox sandbox;
+  {
+    ScopedSpan outer("isp", "pipeline");
+    ScopedSpan inner("isp", "demosaic \"quoted\"");
+  }
+  std::string doc = chrome_trace_json(Tracer::global());
+  EXPECT_TRUE(JsonChecker(doc).valid()) << doc;
+  EXPECT_NE(doc.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(doc.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(doc.find("\"demosaic \\\"quoted\\\"\""), std::string::npos);
+  EXPECT_NE(doc.find("\"cat\":\"isp\""), std::string::npos);
+}
+
+// The instrumentation macro must compile in both build flavors; it only
+// produces spans when tracing is compiled in.
+TEST(Tracer, MacroRespectsBuildFlavor) {
+  TracerSandbox sandbox;
+  {
+    ES_TRACE_SCOPE("test", "macro_span");
+    ES_COUNT("test.macro_count", 2);
+  }
+  if (kTracingCompiledIn) {
+    EXPECT_EQ(Tracer::global().size(), 1u);
+    EXPECT_GE(
+        MetricsRegistry::global().counter("test.macro_count").value(), 2u);
+  } else {
+    EXPECT_EQ(Tracer::global().size(), 0u);
+  }
+}
+
+// ---- RunManifest ------------------------------------------------------------
+
+TEST(RunManifest, EmitsValidProvenanceJson) {
+  RunManifest m("unit_test");
+  m.set_seed(4242);
+  m.set_wall_seconds(1.5);
+  m.set_field("note", "hello \"world\"");
+  m.set_field("objects", 30.0);
+  m.add_digest("lab_rig", 0xdeadbeefcafef00dull);
+  ManifestDevice d;
+  d.name = "Samsung Galaxy S10";
+  d.model_code = "SM-G973F";
+  d.isp = "warm";
+  d.format = "jpeg";
+  d.quality = 85;
+  d.soc = "Exynos 9820";
+  d.digest = "0123456789abcdef";
+  m.add_device(d);
+  m.add_artifact("unit_test.csv");
+
+  std::string doc = m.to_json();
+  EXPECT_TRUE(JsonChecker(doc).valid()) << doc;
+  EXPECT_NE(doc.find("\"schema\":\"edgestab-run-manifest-v1\""),
+            std::string::npos);
+  EXPECT_NE(doc.find("\"bench\":\"unit_test\""), std::string::npos);
+  EXPECT_NE(doc.find("\"seed\":4242"), std::string::npos);
+  EXPECT_NE(doc.find("\"lab_rig\":\"deadbeefcafef00d\""), std::string::npos);
+  EXPECT_NE(doc.find("\"Samsung Galaxy S10\""), std::string::npos);
+  EXPECT_NE(doc.find("\"unit_test.csv\""), std::string::npos);
+}
+
+TEST(RunManifest, HexDigestIsZeroPadded) {
+  EXPECT_EQ(hex_digest(0x1ull), "0000000000000001");
+  EXPECT_EQ(hex_digest(UINT64_MAX), "ffffffffffffffff");
+}
+
+}  // namespace
+}  // namespace edgestab::obs
