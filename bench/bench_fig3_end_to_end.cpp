@@ -103,5 +103,6 @@ int main() {
         mean_within * 100.0, r.overall.instability() * 100.0);
     run.write_csv(csv, "fig3d_within_phone.csv");
   }
+  bench::check_flip_ledger(run, "end_to_end", r.overall);
   return run.finish();
 }

@@ -76,5 +76,7 @@ int main() {
         "and instability are not the same thing.\n");
     run.write_csv(csv, "fig8c_accuracy.csv");
   }
+  bench::check_flip_ledger(run, "phone_pipeline", r.jpeg_instability);
+  bench::check_flip_ledger(run, "raw_pipeline", r.raw_instability);
   return run.finish();
 }

@@ -10,7 +10,8 @@
 using namespace edgestab;
 
 int main() {
-  bench::Run run("table4", "Table 4 — image signal processors (software ISPs)");
+  bench::Run run("table4_isp",
+                 "Table 4 — image signal processors (software ISPs)");
   Workspace ws;
   Model model = ws.base_model();
 
@@ -41,5 +42,6 @@ int main() {
     csv.add_row({r.isp_names[i], Table::num(r.accuracy[i], 4),
                  Table::num(r.instability.instability(), 4)});
   run.write_csv(csv, "table4_isp.csv");
+  bench::check_flip_ledger(run, "software_isp", r.instability);
   return run.finish();
 }

@@ -59,5 +59,7 @@ int main() {
   summary.add_row({"jpeg", Table::num(r.jpeg_instability.instability(), 5)});
   summary.add_row({"png", Table::num(r.png_instability.instability(), 5)});
   run.write_csv(summary, "table5_summary.csv");
+  bench::check_flip_ledger(run, "os_jpeg", r.jpeg_instability);
+  bench::check_flip_ledger(run, "os_png", r.png_instability);
   return run.finish();
 }

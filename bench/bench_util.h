@@ -9,14 +9,18 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <string>
 #include <vector>
 
+#include "core/instability.h"
 #include "core/workspace.h"
 #include "data/lab_rig.h"
 #include "device/fleets.h"
+#include "obs/drift.h"
 #include "obs/obs.h"
+#include "obs/report.h"
 #include "util/csv.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -43,10 +47,17 @@ inline bool ensure_out_dir(std::string& dir) {
 
 /// Production rig: 30 objects per target class, 5 angles — 150 objects,
 /// 750 stimuli per phone (the paper used 1537 source images and 5 angles).
+/// EDGESTAB_RIG_OBJECTS overrides objects_per_class so CI fixtures can
+/// run a bench end-to-end in smoke size; results are then NOT the
+/// paper's numbers, only the pipeline exercised.
 inline LabRigConfig standard_rig() {
   LabRigConfig rig;
   rig.objects_per_class = 30;
   rig.seed = 4242;
+  if (const char* env = std::getenv("EDGESTAB_RIG_OBJECTS")) {
+    int n = std::atoi(env);
+    if (n > 0) rig.objects_per_class = n;
+  }
   return rig;
 }
 
@@ -67,7 +78,11 @@ class Run {
       : name_(std::move(name)), manifest_(name_) {
     banner(title);
     if (obs::kTracingCompiledIn) obs::Tracer::global().set_enabled(true);
+    if (obs::kDriftCompiledIn) obs::DriftAuditor::global().set_enabled(true);
   }
+
+  /// Remember an externally detected failure for finish()'s exit code.
+  void fail() { ok_ = false; }
 
   obs::RunManifest& manifest() { return manifest_; }
 
@@ -125,33 +140,15 @@ class Run {
     return true;
   }
 
-  /// Export trace + stage timing (tracing builds) and the provenance
-  /// manifest; returns the process exit code.
+  /// Export trace + stage timing (tracing builds), drift reports (drift
+  /// builds with the auditor enabled) and the provenance manifest;
+  /// returns the process exit code. Dropped span events and any artifact
+  /// that failed to land surface here as a non-zero exit.
   int finish() {
     manifest_.set_wall_seconds(timer_.seconds());
     std::string dir;
     if (!ensure_out_dir(dir)) return 1;
-    if (obs::kTracingCompiledIn) {
-      write_csv(obs::stage_timing_csv(obs::MetricsRegistry::global()),
-                name_ + "_stage_timing.csv");
-      std::string trace_file = name_ + ".trace.json";
-      if (obs::write_chrome_trace(obs::Tracer::global(),
-                                  dir + "/" + trace_file)) {
-        std::printf("[trace] %s/%s (%zu spans, %llu dropped)\n", dir.c_str(),
-                    trace_file.c_str(), obs::Tracer::global().size(),
-                    static_cast<unsigned long long>(
-                        obs::Tracer::global().dropped()));
-        manifest_.add_artifact(trace_file);
-      } else {
-        ok_ = false;
-      }
-    }
-    std::string meta = dir + "/" + name_ + ".meta.json";
-    if (manifest_.write(meta)) {
-      std::printf("[meta] %s\n", meta.c_str());
-    } else {
-      ok_ = false;
-    }
+    if (!obs::export_run_artifacts(name_, dir, manifest_)) ok_ = false;
     return ok_ ? 0 : 1;
   }
 
@@ -161,6 +158,41 @@ class Run {
   obs::RunManifest manifest_;
   bool ok_ = true;
 };
+
+/// Cross-check the drift flip-ledger's totals against the instability
+/// numbers core/instability computed for the same observations. The two
+/// are independent implementations of the paper's §2.2 bookkeeping; a
+/// mismatch means the drift report is lying about the run and fails the
+/// bench. No-op when the auditor is off (or drift is compiled out).
+inline void check_flip_ledger(Run& run, const std::string& group,
+                              const InstabilityResult& expected) {
+  if (!obs::drift_enabled()) return;
+  auto summary = obs::DriftAuditor::global().ledger().find_group(group);
+  if (summary.has_value() &&
+      summary->total_items == expected.total_items &&
+      summary->unstable_items == expected.unstable_items &&
+      summary->all_correct_items == expected.all_correct_items &&
+      summary->all_incorrect_items == expected.all_incorrect_items) {
+    std::printf(
+        "[drift] ledger '%s' matches core/instability: %d/%d unstable "
+        "(%d all-correct, %d all-incorrect)\n",
+        group.c_str(), summary->unstable_items, summary->total_items,
+        summary->all_correct_items, summary->all_incorrect_items);
+    return;
+  }
+  if (summary.has_value()) {
+    std::fprintf(stderr,
+                 "[drift] ledger '%s' MISMATCH: ledger %d/%d unstable vs "
+                 "instability %d/%d\n",
+                 group.c_str(), summary->unstable_items,
+                 summary->total_items, expected.unstable_items,
+                 expected.total_items);
+  } else {
+    std::fprintf(stderr, "[drift] ledger group '%s' missing\n",
+                 group.c_str());
+  }
+  run.fail();
+}
 
 /// Manifest-only hook for the google-benchmark micros (their hot loops
 /// are timed by the benchmark library itself, so span tracing stays off).

@@ -7,17 +7,65 @@
 #include "data/dataset.h"
 #include "data/labels.h"
 #include "nn/trainer.h"
+#include "obs/drift.h"
+#include "tensor/ops.h"
 #include "util/md5.h"
 
 namespace edgestab {
 
+namespace {
+
+// ---- Divergence-auditor hooks ----------------------------------------------
+// All no-ops unless EDGESTAB_DRIFT is compiled in AND a bench enabled the
+// auditor; experiments stay oblivious to whether anyone is watching.
+
+/// Name each environment index for the report tables.
+void drift_label_envs(const char* group,
+                      const std::vector<std::string>& names) {
+  if (!obs::drift_enabled()) return;
+  for (std::size_t i = 0; i < names.size(); ++i)
+    obs::DriftAuditor::global().set_env_label(group, static_cast<int>(i),
+                                              names[i]);
+}
+
+/// Feed one logit row per item, all from the same environment.
+void drift_audit_logits(const char* group, const Tensor& logits,
+                        const std::vector<RawShot>& bank, int env) {
+  if (!obs::drift_enabled() || logits.empty()) return;
+  auto& auditor = obs::DriftAuditor::global();
+  const auto d = static_cast<std::size_t>(logits.dim(1));
+  for (int i = 0; i < logits.dim(0); ++i)
+    auditor.record_logits(
+        group, bank[static_cast<std::size_t>(i)].item, env,
+        std::span<const float>(logits.raw() + static_cast<std::size_t>(i) * d,
+                               d));
+}
+
+/// Hand a finished observation set to the prediction-flip ledger. The
+/// ledger reproduces compute_instability's bookkeeping exactly, so the
+/// report's totals can be cross-checked against the paper metric.
+void drift_audit_flips(const char* group,
+                       std::span<const Observation> observations) {
+  if (!obs::drift_enabled()) return;
+  std::vector<obs::FlipOutcome> outcomes;
+  outcomes.reserve(observations.size());
+  for (const Observation& o : observations)
+    outcomes.push_back({o.item, o.env, o.correct, o.predicted, o.class_id});
+  obs::DriftAuditor::global().record_flips(group, outcomes);
+}
+
+}  // namespace
+
 std::vector<ShotPrediction> classify_inputs(Model& model,
                                             const std::vector<Tensor>& inputs,
-                                            int k) {
+                                            int k, Tensor* logits_out) {
   ES_CHECK(!inputs.empty());
   ES_CHECK(k >= 1);
   Tensor batch = stack_inputs(inputs);
-  Tensor probs = predict_probs(model, batch);
+  Tensor logits = predict_logits(model, batch);
+  Tensor probs(logits.shape());
+  softmax_rows(logits, probs);
+  if (logits_out != nullptr) *logits_out = std::move(logits);
   const int d = probs.dim(1);
   ES_CHECK(k <= d);
 
@@ -61,10 +109,13 @@ EndToEndResult run_end_to_end(Model& model,
   for (const LabShot& shot : run.shots)
     inputs.push_back(
         capture_to_input(decode_capture(shot.capture, JpegDecodeOptions{})));
-  std::vector<ShotPrediction> preds = classify_inputs(model, inputs, 3);
+  Tensor logits;
+  std::vector<ShotPrediction> preds = classify_inputs(model, inputs, 3,
+                                                      &logits);
 
   EndToEndResult result;
   for (const PhoneProfile& p : fleet) result.phone_names.push_back(p.name);
+  drift_label_envs("end_to_end", result.phone_names);
 
   // Cross-phone observations use the first shot of each stimulus only;
   // repeats feed the within-phone analysis.
@@ -86,6 +137,12 @@ EndToEndResult run_end_to_end(Model& model,
       Observation o3 = o;
       o3.correct = topk_correct(pred, shot.class_id, 3);
       result.observations_top3.push_back(o3);
+      if (obs::drift_enabled()) {
+        const auto d = static_cast<std::size_t>(logits.dim(1));
+        obs::DriftAuditor::global().record_logits(
+            "end_to_end", o.item, o.env,
+            std::span<const float>(logits.raw() + i * d, d));
+      }
     }
     Observation rep = o;
     rep.env = shot.repeat;
@@ -106,6 +163,7 @@ EndToEndResult run_end_to_end(Model& model,
   result.by_class = instability_by_class(result.observations);
   result.by_angle = instability_by_angle(result.observations);
   result.overall_top3 = compute_instability(result.observations_top3);
+  drift_audit_flips("end_to_end", result.observations);
   return result;
 }
 
@@ -154,11 +212,15 @@ CompressionResult compression_over_conditions(
     Model& model, const std::vector<RawShot>& bank,
     const std::vector<Image>& developed,
     const std::vector<std::pair<std::string, std::unique_ptr<Codec>>>&
-        conditions) {
+        conditions,
+    const char* drift_group) {
   CompressionResult result;
   std::vector<Observation> observations;
   for (std::size_t ci = 0; ci < conditions.size(); ++ci) {
     const auto& [label, codec] = conditions[ci];
+    if (obs::drift_enabled())
+      obs::DriftAuditor::global().set_env_label(drift_group,
+                                                static_cast<int>(ci), label);
     double total_size = 0.0;
     std::vector<Tensor> inputs;
     inputs.reserve(bank.size());
@@ -168,7 +230,10 @@ CompressionResult compression_over_conditions(
       total_size += static_cast<double>(file.size());
       inputs.push_back(capture_to_input(codec->decode(file)));
     }
-    std::vector<ShotPrediction> preds = classify_inputs(model, inputs, 3);
+    Tensor logits;
+    std::vector<ShotPrediction> preds = classify_inputs(model, inputs, 3,
+                                                        &logits);
+    drift_audit_logits(drift_group, logits, bank, static_cast<int>(ci));
 
     CompressionCondition cond;
     cond.label = label;
@@ -190,6 +255,7 @@ CompressionResult compression_over_conditions(
     result.conditions.push_back(std::move(cond));
   }
   result.instability = compute_instability(observations);
+  drift_audit_flips(drift_group, observations);
   return result;
 }
 
@@ -203,7 +269,8 @@ CompressionResult run_jpeg_quality_experiment(
   for (int q : qualities)
     conditions.emplace_back("JPEG " + std::to_string(q),
                             make_codec(ImageFormat::kJpegLike, q));
-  return compression_over_conditions(model, bank, developed, conditions);
+  return compression_over_conditions(model, bank, developed, conditions,
+                                     "jpeg_quality");
 }
 
 CompressionResult run_format_experiment(Model& model,
@@ -213,7 +280,8 @@ CompressionResult run_format_experiment(Model& model,
   for (ImageFormat f : {ImageFormat::kJpegLike, ImageFormat::kPngLike,
                         ImageFormat::kWebpLike, ImageFormat::kHeifLike})
     conditions.emplace_back(format_name(f), make_codec(f));
-  return compression_over_conditions(model, bank, developed, conditions);
+  return compression_over_conditions(model, bank, developed, conditions,
+                                     "formats");
 }
 
 // ---- ISP ---------------------------------------------------------------------
@@ -224,12 +292,23 @@ IspResult run_isp_experiment(Model& model, const std::vector<RawShot>& bank,
   IspResult result;
   std::vector<Observation> observations;
   for (std::size_t ii = 0; ii < software_isps.size(); ++ii) {
+    if (obs::drift_enabled())
+      obs::DriftAuditor::global().set_env_label(
+          "software_isp", static_cast<int>(ii), software_isps[ii].name);
     std::vector<Tensor> inputs;
     inputs.reserve(bank.size());
-    for (const RawShot& rs : bank)
+    for (const RawShot& rs : bank) {
+      // Each ISP is one environment: the drift taps inside run_isp
+      // compare every stage's output against the first ISP's for the
+      // same raw photo.
+      ES_DRIFT_SCOPE("software_isp", rs.item, static_cast<int>(ii));
       inputs.push_back(
           image_to_input(run_isp(rs.raw, software_isps[ii])));
-    std::vector<ShotPrediction> preds = classify_inputs(model, inputs, 3);
+    }
+    Tensor logits;
+    std::vector<ShotPrediction> preds = classify_inputs(model, inputs, 3,
+                                                        &logits);
+    drift_audit_logits("software_isp", logits, bank, static_cast<int>(ii));
     int correct = 0;
     for (std::size_t i = 0; i < bank.size(); ++i) {
       Observation o;
@@ -247,6 +326,7 @@ IspResult run_isp_experiment(Model& model, const std::vector<RawShot>& bank,
                               static_cast<double>(bank.size()));
   }
   result.instability = compute_instability(observations);
+  drift_audit_flips("software_isp", observations);
   return result;
 }
 
@@ -289,6 +369,12 @@ OsCpuResult run_os_cpu_experiment(Model& model,
     const PhoneProfile& phone = fleet[p];
     result.phone_names.push_back(phone.name);
     result.soc_names.push_back(phone.backend.soc_name);
+    if (obs::drift_enabled()) {
+      obs::DriftAuditor::global().set_env_label(
+          "os_jpeg", static_cast<int>(p), phone.name);
+      obs::DriftAuditor::global().set_env_label(
+          "os_png", static_cast<int>(p), phone.name);
+    }
     model.set_matmul_mode(phone.backend.matmul_mode);
 
     Md5 jpeg_md5, png_md5;
@@ -308,10 +394,23 @@ OsCpuResult run_os_cpu_experiment(Model& model,
     result.jpeg_decode_md5.push_back(to_hex(jd));
     result.png_decode_md5.push_back(to_hex(pd));
 
+    Tensor jpeg_logits, png_logits;
     std::vector<ShotPrediction> jpeg_preds =
-        classify_inputs(model, jpeg_inputs, 3);
+        classify_inputs(model, jpeg_inputs, 3, &jpeg_logits);
     std::vector<ShotPrediction> png_preds =
-        classify_inputs(model, png_inputs, 3);
+        classify_inputs(model, png_inputs, 3, &png_logits);
+    if (obs::drift_enabled()) {
+      auto& auditor = obs::DriftAuditor::global();
+      const auto d = static_cast<std::size_t>(jpeg_logits.dim(1));
+      for (std::size_t i = 0; i < images.size(); ++i) {
+        auditor.record_logits(
+            "os_jpeg", static_cast<int>(i), static_cast<int>(p),
+            std::span<const float>(jpeg_logits.raw() + i * d, d));
+        auditor.record_logits(
+            "os_png", static_cast<int>(i), static_cast<int>(p),
+            std::span<const float>(png_logits.raw() + i * d, d));
+      }
+    }
 
     ByteWriter signature;
     for (std::size_t i = 0; i < images.size(); ++i) {
@@ -339,6 +438,8 @@ OsCpuResult run_os_cpu_experiment(Model& model,
 
   result.jpeg_instability = compute_instability(jpeg_obs);
   result.png_instability = compute_instability(png_obs);
+  drift_audit_flips("os_jpeg", jpeg_obs);
+  drift_audit_flips("os_png", png_obs);
 
   // Group phones whose prediction/confidence streams are identical.
   std::vector<bool> grouped(fleet.size(), false);
@@ -373,15 +474,34 @@ RawVsJpegResult run_raw_vs_jpeg(Model& model,
   // Condition B: raw developed through one consistent software ISP.
   std::vector<Tensor> raw_inputs;
   IspConfig consistent = magick_isp();
+  drift_label_envs("phone_pipeline", result.phone_names);
+  drift_label_envs("raw_pipeline", result.phone_names);
   for (const RawShot& rs : bank) {
     jpeg_inputs.push_back(capture_to_input(
         decode_capture(rs.phone_pipeline, JpegDecodeOptions{})));
+    // Same consistent ISP for every phone: residual per-stage drift here
+    // is what the raws themselves disagree on (sensor/exposure), the
+    // floor the §9.2 mitigation cannot remove.
+    ES_DRIFT_SCOPE("raw_pipeline", rs.stimulus, rs.phone_index);
     raw_inputs.push_back(image_to_input(run_isp(rs.raw, consistent)));
   }
+  Tensor jpeg_logits, raw_logits;
   std::vector<ShotPrediction> jpeg_preds =
-      classify_inputs(model, jpeg_inputs, 3);
+      classify_inputs(model, jpeg_inputs, 3, &jpeg_logits);
   std::vector<ShotPrediction> raw_preds =
-      classify_inputs(model, raw_inputs, 3);
+      classify_inputs(model, raw_inputs, 3, &raw_logits);
+  if (obs::drift_enabled()) {
+    auto& auditor = obs::DriftAuditor::global();
+    const auto d = static_cast<std::size_t>(jpeg_logits.dim(1));
+    for (std::size_t i = 0; i < bank.size(); ++i) {
+      auditor.record_logits(
+          "phone_pipeline", bank[i].stimulus, bank[i].phone_index,
+          std::span<const float>(jpeg_logits.raw() + i * d, d));
+      auditor.record_logits(
+          "raw_pipeline", bank[i].stimulus, bank[i].phone_index,
+          std::span<const float>(raw_logits.raw() + i * d, d));
+    }
+  }
 
   std::vector<Observation> jpeg_obs, raw_obs;
   std::vector<int> jpeg_correct(static_cast<std::size_t>(phone_count), 0);
@@ -413,6 +533,8 @@ RawVsJpegResult run_raw_vs_jpeg(Model& model,
   result.raw_instability = compute_instability(raw_obs);
   result.jpeg_by_class = instability_by_class(jpeg_obs);
   result.raw_by_class = instability_by_class(raw_obs);
+  drift_audit_flips("phone_pipeline", jpeg_obs);
+  drift_audit_flips("raw_pipeline", raw_obs);
   for (int p = 0; p < phone_count; ++p) {
     double n = std::max(counts[static_cast<std::size_t>(p)], 1);
     result.jpeg_accuracy_by_phone.push_back(

@@ -1,6 +1,9 @@
 #include "data/lab_rig.h"
 
+#include <atomic>
+
 #include "data/labels.h"
+#include "obs/drift.h"
 #include "obs/obs.h"
 #include "util/hashing.h"
 
@@ -13,6 +16,21 @@ LabRun run_lab_rig(const std::vector<PhoneProfile>& fleet,
   ES_CHECK(config.objects_per_class > 0);
   ES_CHECK(!config.angles.empty());
   ES_CHECK(config.shots_per_stimulus >= 1);
+
+  // Drift-audit group for this rig run. A process can run the rig more
+  // than once (end-to-end rig, then the raw bank's rig); stimulus ids
+  // restart from 0 each time, so each run gets its own group name to
+  // keep reference artifacts from colliding. The string outlives every
+  // scope below.
+  static std::atomic<int> rig_run_counter{0};
+  std::string drift_group;
+  if (obs::drift_enabled()) {
+    int n = rig_run_counter.fetch_add(1, std::memory_order_relaxed);
+    drift_group = n == 0 ? "capture" : "capture#" + std::to_string(n);
+    for (std::size_t p = 0; p < fleet.size(); ++p)
+      obs::DriftAuditor::global().set_env_label(
+          drift_group, static_cast<int>(p), fleet[p].name);
+  }
 
   LabRun run;
   run.angle_count = static_cast<int>(config.angles.size());
@@ -54,7 +72,17 @@ LabRun run_lab_rig(const std::vector<PhoneProfile>& fleet,
           record.angle_index = a;
           record.phone_index = static_cast<int>(p);
           record.repeat = shot;
-          record.capture = take_photo(fleet[p], emission, phone_rngs[p]);
+          if (obs::drift_enabled() && shot == 0) {
+            // First shot of each stimulus: audit every ISP stage inside
+            // take_photo against the first phone's artifacts.
+            ES_DRIFT_SCOPE(
+                drift_group.c_str(),
+                static_cast<int>(obj) * run.angle_count + a,
+                static_cast<int>(p));
+            record.capture = take_photo(fleet[p], emission, phone_rngs[p]);
+          } else {
+            record.capture = take_photo(fleet[p], emission, phone_rngs[p]);
+          }
           run.shots.push_back(std::move(record));
         }
       }

@@ -1,5 +1,6 @@
 #include "image/metrics.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 
@@ -33,6 +34,48 @@ double mean_abs_diff(const Image& a, const Image& b) {
   for (std::size_t i = 0; i < pa.size(); ++i)
     sum += std::abs(static_cast<double>(pa[i]) - pb[i]);
   return sum / static_cast<double>(pa.size());
+}
+
+double ssim(const Image& a, const Image& b) {
+  ES_CHECK(a.same_shape(b));
+  ES_CHECK(!a.empty());
+  constexpr int kBlock = 8;
+  constexpr double kC1 = 0.01 * 0.01;  // (K1 * L)^2, L = 1.0
+  constexpr double kC2 = 0.03 * 0.03;  // (K2 * L)^2
+  double total = 0.0;
+  std::size_t blocks = 0;
+  for (int c = 0; c < a.channels(); ++c) {
+    for (int by = 0; by < a.height(); by += kBlock) {
+      for (int bx = 0; bx < a.width(); bx += kBlock) {
+        int x1 = std::min(bx + kBlock, a.width());
+        int y1 = std::min(by + kBlock, a.height());
+        double sa = 0.0, sb = 0.0, saa = 0.0, sbb = 0.0, sab = 0.0;
+        int n = 0;
+        for (int y = by; y < y1; ++y)
+          for (int x = bx; x < x1; ++x) {
+            double va = a.at(x, y, c);
+            double vb = b.at(x, y, c);
+            sa += va;
+            sb += vb;
+            saa += va * va;
+            sbb += vb * vb;
+            sab += va * vb;
+            ++n;
+          }
+        double inv = 1.0 / n;
+        double ma = sa * inv;
+        double mb = sb * inv;
+        double var_a = std::max(0.0, saa * inv - ma * ma);
+        double var_b = std::max(0.0, sbb * inv - mb * mb);
+        double cov = sab * inv - ma * mb;
+        double num = (2.0 * ma * mb + kC1) * (2.0 * cov + kC2);
+        double den = (ma * ma + mb * mb + kC1) * (var_a + var_b + kC2);
+        total += num / den;
+        ++blocks;
+      }
+    }
+  }
+  return total / static_cast<double>(blocks);
 }
 
 double diff_fraction(const Image& a, const Image& b, float threshold) {

@@ -16,6 +16,12 @@ double psnr(const Image& a, const Image& b);
 /// Mean absolute difference.
 double mean_abs_diff(const Image& a, const Image& b);
 
+/// Mean structural similarity over 8x8 blocks (per channel, averaged).
+/// 1.0 for identical images; the standard C1/C2 stabilizers assume a
+/// [0,1] dynamic range. Used by the drift auditor to characterize
+/// *structural* per-stage divergence where PSNR only sees energy.
+double ssim(const Image& a, const Image& b);
+
 /// Fraction of pixels whose max-channel absolute difference exceeds
 /// `threshold` (the paper's Fig. 1 uses 5% => threshold = 0.05).
 double diff_fraction(const Image& a, const Image& b, float threshold);

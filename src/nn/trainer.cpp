@@ -211,14 +211,14 @@ TrainStats train_stability(Model& model, const TensorDataset& train,
   return stats;
 }
 
-Tensor predict_probs(Model& model, const Tensor& images, int batch_size) {
+Tensor predict_logits(Model& model, const Tensor& images, int batch_size) {
   ES_CHECK(images.rank() == 4);
   const int n = images.dim(0);
   const int c = images.dim(1);
   const int h = images.dim(2);
   const int w = images.dim(3);
   const std::size_t sample_n = static_cast<std::size_t>(c) * h * w;
-  Tensor all_probs;
+  Tensor all_logits;
   for (int start = 0; start < n; start += batch_size) {
     int end = std::min(start + batch_size, n);
     Tensor batch({end - start, c, h, w});
@@ -226,15 +226,20 @@ Tensor predict_probs(Model& model, const Tensor& images, int batch_size) {
                 sample_n * static_cast<std::size_t>(end - start),
                 batch.raw());
     Tensor logits = model.forward(batch, /*train=*/false);
-    if (all_probs.empty()) all_probs = Tensor({n, logits.dim(1)});
-    Tensor probs(logits.shape());
-    softmax_rows(logits, probs);
-    std::copy_n(probs.raw(),
-                probs.numel(),
-                all_probs.raw() +
+    if (all_logits.empty()) all_logits = Tensor({n, logits.dim(1)});
+    std::copy_n(logits.raw(), logits.numel(),
+                all_logits.raw() +
                     static_cast<std::size_t>(start) * logits.dim(1));
   }
-  return all_probs;
+  return all_logits;
+}
+
+Tensor predict_probs(Model& model, const Tensor& images, int batch_size) {
+  Tensor logits = predict_logits(model, images, batch_size);
+  if (logits.empty()) return logits;
+  Tensor probs(logits.shape());
+  softmax_rows(logits, probs);
+  return probs;
 }
 
 std::vector<int> predict_labels(Model& model, const Tensor& images,

@@ -80,6 +80,12 @@ TrainStats train_stability(Model& model, const TensorDataset& train,
                            float alpha, const CompanionFn& companion,
                            const TrainConfig& config);
 
+/// Batched inference: raw logits [N, classes] (eval mode). The drift
+/// auditor compares these across environments before softmax flattens
+/// the scale.
+Tensor predict_logits(Model& model, const Tensor& images,
+                      int batch_size = 64);
+
 /// Batched inference: softmax probabilities [N, classes] (eval mode).
 Tensor predict_probs(Model& model, const Tensor& images,
                      int batch_size = 64);

@@ -1,0 +1,366 @@
+#include "obs/drift.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "image/metrics.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+
+namespace edgestab::obs {
+
+namespace {
+
+struct TapContext {
+  const char* group = nullptr;
+  int item = 0;
+  int env = 0;
+};
+thread_local TapContext t_drift_ctx;
+
+float clamp01(float v) { return v < 0.0f ? 0.0f : (v > 1.0f ? 1.0f : v); }
+
+// Per-channel mean/variance of the clamped-[0,1] view of an image.
+void channel_stats(const Image& img, std::vector<double>& mean,
+                   std::vector<double>& var) {
+  mean.assign(static_cast<std::size_t>(img.channels()), 0.0);
+  var.assign(static_cast<std::size_t>(img.channels()), 0.0);
+  double inv = 1.0 / static_cast<double>(img.pixel_count());
+  for (int c = 0; c < img.channels(); ++c) {
+    double s = 0.0, ss = 0.0;
+    for (float v : img.plane(c)) {
+      double d = clamp01(v);
+      s += d;
+      ss += d * d;
+    }
+    double m = s * inv;
+    mean[static_cast<std::size_t>(c)] = m;
+    var[static_cast<std::size_t>(c)] = std::max(0.0, ss * inv - m * m);
+  }
+}
+
+std::uint64_t scaled(double value, double scale) {
+  double v = value * scale;
+  if (!(v > 0.0)) return 0;  // NaN / negative => 0
+  return static_cast<std::uint64_t>(std::llround(v));
+}
+
+int argmax(std::span<const float> v) {
+  return static_cast<int>(std::max_element(v.begin(), v.end()) - v.begin());
+}
+
+void softmax_into(std::span<const float> logits, std::vector<double>& out) {
+  out.resize(logits.size());
+  double mx = *std::max_element(logits.begin(), logits.end());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    out[i] = std::exp(static_cast<double>(logits[i]) - mx);
+    sum += out[i];
+  }
+  for (double& p : out) p /= sum;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Internal storage
+
+struct DriftAuditor::StoredImage {
+  int width = 0, height = 0, channels = 0;
+  int env = 0;
+  std::vector<std::uint8_t> pixels;  // quantized clamped planar values
+  std::vector<double> mean, var;     // exact stats of the clamped floats
+
+  Image dequantize() const {
+    Image img(width, height, channels);
+    auto dst = img.data();
+    for (std::size_t i = 0; i < pixels.size(); ++i)
+      dst[i] = static_cast<float>(pixels[i]) / 255.0f;
+    return img;
+  }
+};
+
+struct DriftAuditor::StageSlot {
+  StageDriftSummary summary;
+  std::map<int, StoredImage> refs;  // item -> reference artifact
+  Histogram* psnr_hist = nullptr;
+  Histogram* ssim_hist = nullptr;
+};
+
+struct DriftAuditor::LogitSlot {
+  LogitDriftSummary summary;
+  std::map<int, std::pair<int, std::vector<float>>> refs;  // item -> (env, v)
+  std::int64_t skipped = 0;
+  Histogram* l2_hist = nullptr;
+  Histogram* linf_hist = nullptr;
+  Histogram* kl_hist = nullptr;
+};
+
+// ---------------------------------------------------------------------------
+// DriftScope
+
+DriftScope::DriftScope(const char* group, int item, int env)
+    : prev_group_(t_drift_ctx.group),
+      prev_item_(t_drift_ctx.item),
+      prev_env_(t_drift_ctx.env) {
+  t_drift_ctx = {group, item, env};
+}
+
+DriftScope::~DriftScope() {
+  t_drift_ctx = {prev_group_, prev_item_, prev_env_};
+}
+
+// ---------------------------------------------------------------------------
+// DriftAuditor
+
+DriftAuditor& DriftAuditor::global() {
+  static DriftAuditor* auditor = new DriftAuditor();  // never destroyed
+  return *auditor;
+}
+
+void DriftAuditor::set_max_audited_items(std::size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  max_audited_items_ = n;
+}
+
+void DriftAuditor::set_env_label(const std::string& group, int env,
+                                 const std::string& label) {
+  std::lock_guard<std::mutex> lock(mu_);
+  env_labels_[group][env] = label;
+}
+
+std::string DriftAuditor::env_label(const std::string& group, int env) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto git = env_labels_.find(group);
+  if (git != env_labels_.end()) {
+    auto eit = git->second.find(env);
+    if (eit != git->second.end()) return eit->second;
+  }
+  return "env" + std::to_string(env);
+}
+
+void DriftAuditor::tap_stage(int stage_index, const char* stage_name,
+                             const Image& rgb) {
+  if (!enabled() || rgb.empty()) return;
+  const TapContext ctx = t_drift_ctx;
+  if (ctx.group == nullptr) return;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string key =
+      std::string(ctx.group) + '\x1f' + std::to_string(stage_index);
+  auto& slot = stages_[key];
+  if (slot == nullptr) {
+    slot = std::make_unique<StageSlot>();
+    slot->summary.group = ctx.group;
+    slot->summary.stage_index = stage_index;
+    slot->summary.stage = stage_name;
+    std::string base = std::string("drift.") + ctx.group + "." + stage_name;
+    slot->summary.psnr_metric = base + ".psnr_mdb";
+    slot->summary.ssim_metric = base + ".ssim_loss_ppm";
+    slot->psnr_hist =
+        &MetricsRegistry::global().histogram(slot->summary.psnr_metric);
+    slot->ssim_hist =
+        &MetricsRegistry::global().histogram(slot->summary.ssim_metric);
+  }
+
+  auto it = slot->refs.find(ctx.item);
+  if (it == slot->refs.end()) {
+    // First environment to tap this (group, stage, item) becomes the
+    // reference everyone else is compared against.
+    if (slot->refs.size() >= max_audited_items_) {
+      ++skipped_items_;
+      return;
+    }
+    std::size_t bytes = rgb.size();
+    if (ref_bytes_ + bytes > kMaxRefBytes) {
+      ++skipped_bytes_items_;
+      return;
+    }
+    StoredImage ref;
+    ref.width = rgb.width();
+    ref.height = rgb.height();
+    ref.channels = rgb.channels();
+    ref.env = ctx.env;
+    ref.pixels.resize(rgb.size());
+    auto src = rgb.data();
+    for (std::size_t i = 0; i < src.size(); ++i)
+      ref.pixels[i] =
+          static_cast<std::uint8_t>(clamp01(src[i]) * 255.0f + 0.5f);
+    channel_stats(rgb, ref.mean, ref.var);
+    ref_bytes_ += bytes;
+    slot->refs.emplace(ctx.item, std::move(ref));
+    return;
+  }
+
+  const StoredImage& ref = it->second;
+  if (ref.env == ctx.env) return;  // re-tap from the reference environment
+  if (ref.width != rgb.width() || ref.height != rgb.height() ||
+      ref.channels != rgb.channels())
+    return;
+
+  // Compare the clamped display-referred views: intermediate ISP stages
+  // legitimately exceed [0,1]; what matters downstream is the visible
+  // range, and the quantized reference only holds that anyway.
+  Image cur(rgb.width(), rgb.height(), rgb.channels());
+  auto src = rgb.data();
+  auto dst = cur.data();
+  for (std::size_t i = 0; i < src.size(); ++i) dst[i] = clamp01(src[i]);
+  Image ref_img = ref.dequantize();
+
+  double m = mse(cur, ref_img);
+  double psnr_db;
+  if (m <= 0.0) {
+    ++slot->summary.identical_pairs;
+    psnr_db = kPsnrCapDb;
+  } else {
+    psnr_db = std::min(kPsnrCapDb, 10.0 * std::log10(1.0 / m));
+  }
+  double s = ssim(cur, ref_img);
+
+  std::vector<double> mean, var;
+  channel_stats(rgb, mean, var);
+  double dmean = 0.0, dvar = 0.0;
+  for (int c = 0; c < rgb.channels(); ++c) {
+    dmean += std::abs(mean[static_cast<std::size_t>(c)] -
+                      ref.mean[static_cast<std::size_t>(c)]);
+    dvar += std::abs(var[static_cast<std::size_t>(c)] -
+                     ref.var[static_cast<std::size_t>(c)]);
+  }
+  dmean /= rgb.channels();
+  dvar /= rgb.channels();
+
+  slot->summary.psnr_db.add(psnr_db);
+  slot->summary.ssim.add(s);
+  slot->summary.channel_mean_delta.add(dmean);
+  slot->summary.channel_var_delta.add(dvar);
+  slot->psnr_hist->record(scaled(psnr_db, 1000.0));        // milli-dB
+  slot->ssim_hist->record(scaled(1.0 - s, 1e6));           // loss ppm
+}
+
+void DriftAuditor::record_logits(const std::string& group, int item, int env,
+                                 std::span<const float> logits) {
+  if (!enabled() || logits.empty()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = logits_[group];
+  if (slot == nullptr) {
+    slot = std::make_unique<LogitSlot>();
+    slot->summary.group = group;
+    std::string base = "drift.logit." + group;
+    slot->summary.l2_metric = base + ".l2_micro";
+    slot->summary.linf_metric = base + ".linf_micro";
+    slot->summary.kl_metric = base + ".kl_micro";
+    slot->l2_hist =
+        &MetricsRegistry::global().histogram(slot->summary.l2_metric);
+    slot->linf_hist =
+        &MetricsRegistry::global().histogram(slot->summary.linf_metric);
+    slot->kl_hist =
+        &MetricsRegistry::global().histogram(slot->summary.kl_metric);
+  }
+
+  auto it = slot->refs.find(item);
+  if (it == slot->refs.end()) {
+    if (slot->refs.size() >= kMaxLogitRefs) {
+      ++slot->skipped;
+      ++skipped_items_;
+      return;
+    }
+    slot->refs.emplace(
+        item, std::make_pair(env, std::vector<float>(logits.begin(),
+                                                     logits.end())));
+    return;
+  }
+
+  const auto& [ref_env, ref] = it->second;
+  if (ref_env == env || ref.size() != logits.size()) return;
+
+  double l2 = 0.0, linf = 0.0;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    double d = static_cast<double>(logits[i]) - ref[i];
+    l2 += d * d;
+    linf = std::max(linf, std::abs(d));
+  }
+  l2 = std::sqrt(l2);
+
+  std::vector<double> p_ref, p_cur;
+  softmax_into(ref, p_ref);
+  softmax_into(logits, p_cur);
+  double kl = 0.0;
+  for (std::size_t i = 0; i < p_ref.size(); ++i)
+    kl += p_ref[i] * std::log((p_ref[i] + 1e-12) / (p_cur[i] + 1e-12));
+  kl = std::max(0.0, kl);
+
+  // Top-1 margin of the current environment: how far the winning logit
+  // sits above the runner-up (small margin = flip-prone).
+  int top1 = argmax(logits);
+  double second = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < logits.size(); ++i)
+    if (static_cast<int>(i) != top1)
+      second = std::max(second, static_cast<double>(logits[i]));
+  double margin = static_cast<double>(logits[static_cast<std::size_t>(top1)]) -
+                  second;
+
+  slot->summary.l2.add(l2);
+  slot->summary.linf.add(linf);
+  slot->summary.kl.add(kl);
+  slot->summary.top1_margin.add(margin);
+  ++slot->summary.comparisons;
+  if (top1 == argmax(ref)) ++slot->summary.top1_agree;
+  slot->l2_hist->record(scaled(l2, 1e6));
+  slot->linf_hist->record(scaled(linf, 1e6));
+  slot->kl_hist->record(scaled(kl, 1e6));
+}
+
+void DriftAuditor::record_flips(const std::string& group,
+                                std::span<const FlipOutcome> outcomes) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  ledger_.add_group(group, outcomes);
+}
+
+std::vector<StageDriftSummary> DriftAuditor::stage_summaries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<StageDriftSummary> out;
+  out.reserve(stages_.size());
+  for (const auto& [key, slot] : stages_) out.push_back(slot->summary);
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.group != b.group ? a.group < b.group
+                              : a.stage_index < b.stage_index;
+  });
+  return out;
+}
+
+std::vector<LogitDriftSummary> DriftAuditor::logit_summaries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<LogitDriftSummary> out;
+  out.reserve(logits_.size());
+  for (const auto& [group, slot] : logits_) out.push_back(slot->summary);
+  return out;
+}
+
+std::int64_t DriftAuditor::skipped_items() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return skipped_items_;
+}
+
+std::int64_t DriftAuditor::skipped_bytes_items() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return skipped_bytes_items_;
+}
+
+void DriftAuditor::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stages_.clear();
+  logits_.clear();
+  env_labels_.clear();
+  ledger_.clear();
+  ref_bytes_ = 0;
+  skipped_items_ = 0;
+  skipped_bytes_items_ = 0;
+}
+
+bool drift_enabled() {
+  return kDriftCompiledIn && DriftAuditor::global().enabled();
+}
+
+}  // namespace edgestab::obs

@@ -1,0 +1,90 @@
+#include "obs/flip_ledger.h"
+
+#include <algorithm>
+
+#include "util/hashing.h"
+
+namespace edgestab::obs {
+
+void FlipLedger::add_group(const std::string& group,
+                           std::span<const FlipOutcome> outcomes) {
+  auto& raw = raw_[group];
+  raw.insert(raw.end(), outcomes.begin(), outcomes.end());
+}
+
+LedgerGroupSummary FlipLedger::build_summary(const std::string& group) const {
+  LedgerGroupSummary s;
+  s.group = group;
+  auto it = raw_.find(group);
+  if (it == raw_.end()) return s;
+
+  struct ItemTally {
+    std::vector<const FlipOutcome*> correct;
+    std::vector<const FlipOutcome*> incorrect;
+    int class_id = -1;
+  };
+  std::map<int, ItemTally> items;
+  for (const FlipOutcome& o : it->second) {
+    ItemTally& t = items[o.item];
+    (o.correct ? t.correct : t.incorrect).push_back(&o);
+    if (t.class_id < 0) t.class_id = o.class_id;
+  }
+
+  for (const auto& [item, t] : items) {
+    std::size_t observations = t.correct.size() + t.incorrect.size();
+    if (observations < 2) continue;  // same skip rule as compute_instability
+    ++s.total_items;
+    if (!t.correct.empty() && !t.incorrect.empty()) {
+      ++s.unstable_items;
+      ++s.unstable_by_class[t.class_id];
+      for (const FlipOutcome* c : t.correct)
+        for (const FlipOutcome* w : t.incorrect) {
+          ++s.flips_by_class[t.class_id];
+          ++s.flips_by_pair[{c->env, w->env}];
+          if (s.entries.size() < kMaxEntriesPerGroup) {
+            s.entries.push_back({item, t.class_id, c->env, w->env,
+                                 c->predicted, w->predicted});
+          } else {
+            ++s.dropped_entries;
+          }
+        }
+    } else if (t.incorrect.empty()) {
+      ++s.all_correct_items;
+    } else {
+      ++s.all_incorrect_items;
+    }
+  }
+  return s;
+}
+
+std::vector<LedgerGroupSummary> FlipLedger::summaries() const {
+  std::vector<LedgerGroupSummary> out;
+  out.reserve(raw_.size());
+  for (const auto& [group, _] : raw_) out.push_back(build_summary(group));
+  return out;
+}
+
+std::optional<LedgerGroupSummary> FlipLedger::find_group(
+    const std::string& group) const {
+  if (raw_.find(group) == raw_.end()) return std::nullopt;
+  return build_summary(group);
+}
+
+std::uint64_t FlipLedger::digest() const {
+  Fingerprint fp;
+  for (const auto& s : summaries()) {
+    fp.add(s.group)
+        .add(s.total_items)
+        .add(s.unstable_items)
+        .add(s.all_correct_items)
+        .add(s.all_incorrect_items);
+    for (const auto& [cls, n] : s.flips_by_class) fp.add(cls).add(n);
+    for (const auto& [pair, n] : s.flips_by_pair)
+      fp.add(pair.first).add(pair.second).add(n);
+  }
+  return fp.value();
+}
+
+void FlipLedger::clear() { raw_.clear(); }
+
+}  // namespace edgestab::obs

@@ -103,6 +103,7 @@ std::string RunManifest::to_json() const {
   std::string sha = git_head_sha();
   w.key("git_sha").value(sha.empty() ? "unknown" : sha);
   w.key("tracing_compiled_in").value(kTracingCompiledIn);
+  w.key("drift_compiled_in").value(kDriftCompiledIn);
   if (has_seed_) w.key("seed").value(seed_);
   if (wall_seconds_ >= 0.0) w.key("wall_seconds").value(wall_seconds_);
 
@@ -152,6 +153,7 @@ std::string RunManifest::to_json() const {
     w.key("stage_timing_ms");
     w.begin_object();
     for (const auto& [name, s] : histograms) {
+      if (!is_timing_histogram(name)) continue;
       w.key(name);
       w.begin_object();
       w.key("count").value(s.count);

@@ -33,16 +33,19 @@ int Histogram::bucket_index(std::uint64_t value) {
   return ((msb - kSubBucketBits + 1) << kSubBucketBits) + sub;
 }
 
-double Histogram::bucket_midpoint(int index) {
+void Histogram::bucket_bounds(int index, double& lower, double& width) {
   // Small values have their own unit bucket and are exact.
-  if (index < kSubBuckets) return static_cast<double>(index);
+  if (index < kSubBuckets) {
+    lower = static_cast<double>(index);
+    width = 0.0;
+    return;
+  }
   int octave = index >> kSubBucketBits;
   int sub = index & (kSubBuckets - 1);
   int msb = octave + kSubBucketBits - 1;
-  double lower = std::ldexp(1.0, msb) +
-                 std::ldexp(static_cast<double>(sub), msb - kSubBucketBits);
-  double width = std::ldexp(1.0, msb - kSubBucketBits);
-  return lower + width / 2.0;
+  lower = std::ldexp(1.0, msb) +
+          std::ldexp(static_cast<double>(sub), msb - kSubBucketBits);
+  width = std::ldexp(1.0, msb - kSubBucketBits);
 }
 
 void Histogram::record(std::uint64_t value) {
@@ -59,12 +62,29 @@ double Histogram::quantile(double q) const {
   q = q < 0.0 ? 0.0 : (q > 1.0 ? 1.0 : q);
   auto target = static_cast<std::uint64_t>(std::ceil(q * n));
   if (target == 0) target = 1;
+  double lo = static_cast<double>(min_.load(std::memory_order_relaxed));
+  double hi = static_cast<double>(max_.load(std::memory_order_relaxed));
   std::uint64_t seen = 0;
   for (int i = 0; i < kBucketCount; ++i) {
-    seen += buckets_[i].load(std::memory_order_relaxed);
-    if (seen >= target) return bucket_midpoint(i);
+    std::uint64_t in_bucket = buckets_[i].load(std::memory_order_relaxed);
+    if (in_bucket == 0) continue;
+    if (seen + in_bucket >= target) {
+      // Interpolate within the containing bucket: the k-th of its
+      // `in_bucket` samples sits at fraction (k - 0.5) / in_bucket of
+      // the bucket span. Clamping into the observed [min, max] keeps
+      // first/last-bucket estimates honest — p99 of a distribution whose
+      // tail shares one bucket now lands at/below the true max instead
+      // of the bucket edge, and q=1 returns the exact max.
+      double lower, width;
+      bucket_bounds(i, lower, width);
+      double frac = (static_cast<double>(target - seen) - 0.5) /
+                    static_cast<double>(in_bucket);
+      double value = lower + frac * width;
+      return value < lo ? lo : (value > hi ? hi : value);
+    }
+    seen += in_bucket;
   }
-  return bucket_midpoint(kBucketCount - 1);
+  return hi;
 }
 
 HistogramSummary Histogram::summary() const {
@@ -139,6 +159,7 @@ CsvWriter stage_timing_csv(const MetricsRegistry& registry) {
                  "p99_ms"});
   auto ms = [](double ns) { return ns / 1e6; };
   for (const auto& [name, s] : registry.histograms()) {
+    if (!is_timing_histogram(name)) continue;
     csv.add_row({name, std::to_string(s.count),
                  std::to_string(ms(static_cast<double>(s.sum))),
                  std::to_string(ms(s.mean())), std::to_string(ms(s.p50)),

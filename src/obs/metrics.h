@@ -73,7 +73,9 @@ class Histogram {
   std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
 
   /// Quantile estimate, q in [0,1]; values below kSubBuckets are exact,
-  /// larger ones carry the bucket's relative error.
+  /// larger ones interpolate within their bucket (bounded relative
+  /// error) and are clamped into the observed [min, max] — so q=1
+  /// returns the exact max and no estimate escapes the data range.
   double quantile(double q) const;
   double p50() const { return quantile(0.50); }
   double p95() const { return quantile(0.95); }
@@ -86,7 +88,7 @@ class Histogram {
   static int bucket_index(std::uint64_t value);
 
  private:
-  static double bucket_midpoint(int index);
+  static void bucket_bounds(int index, double& lower, double& width);
 
   std::atomic<std::uint64_t> buckets_[kBucketCount] = {};
   std::atomic<std::uint64_t> count_{0};
@@ -122,9 +124,16 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
 
-/// Flat stage-timing table from every histogram in the registry, one row
-/// per stage with count/total/mean/p50/p95/p99 in milliseconds (histogram
-/// values are nanoseconds, the unit ScopedSpan records).
+/// Histograms under the "drift." prefix hold scaled divergence units
+/// (milli-dB, ppm, micro — see obs/drift.h), not span nanoseconds; the
+/// timing exporters skip them (the drift report owns their presentation).
+inline bool is_timing_histogram(const std::string& name) {
+  return name.rfind("drift.", 0) != 0;
+}
+
+/// Flat stage-timing table from every timing histogram in the registry,
+/// one row per stage with count/total/mean/p50/p95/p99 in milliseconds
+/// (histogram values are nanoseconds, the unit ScopedSpan records).
 CsvWriter stage_timing_csv(const MetricsRegistry& registry);
 
 }  // namespace edgestab::obs

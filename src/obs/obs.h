@@ -30,10 +30,18 @@ inline constexpr bool kTracingCompiledIn = true;
 inline constexpr bool kTracingCompiledIn = false;
 #endif
 
+#ifdef EDGESTAB_DRIFT
+inline constexpr bool kDriftCompiledIn = true;
+#else
+inline constexpr bool kDriftCompiledIn = false;
+#endif
+
 }  // namespace edgestab::obs
 
+#ifndef ES_OBS_CONCAT
 #define ES_OBS_CONCAT_INNER(a, b) a##b
 #define ES_OBS_CONCAT(a, b) ES_OBS_CONCAT_INNER(a, b)
+#endif
 
 #ifdef EDGESTAB_TRACING
 

@@ -22,6 +22,47 @@ thread_local std::uint16_t t_span_depth = 0;
 
 }  // namespace
 
+// One registered buffer per recording thread; the shared_ptr in the
+// tracer's registry keeps it alive for exporters after the thread exits.
+// `cap` is written only by the owning thread (refreshed on each record
+// from the tracer's atomic) and read only by that thread's flush.
+struct TraceThreadBuffer {
+  std::uint32_t thread_id = 0;
+  mutable std::mutex mutex;
+  std::vector<SpanEvent> events;
+  std::uint64_t dropped = 0;
+  std::size_t cap = Tracer::kMaxEventsPerThread;
+};
+
+namespace {
+
+// Thread-local staging: events append here lock-free and drain into the
+// registered buffer per chunk. The destructor drains the remainder when
+// the thread exits, so short-lived workers never strand spans; it only
+// touches the buffer the shared_ptr keeps alive, never the tracer.
+struct TraceSlot {
+  std::shared_ptr<TraceThreadBuffer> buffer;
+  std::vector<SpanEvent> staging;
+
+  ~TraceSlot() { flush(); }
+
+  void flush() {
+    if (buffer == nullptr || staging.empty()) return;
+    std::lock_guard<std::mutex> lock(buffer->mutex);
+    for (const SpanEvent& e : staging) {
+      if (buffer->events.size() >= buffer->cap)
+        ++buffer->dropped;
+      else
+        buffer->events.push_back(e);
+    }
+    staging.clear();
+  }
+};
+
+thread_local TraceSlot t_trace_slot;
+
+}  // namespace
+
 Tracer::Tracer() : epoch_ns_(steady_ns()) {}
 
 Tracer& Tracer::global() {
@@ -31,34 +72,28 @@ Tracer& Tracer::global() {
 
 std::uint64_t Tracer::now_ns() const { return steady_ns() - epoch_ns_; }
 
-Tracer::ThreadBuffer& Tracer::local_buffer() {
-  // One buffer per (tracer, thread); the shared_ptr in buffers_ keeps it
-  // alive for exporters even after the thread exits.
-  thread_local std::shared_ptr<ThreadBuffer> t_buffer;
-  if (t_buffer == nullptr) {
-    auto buffer = std::make_shared<ThreadBuffer>();
+void Tracer::record(const SpanEvent& event) {
+  TraceSlot& slot = t_trace_slot;
+  if (slot.buffer == nullptr) {
+    auto buffer = std::make_shared<TraceThreadBuffer>();
     std::lock_guard<std::mutex> lock(registry_mutex_);
     buffer->thread_id = next_thread_id_++;
     buffers_.push_back(buffer);
-    t_buffer = std::move(buffer);
+    slot.buffer = std::move(buffer);
+    slot.staging.reserve(kFlushChunk);
   }
-  return *t_buffer;
+  slot.buffer->cap = max_events_.load(std::memory_order_relaxed);
+  SpanEvent stamped = event;
+  stamped.thread_id = slot.buffer->thread_id;
+  slot.staging.push_back(stamped);
+  if (slot.staging.size() >= kFlushChunk) slot.flush();
 }
 
-void Tracer::record(const SpanEvent& event) {
-  ThreadBuffer& buffer = local_buffer();
-  std::lock_guard<std::mutex> lock(buffer.mutex);
-  if (buffer.events.size() >= kMaxEventsPerThread) {
-    ++buffer.dropped;
-    return;
-  }
-  SpanEvent stamped = event;
-  stamped.thread_id = buffer.thread_id;
-  buffer.events.push_back(stamped);
-}
+void Tracer::flush() { t_trace_slot.flush(); }
 
 std::vector<SpanEvent> Tracer::snapshot() const {
-  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  t_trace_slot.flush();  // a thread always sees its own spans
+  std::vector<std::shared_ptr<TraceThreadBuffer>> buffers;
   {
     std::lock_guard<std::mutex> lock(registry_mutex_);
     buffers = buffers_;
@@ -72,6 +107,7 @@ std::vector<SpanEvent> Tracer::snapshot() const {
 }
 
 std::uint64_t Tracer::dropped() const {
+  t_trace_slot.flush();
   std::lock_guard<std::mutex> lock(registry_mutex_);
   std::uint64_t dropped = 0;
   for (const auto& buffer : buffers_) {
@@ -82,6 +118,7 @@ std::uint64_t Tracer::dropped() const {
 }
 
 std::size_t Tracer::size() const {
+  t_trace_slot.flush();
   std::lock_guard<std::mutex> lock(registry_mutex_);
   std::size_t n = 0;
   for (const auto& buffer : buffers_) {
@@ -92,6 +129,7 @@ std::size_t Tracer::size() const {
 }
 
 void Tracer::clear() {
+  t_trace_slot.staging.clear();
   std::lock_guard<std::mutex> lock(registry_mutex_);
   for (const auto& buffer : buffers_) {
     std::lock_guard<std::mutex> buffer_lock(buffer->mutex);

@@ -23,6 +23,7 @@
 namespace edgestab::obs {
 
 class Histogram;
+struct TraceThreadBuffer;  // defined in trace.cpp
 
 /// One completed span. `category`/`name` must be string literals (the
 /// instrumentation macros guarantee this); events store the pointers only.
@@ -37,14 +38,23 @@ struct SpanEvent {
 
 /// Process-wide span collector. Disabled by default: a bench (or test)
 /// opts in with set_enabled(true); artifact-cache construction opts back
-/// out around training loops with SuspendTracing. Recording threads append
-/// to their own buffer under a per-buffer mutex, so the hot path never
-/// contends with other threads or with exporters.
+/// out around training loops with SuspendTracing.
+///
+/// Recording threads append to a small lock-free thread-local staging
+/// vector that drains into their registered buffer every kFlushChunk
+/// events, when the thread exits (the staging slot's destructor), or on
+/// an explicit flush() — so short-lived worker threads never leave spans
+/// stranded and the hot path takes the buffer mutex only once per chunk.
+/// snapshot()/size()/dropped() flush the *calling* thread's staging
+/// first, so a thread always sees its own spans immediately.
 class Tracer {
  public:
   /// Hard cap per thread: a runaway loop degrades to dropped-event
   /// accounting instead of unbounded memory.
   static constexpr std::size_t kMaxEventsPerThread = 1u << 20;
+
+  /// Staged events drained per mutex acquisition.
+  static constexpr std::size_t kFlushChunk = 256;
 
   static Tracer& global();
 
@@ -58,14 +68,29 @@ class Tracer {
 
   void record(const SpanEvent& event);
 
+  /// Drain the calling thread's staged events into its buffer. Exporters
+  /// call this (after set_enabled(false)) so the exporting thread's tail
+  /// of events lands deterministically; exited threads already flushed.
+  void flush();
+
   /// Copy of every recorded event across all threads (exporter side).
   std::vector<SpanEvent> snapshot() const;
 
-  /// Events discarded because a thread hit kMaxEventsPerThread.
+  /// Events discarded because a thread hit the per-thread event cap.
   std::uint64_t dropped() const;
 
   /// Number of events currently buffered.
   std::size_t size() const;
+
+  /// Lower the per-thread event cap (tests exercise dropped-event
+  /// accounting without recording a million spans). Applies to events
+  /// recorded after the call.
+  void set_max_events_per_thread(std::size_t n) {
+    max_events_.store(n, std::memory_order_relaxed);
+  }
+  std::size_t max_events_per_thread() const {
+    return max_events_.load(std::memory_order_relaxed);
+  }
 
   void clear();
 
@@ -73,21 +98,14 @@ class Tracer {
   Tracer& operator=(const Tracer&) = delete;
 
  private:
-  struct ThreadBuffer {
-    std::uint32_t thread_id = 0;
-    mutable std::mutex mutex;
-    std::vector<SpanEvent> events;
-    std::uint64_t dropped = 0;
-  };
-
   Tracer();
-  ThreadBuffer& local_buffer();
 
   std::atomic<bool> enabled_{false};
+  std::atomic<std::size_t> max_events_{kMaxEventsPerThread};
   std::uint64_t epoch_ns_ = 0;
 
   mutable std::mutex registry_mutex_;
-  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+  std::vector<std::shared_ptr<TraceThreadBuffer>> buffers_;
   std::uint32_t next_thread_id_ = 0;
 };
 

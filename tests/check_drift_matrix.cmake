@@ -1,0 +1,113 @@
+# Builds the four EDGESTAB_DRIFT x EDGESTAB_TRACING build flavors in
+# child build trees, runs bench_table4_isp end-to-end in each (smoke-size
+# rig via EDGESTAB_RIG_OBJECTS, shared model cache), and asserts that the
+# drift artifacts exist exactly in the drift-enabled flavors and the
+# trace artifacts exactly in the tracing-enabled ones — i.e. that both
+# observability subsystems really are compile-time removable without
+# breaking the bench.
+#
+# Expected -D variables: SOURCE_DIR, WORK_DIR, CACHE_DIR.
+foreach(var SOURCE_DIR WORK_DIR CACHE_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "check_drift_matrix: ${var} not set")
+  endif()
+endforeach()
+
+foreach(drift ON OFF)
+  foreach(tracing ON OFF)
+    set(tag "drift_${drift}_tracing_${tracing}")
+    set(build_dir "${WORK_DIR}/${tag}")
+    message(STATUS "==== ${tag}: configure ====")
+    execute_process(
+      COMMAND ${CMAKE_COMMAND} -S "${SOURCE_DIR}" -B "${build_dir}"
+        -DCMAKE_BUILD_TYPE=Release
+        -DEDGESTAB_DRIFT=${drift}
+        -DEDGESTAB_TRACING=${tracing}
+      RESULT_VARIABLE rc
+      OUTPUT_QUIET)
+    if(NOT rc EQUAL 0)
+      message(FATAL_ERROR "${tag}: configure failed with ${rc}")
+    endif()
+
+    message(STATUS "==== ${tag}: build bench_table4_isp ====")
+    include(ProcessorCount)
+    ProcessorCount(ncpu)
+    if(ncpu EQUAL 0)
+      set(ncpu 2)
+    endif()
+    execute_process(
+      COMMAND ${CMAKE_COMMAND} --build "${build_dir}"
+        --target bench_table4_isp --parallel ${ncpu}
+      RESULT_VARIABLE rc
+      OUTPUT_QUIET)
+    if(NOT rc EQUAL 0)
+      message(FATAL_ERROR "${tag}: build failed with ${rc}")
+    endif()
+
+    message(STATUS "==== ${tag}: run ====")
+    set(run_dir "${build_dir}/smoke_run")
+    file(REMOVE_RECURSE "${run_dir}")
+    file(MAKE_DIRECTORY "${run_dir}")
+    execute_process(
+      COMMAND ${CMAKE_COMMAND} -E env
+        "EDGESTAB_CACHE=${CACHE_DIR}"
+        "EDGESTAB_RIG_OBJECTS=2"
+        "${build_dir}/bench/bench_table4_isp"
+      WORKING_DIRECTORY "${run_dir}"
+      RESULT_VARIABLE rc)
+    if(NOT rc EQUAL 0)
+      message(FATAL_ERROR "${tag}: bench exited with ${rc}")
+    endif()
+
+    set(out "${run_dir}/bench_out")
+    foreach(artifact "table4_isp.csv" "table4_isp.meta.json")
+      if(NOT EXISTS "${out}/${artifact}")
+        message(FATAL_ERROR "${tag}: missing artifact ${out}/${artifact}")
+      endif()
+    endforeach()
+
+    set(drift_json "${out}/table4_isp.drift.json")
+    set(drift_html "${out}/table4_isp.drift.html")
+    if(drift)
+      if(NOT EXISTS "${drift_json}")
+        message(FATAL_ERROR "${tag}: drift build produced no ${drift_json}")
+      endif()
+      file(READ "${drift_json}" doc)
+      if(NOT doc MATCHES "edgestab-drift-report-v1")
+        message(FATAL_ERROR "${tag}: ${drift_json} lacks the report schema")
+      endif()
+      if(NOT doc MATCHES "\"stage\":\"demosaic\"")
+        message(FATAL_ERROR "${tag}: ${drift_json} has no per-stage drift")
+      endif()
+      if(NOT doc MATCHES "\"flip_ledger\"")
+        message(FATAL_ERROR "${tag}: ${drift_json} has no flip ledger")
+      endif()
+      if(NOT EXISTS "${drift_html}")
+        message(FATAL_ERROR "${tag}: drift build produced no ${drift_html}")
+      endif()
+      file(READ "${drift_html}" html)
+      if(NOT html MATCHES "stage-drift")
+        message(FATAL_ERROR "${tag}: ${drift_html} has no stage-drift table")
+      endif()
+    else()
+      if(EXISTS "${drift_json}" OR EXISTS "${drift_html}")
+        message(FATAL_ERROR "${tag}: non-drift build still wrote drift reports")
+      endif()
+    endif()
+
+    set(trace "${out}/table4_isp.trace.json")
+    if(tracing)
+      if(NOT EXISTS "${trace}")
+        message(FATAL_ERROR "${tag}: tracing build produced no ${trace}")
+      endif()
+    else()
+      if(EXISTS "${trace}")
+        message(FATAL_ERROR "${tag}: non-tracing build still wrote ${trace}")
+      endif()
+    endif()
+
+    message(STATUS "==== ${tag}: OK ====")
+  endforeach()
+endforeach()
+
+message(STATUS "drift/tracing build-flavor matrix OK")

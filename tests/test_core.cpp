@@ -11,6 +11,8 @@
 #include "core/instability.h"
 #include "core/stability_training.h"
 #include "core/workspace.h"
+#include "obs/flip_ledger.h"
+#include "util/rng.h"
 
 namespace edgestab {
 namespace {
@@ -99,6 +101,49 @@ TEST(Instability, EnvironmentAccuracyAndListing) {
   EXPECT_DOUBLE_EQ(environment_accuracy(v, 2), 1.0);
   EXPECT_DOUBLE_EQ(environment_accuracy(v, 9), 0.0);
   EXPECT_EQ(environments(v), (std::vector<int>{0, 2}));
+}
+
+// The obs/flip_ledger bookkeeping is an independent implementation of
+// the same §2.2 semantics; randomized observation sets must never make
+// the two disagree (bench::Run enforces this cross-check at run time,
+// this test hammers it over many shapes).
+TEST(Instability, FlipLedgerAgreesOnRandomizedObservations) {
+  namespace dobs = edgestab::obs;
+  Pcg32 rng(991, 7);
+  for (int trial = 0; trial < 25; ++trial) {
+    std::vector<Observation> observations;
+    std::vector<dobs::FlipOutcome> outcomes;
+    int items = 1 + static_cast<int>(rng.next_u32() % 40);
+    for (int item = 0; item < items; ++item) {
+      // 1..4 environments: single-observation items exercise the skip
+      // rule on both sides.
+      int envs = 1 + static_cast<int>(rng.next_u32() % 4);
+      int cls = static_cast<int>(rng.next_u32() % 5);
+      for (int env = 0; env < envs; ++env) {
+        bool correct = rng.uniform() < 0.6;
+        observations.push_back(obs(item, env, correct, 0.5, cls));
+        dobs::FlipOutcome o;
+        o.item = item;
+        o.env = env;
+        o.correct = correct;
+        o.predicted = correct ? cls : cls + 1;
+        o.class_id = cls;
+        outcomes.push_back(o);
+      }
+    }
+    InstabilityResult expected = compute_instability(observations);
+    dobs::FlipLedger ledger;
+    ledger.add_group("trial", outcomes);
+    auto summary = ledger.find_group("trial");
+    ASSERT_TRUE(summary.has_value());
+    EXPECT_EQ(summary->total_items, expected.total_items) << "trial " << trial;
+    EXPECT_EQ(summary->unstable_items, expected.unstable_items)
+        << "trial " << trial;
+    EXPECT_EQ(summary->all_correct_items, expected.all_correct_items)
+        << "trial " << trial;
+    EXPECT_EQ(summary->all_incorrect_items, expected.all_incorrect_items)
+        << "trial " << trial;
+  }
 }
 
 TEST(Confidence, SplitsByStability) {

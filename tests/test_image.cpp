@@ -3,6 +3,7 @@
 // warps, drawing invariants, and comparison metrics.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "image/color.h"
@@ -329,6 +330,46 @@ TEST(Metrics, ShapeMismatchThrows) {
   Image a(4, 4, 3);
   Image b(4, 5, 3);
   EXPECT_THROW(mse(a, b), CheckError);
+}
+
+TEST(Metrics, SsimIdenticalIsOne) {
+  Pcg32 rng(17);
+  Image img = random_image(32, 32, 3, rng);
+  EXPECT_NEAR(ssim(img, img), 1.0, 1e-9);
+}
+
+TEST(Metrics, SsimOrdersDistortionSeverity) {
+  Pcg32 rng(18);
+  Image a = random_image(32, 32, 3, rng);
+  Pcg32 noise_rng(19);
+  Image mild = a;
+  Image severe = a;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    auto n = static_cast<float>(noise_rng.uniform() - 0.5);
+    mild.data()[i] = std::clamp(a.data()[i] + 0.1f * n, 0.0f, 1.0f);
+    severe.data()[i] = std::clamp(a.data()[i] + 0.8f * n, 0.0f, 1.0f);
+  }
+  double s_mild = ssim(a, mild);
+  double s_severe = ssim(a, severe);
+  EXPECT_LT(s_mild, 1.0);
+  EXPECT_GT(s_mild, s_severe);
+  EXPECT_GT(s_severe, 0.0);
+}
+
+TEST(Metrics, SsimForgivesUniformShiftMoreThanNoise) {
+  // SSIM is a *structural* metric: a constant brightness offset keeps
+  // structure intact and must score higher than same-energy noise.
+  Pcg32 rng(20);
+  Image a = random_image(32, 32, 1, rng);
+  for (float& v : a.data()) v = 0.25f + 0.5f * v;  // keep shift in range
+  Image shifted = a;
+  for (float& v : shifted.data()) v += 0.1f;
+  Pcg32 noise_rng(21);
+  Image noisy = a;
+  for (float& v : noisy.data())
+    v += (noise_rng.uniform() < 0.5 ? -0.1f : 0.1f);
+  EXPECT_NEAR(mse(a, shifted), mse(a, noisy), 1e-6);
+  EXPECT_GT(ssim(a, shifted), ssim(a, noisy));
 }
 
 }  // namespace

@@ -1,15 +1,26 @@
 // Unit tests for the observability layer: JSON writer output and
 // escaping, histogram bucketing and quantiles, registry behavior, span
 // recording/nesting/suspension, Chrome-trace export (validated with a
-// minimal JSON parser), and the provenance manifest document.
+// minimal JSON parser), the provenance manifest document, the divergence
+// auditor (stage taps, logit drift, prediction-flip ledger), the drift
+// report exporters, and the shared end-of-run artifact export including
+// its failure paths.
 #include <gtest/gtest.h>
 
 #include <cctype>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
 #include <string>
 #include <thread>
+#include <vector>
 
+#include "image/image.h"
+#include "obs/drift.h"
+#include "obs/flip_ledger.h"
 #include "obs/json.h"
 #include "obs/obs.h"
+#include "obs/report.h"
 #include "util/check.h"
 #include "util/csv.h"
 
@@ -132,9 +143,34 @@ struct TracerSandbox {
   }
   ~TracerSandbox() {
     Tracer::global().set_enabled(false);
+    Tracer::global().set_max_events_per_thread(Tracer::kMaxEventsPerThread);
     Tracer::global().clear();
   }
 };
+
+// Same idea for the divergence auditor: enabled and empty on entry,
+// disabled and empty (with the default item cap) on exit.
+struct DriftSandbox {
+  DriftSandbox() {
+    DriftAuditor::global().clear();
+    DriftAuditor::global().set_enabled(true);
+  }
+  ~DriftSandbox() {
+    DriftAuditor::global().set_enabled(false);
+    DriftAuditor::global().set_max_audited_items(
+        DriftAuditor::kDefaultMaxAuditedItems);
+    DriftAuditor::global().clear();
+  }
+};
+
+// Scratch directory for exporter tests, wiped on entry and exit.
+std::filesystem::path scratch_dir(const char* leaf) {
+  std::filesystem::path dir =
+      std::filesystem::path(testing::TempDir()) / leaf;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
 
 // ---- JsonWriter -------------------------------------------------------------
 
@@ -226,6 +262,33 @@ TEST(Histogram, LargeValueQuantilesWithinRelativeError) {
   EXPECT_EQ(s.min, 1000000u);
   EXPECT_EQ(s.max, 1000000u);
   EXPECT_DOUBLE_EQ(s.mean(), 1e6);
+}
+
+TEST(Histogram, InterpolatesWithinWideBucket) {
+  Histogram h;
+  // 1024..1151 share one log bucket of width 128; without interpolation
+  // every quantile would collapse onto a bucket edge.
+  for (std::uint64_t v = 1024; v < 1152; ++v) h.record(v);
+  ASSERT_EQ(Histogram::bucket_index(1024), Histogram::bucket_index(1151));
+  EXPECT_NEAR(h.quantile(0.5), 1087.5, 0.51);
+  EXPECT_NEAR(h.quantile(0.25), 1055.5, 0.51);
+  EXPECT_LT(h.quantile(0.25), h.quantile(0.75));
+  // Clamping into the observed range keeps boundary quantiles honest:
+  // q=1 is the exact max, q=0 never drops below the min.
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 1151.0);
+  EXPECT_GE(h.quantile(0.0), 1024.0);
+  EXPECT_LE(h.quantile(0.0), 1025.0);
+}
+
+TEST(Histogram, FirstAndLastBucketBoundary) {
+  Histogram h;
+  h.record(7);  // last unit-width bucket: exact
+  h.record(8);  // first log bucket [8, 9)
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 7.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 7.0);
+  // The interpolated estimate inside [8, 9) lands above the true max and
+  // must clamp back to it.
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 8.0);
 }
 
 TEST(Histogram, MixedDistributionQuantileOrdering) {
@@ -335,6 +398,30 @@ TEST(Tracer, ThreadsGetDistinctIds) {
   EXPECT_NE(events[0].thread_id, events[1].thread_id);
 }
 
+TEST(Tracer, DroppedEventsAreCountedAgainstTheCap) {
+  TracerSandbox sandbox;
+  Tracer::global().set_max_events_per_thread(4);
+  for (int i = 0; i < 10; ++i) {
+    ScopedSpan span("test", "capped");
+  }
+  EXPECT_EQ(Tracer::global().size(), 4u);
+  EXPECT_EQ(Tracer::global().dropped(), 6u);
+}
+
+TEST(Tracer, WorkerStagingFlushesAtThreadExit) {
+  TracerSandbox sandbox;
+  std::thread([] {
+    for (int i = 0; i < 3; ++i) {
+      ScopedSpan span("test", "worker_staged");
+    }
+    // No flush/snapshot here: fewer than kFlushChunk events sit in the
+    // worker's staging vector until its thread-exit flush.
+  }).join();
+  auto events = Tracer::global().snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  for (const SpanEvent& e : events) EXPECT_STREQ(e.name, "worker_staged");
+}
+
 TEST(Tracer, ChromeTraceJsonRoundTrips) {
   TracerSandbox sandbox;
   {
@@ -400,6 +487,346 @@ TEST(RunManifest, EmitsValidProvenanceJson) {
 TEST(RunManifest, HexDigestIsZeroPadded) {
   EXPECT_EQ(hex_digest(0x1ull), "0000000000000001");
   EXPECT_EQ(hex_digest(UINT64_MAX), "ffffffffffffffff");
+}
+
+// ---- DriftAuditor -----------------------------------------------------------
+
+TEST(DriftAuditor, TapComparesAgainstReferenceEnvironment) {
+  DriftSandbox sandbox;
+  DriftAuditor& auditor = DriftAuditor::global();
+  Image ref(16, 16, 3, 0.5f);
+  Image cur(16, 16, 3, 0.6f);
+  {
+    DriftScope scope("unit", /*item=*/0, /*env=*/0);
+    auditor.tap_stage(0, "demosaic", ref);
+  }
+  {
+    DriftScope scope("unit", 0, 1);
+    auditor.tap_stage(0, "demosaic", cur);
+  }
+  auto stages = auditor.stage_summaries();
+  ASSERT_EQ(stages.size(), 1u);
+  const StageDriftSummary& s = stages[0];
+  EXPECT_EQ(s.group, "unit");
+  EXPECT_EQ(s.stage, "demosaic");
+  EXPECT_EQ(s.stage_index, 0);
+  EXPECT_EQ(s.psnr_db.count, 1);
+  // A constant 0.1 offset has MSE 0.01 -> PSNR 20 dB (the quantized
+  // reference shifts it by a fraction of a dB).
+  EXPECT_NEAR(s.psnr_db.mean(), 20.0, 0.3);
+  EXPECT_NEAR(s.channel_mean_delta.mean(), 0.1, 1e-3);
+  EXPECT_NEAR(s.channel_var_delta.mean(), 0.0, 1e-3);
+  EXPECT_LT(s.ssim.mean(), 1.0);
+  EXPECT_EQ(s.identical_pairs, 0);
+  // The comparison also fed the registry histograms named in the summary.
+  EXPECT_EQ(s.psnr_metric, "drift.unit.demosaic.psnr_mdb");
+  EXPECT_EQ(
+      MetricsRegistry::global().histogram(s.psnr_metric).count() >= 1, true);
+  EXPECT_FALSE(is_timing_histogram(s.psnr_metric));
+}
+
+TEST(DriftAuditor, IdenticalImagesHitPsnrCap) {
+  DriftSandbox sandbox;
+  DriftAuditor& auditor = DriftAuditor::global();
+  Image img(8, 8, 3, 1.0f);  // 1.0 quantizes exactly
+  {
+    DriftScope scope("unit", 0, 0);
+    auditor.tap_stage(1, "white_balance", img);
+  }
+  {
+    DriftScope scope("unit", 0, 1);
+    auditor.tap_stage(1, "white_balance", img);
+  }
+  auto stages = auditor.stage_summaries();
+  ASSERT_EQ(stages.size(), 1u);
+  EXPECT_EQ(stages[0].identical_pairs, 1);
+  EXPECT_DOUBLE_EQ(stages[0].psnr_db.mean(), DriftAuditor::kPsnrCapDb);
+  EXPECT_DOUBLE_EQ(stages[0].ssim.mean(), 1.0);
+}
+
+TEST(DriftAuditor, TapWithoutScopeOrWhenDisabledIsIgnored) {
+  DriftSandbox sandbox;
+  DriftAuditor& auditor = DriftAuditor::global();
+  Image img(8, 8, 1, 0.5f);
+  auditor.tap_stage(0, "demosaic", img);  // no DriftScope on this thread
+  EXPECT_TRUE(auditor.stage_summaries().empty());
+
+  auditor.set_enabled(false);
+  {
+    DriftScope scope("unit", 0, 0);
+    auditor.tap_stage(0, "demosaic", img);
+  }
+  EXPECT_TRUE(auditor.stage_summaries().empty());
+  auditor.set_enabled(true);
+}
+
+TEST(DriftAuditor, ItemCapSkipsAndCounts) {
+  DriftSandbox sandbox;
+  DriftAuditor& auditor = DriftAuditor::global();
+  auditor.set_max_audited_items(1);
+  Image img(8, 8, 1, 0.25f);
+  {
+    DriftScope scope("cap", 0, 0);
+    auditor.tap_stage(0, "demosaic", img);  // item 0 becomes the reference
+  }
+  {
+    DriftScope scope("cap", 1, 0);
+    auditor.tap_stage(0, "demosaic", img);  // item 1 is over the cap
+  }
+  {
+    DriftScope scope("cap", 1, 1);
+    auditor.tap_stage(0, "demosaic", img);  // still over the cap
+  }
+  EXPECT_EQ(auditor.skipped_items(), 2);
+  {
+    DriftScope scope("cap", 0, 1);
+    auditor.tap_stage(0, "demosaic", img);  // item 0 still compares fine
+  }
+  auto stages = auditor.stage_summaries();
+  ASSERT_EQ(stages.size(), 1u);
+  EXPECT_EQ(stages[0].psnr_db.count, 1);
+}
+
+TEST(DriftAuditor, LogitDriftMetrics) {
+  DriftSandbox sandbox;
+  DriftAuditor& auditor = DriftAuditor::global();
+  std::vector<float> ref = {2.0f, 0.0f, 0.0f};
+  std::vector<float> cur = {0.0f, 2.0f, 0.0f};
+  auditor.record_logits("logits", 0, 0, ref);
+  auditor.record_logits("logits", 0, 1, cur);
+  auditor.record_logits("logits", 0, 0, ref);  // reference env: no self-compare
+  auto summaries = auditor.logit_summaries();
+  ASSERT_EQ(summaries.size(), 1u);
+  const LogitDriftSummary& s = summaries[0];
+  EXPECT_EQ(s.comparisons, 1);
+  EXPECT_EQ(s.top1_agree, 0);  // argmax flipped 0 -> 1
+  EXPECT_NEAR(s.l2.mean(), std::sqrt(8.0), 1e-5);
+  EXPECT_NEAR(s.linf.mean(), 2.0, 1e-6);
+  EXPECT_GT(s.kl.mean(), 0.0);
+  EXPECT_NEAR(s.top1_margin.mean(), 2.0, 1e-6);
+  EXPECT_EQ(s.l2_metric, "drift.logit.logits.l2_micro");
+}
+
+TEST(DriftAuditor, EnvLabelsDefaultAndOverride) {
+  DriftSandbox sandbox;
+  DriftAuditor& auditor = DriftAuditor::global();
+  EXPECT_EQ(auditor.env_label("g", 3), "env3");
+  auditor.set_env_label("g", 3, "Samsung Galaxy S10");
+  EXPECT_EQ(auditor.env_label("g", 3), "Samsung Galaxy S10");
+}
+
+TEST(DriftScope, NestedScopesRestoreOuterContext) {
+  DriftSandbox sandbox;
+  DriftAuditor& auditor = DriftAuditor::global();
+  Image img(4, 4, 1, 0.5f);
+  {
+    DriftScope outer("outer", 0, 0);
+    {
+      DriftScope inner("inner", 7, 1);
+      auditor.tap_stage(0, "demosaic", img);
+    }
+    auditor.tap_stage(0, "demosaic", img);
+  }
+  auto stages = auditor.stage_summaries();
+  ASSERT_EQ(stages.size(), 2u);  // one slot per group, sorted by name
+  EXPECT_EQ(stages[0].group, "inner");
+  EXPECT_EQ(stages[1].group, "outer");
+}
+
+// ---- FlipLedger -------------------------------------------------------------
+
+TEST(FlipLedger, MatchesInstabilitySemantics) {
+  FlipLedger ledger;
+  std::vector<FlipOutcome> outcomes = {
+      // item 0 (class 3): env0 correct, env1 wrong — the one unstable item.
+      {0, 0, true, 3, 3},
+      {0, 1, false, 5, 3},
+      // item 1: all environments correct.
+      {1, 0, true, 2, 2},
+      {1, 1, true, 2, 2},
+      // item 2: all environments wrong — stays in the denominator.
+      {2, 0, false, 1, 7},
+      {2, 1, false, 4, 7},
+      // item 3: a single observation is skipped entirely.
+      {3, 0, true, 9, 9},
+  };
+  ledger.add_group("g", outcomes);
+  auto s = ledger.find_group("g");
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->total_items, 3);
+  EXPECT_EQ(s->unstable_items, 1);
+  EXPECT_EQ(s->all_correct_items, 1);
+  EXPECT_EQ(s->all_incorrect_items, 1);
+  EXPECT_DOUBLE_EQ(s->instability(), 1.0 / 3.0);
+  EXPECT_EQ(s->flips_by_class.at(3), 1);
+  EXPECT_EQ(s->unstable_by_class.at(3), 1);
+  EXPECT_EQ(s->flips_by_pair.at({0, 1}), 1);
+  ASSERT_EQ(s->entries.size(), 1u);
+  EXPECT_EQ(s->entries[0].item, 0);
+  EXPECT_EQ(s->entries[0].env_correct, 0);
+  EXPECT_EQ(s->entries[0].env_incorrect, 1);
+  EXPECT_EQ(s->entries[0].predicted_correct, 3);
+  EXPECT_EQ(s->entries[0].predicted_incorrect, 5);
+  EXPECT_EQ(s->dropped_entries, 0);
+  EXPECT_FALSE(ledger.find_group("missing").has_value());
+}
+
+TEST(FlipLedger, AppendsToExistingGroup) {
+  FlipLedger ledger;
+  std::vector<FlipOutcome> first = {{0, 0, true, 1, 1}};
+  std::vector<FlipOutcome> second = {{0, 1, false, 2, 1}};
+  ledger.add_group("g", first);
+  // One observation so far: the item is skipped.
+  EXPECT_EQ(ledger.find_group("g")->total_items, 0);
+  ledger.add_group("g", second);
+  auto s = ledger.find_group("g");
+  EXPECT_EQ(s->total_items, 1);
+  EXPECT_EQ(s->unstable_items, 1);
+}
+
+TEST(FlipLedger, DigestTracksContent) {
+  FlipLedger a;
+  FlipLedger b;
+  EXPECT_EQ(a.digest(), b.digest());
+  std::vector<FlipOutcome> outcomes = {{0, 0, true, 1, 1},
+                                       {0, 1, false, 2, 1}};
+  a.add_group("g", outcomes);
+  EXPECT_NE(a.digest(), b.digest());
+  b.add_group("g", outcomes);
+  EXPECT_EQ(a.digest(), b.digest());
+  a.clear();
+  EXPECT_TRUE(a.empty());
+  EXPECT_EQ(a.digest(), FlipLedger().digest());
+}
+
+// ---- Drift report exporters -------------------------------------------------
+
+// Feed the auditor one of everything so the report sections are all
+// populated.
+void feed_auditor_for_report() {
+  DriftAuditor& auditor = DriftAuditor::global();
+  Image a(8, 8, 3, 1.0f);
+  Image b(8, 8, 3, 0.25f);
+  {
+    DriftScope scope("report", 0, 0);
+    auditor.tap_stage(0, "demosaic", a);
+  }
+  {
+    DriftScope scope("report", 0, 1);
+    auditor.tap_stage(0, "demosaic", b);
+  }
+  std::vector<float> ref = {2.0f, 0.0f};
+  std::vector<float> cur = {0.0f, 2.0f};
+  auditor.record_logits("report", 0, 0, ref);
+  auditor.record_logits("report", 0, 1, cur);
+  auditor.set_env_label("report", 0, "ref phone");
+  auditor.set_env_label("report", 1, "drifty <phone>");
+  std::vector<FlipOutcome> outcomes = {{0, 0, true, 1, 1},
+                                       {0, 1, false, 2, 1}};
+  auditor.record_flips("report", outcomes);
+}
+
+TEST(DriftReport, JsonIsValidAndComplete) {
+  DriftSandbox sandbox;
+  feed_auditor_for_report();
+  std::string doc = drift_json(DriftAuditor::global(), "unit_report");
+  EXPECT_TRUE(JsonChecker(doc).valid()) << doc;
+  EXPECT_NE(doc.find("\"schema\":\"edgestab-drift-report-v1\""),
+            std::string::npos);
+  EXPECT_NE(doc.find("\"bench\":\"unit_report\""), std::string::npos);
+  EXPECT_NE(doc.find("\"stage_drift\""), std::string::npos);
+  EXPECT_NE(doc.find("\"stage\":\"demosaic\""), std::string::npos);
+  EXPECT_NE(doc.find("\"logit_drift\""), std::string::npos);
+  EXPECT_NE(doc.find("\"flip_ledger\""), std::string::npos);
+  EXPECT_NE(doc.find("\"unstable_items\":1"), std::string::npos);
+  EXPECT_NE(doc.find("\"env_correct_label\":\"ref phone\""),
+            std::string::npos);
+}
+
+TEST(DriftReport, HtmlIsSelfContainedAndEscaped) {
+  DriftSandbox sandbox;
+  feed_auditor_for_report();
+  std::string doc = drift_html(DriftAuditor::global(), "unit_report");
+  EXPECT_NE(doc.find("<html"), std::string::npos);
+  EXPECT_NE(doc.find("<style>"), std::string::npos);
+  EXPECT_NE(doc.find("id=\"stage-drift\""), std::string::npos);
+  EXPECT_NE(doc.find("id=\"logit-drift\""), std::string::npos);
+  EXPECT_NE(doc.find("demosaic"), std::string::npos);
+  // Env labels are user data and must come out HTML-escaped.
+  EXPECT_NE(doc.find("drifty &lt;phone&gt;"), std::string::npos);
+  EXPECT_EQ(doc.find("drifty <phone>"), std::string::npos);
+  // Self-contained: no external assets.
+  EXPECT_EQ(doc.find("http://"), std::string::npos);
+  EXPECT_EQ(doc.find("https://"), std::string::npos);
+}
+
+// ---- export_run_artifacts ---------------------------------------------------
+
+TEST(ExportRunArtifacts, WritesManifestAndFlavorArtifacts) {
+  TracerSandbox tracer_sandbox;
+  DriftSandbox drift_sandbox;
+  feed_auditor_for_report();
+  {
+    ScopedSpan span("test", "exported_span");
+  }
+  namespace fs = std::filesystem;
+  fs::path dir = scratch_dir("es_export_ok");
+  RunManifest m("unit_export");
+  EXPECT_TRUE(export_run_artifacts("unit_export", dir.string(), m));
+  EXPECT_TRUE(fs::exists(dir / "unit_export.meta.json"));
+  EXPECT_EQ(fs::exists(dir / "unit_export.trace.json"), kTracingCompiledIn);
+  EXPECT_EQ(fs::exists(dir / "unit_export_stage_timing.csv"),
+            kTracingCompiledIn);
+  // Drift artifacts follow the drift build flavor (the auditor is
+  // enabled, so only compilation gates them).
+  EXPECT_EQ(fs::exists(dir / "unit_export.drift.json"), kDriftCompiledIn);
+  EXPECT_EQ(fs::exists(dir / "unit_export.drift.html"), kDriftCompiledIn);
+  std::string manifest_doc = m.to_json();
+  EXPECT_TRUE(JsonChecker(manifest_doc).valid());
+  if (kDriftCompiledIn) {
+    EXPECT_NE(manifest_doc.find("\"drift_report\""), std::string::npos);
+    EXPECT_NE(manifest_doc.find("\"drift_flip_ledger\""), std::string::npos);
+    EXPECT_NE(manifest_doc.find("unit_export.drift.json"), std::string::npos);
+  } else {
+    EXPECT_EQ(manifest_doc.find("\"drift_report\""), std::string::npos);
+  }
+  fs::remove_all(dir);
+}
+
+TEST(ExportRunArtifacts, FailsWhenOutDirIsNotWritable) {
+  TracerSandbox tracer_sandbox;
+  namespace fs = std::filesystem;
+  fs::path blocker = fs::path(testing::TempDir()) / "es_export_blocked";
+  fs::remove_all(blocker);
+  {
+    std::ofstream out(blocker);
+    out << "a file, not a directory";
+  }
+  RunManifest m("unit_blocked");
+  // Every artifact path runs through the blocking file, so every write —
+  // including the manifest — fails and the export reports it.
+  EXPECT_FALSE(
+      export_run_artifacts("unit_blocked", (blocker / "deeper").string(), m));
+  fs::remove_all(blocker);
+}
+
+TEST(ExportRunArtifacts, DroppedSpansFailTheExport) {
+  if (!kTracingCompiledIn) GTEST_SKIP() << "tracing compiled out";
+  TracerSandbox sandbox;
+  Tracer::global().set_max_events_per_thread(1);
+  for (int i = 0; i < 3; ++i) {
+    ScopedSpan span("test", "overflow");
+  }
+  ASSERT_GT(Tracer::global().dropped(), 0u);
+  namespace fs = std::filesystem;
+  fs::path dir = scratch_dir("es_export_dropped");
+  RunManifest m("unit_dropped");
+  EXPECT_FALSE(export_run_artifacts("unit_dropped", dir.string(), m));
+  // The artifacts themselves still land: an incomplete trace is flagged
+  // through the exit code, not by suppressing the files.
+  EXPECT_TRUE(fs::exists(dir / "unit_dropped.trace.json"));
+  EXPECT_TRUE(fs::exists(dir / "unit_dropped.meta.json"));
+  fs::remove_all(dir);
 }
 
 }  // namespace
