@@ -10,10 +10,10 @@
 
 using namespace edgestab;
 
-int main() {
+int main(int argc, char** argv) {
   bench::Run bench_run(
       "ablation_quantization",
-      "Ablation — quantized inference as an instability source");
+      "Ablation — quantized inference as an instability source", argc, argv);
   Workspace ws;
   Model float_model = ws.base_model();
 

@@ -36,9 +36,9 @@ std::vector<PhoneProfile> unify(std::vector<PhoneProfile> fleet, bool isp,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::Run bench_run("ablation_sources",
-                       "Ablation — instability source decomposition");
+                       "Ablation — instability source decomposition", argc, argv);
   Workspace ws;
   Model model = ws.base_model();
   LabRigConfig rig = bench::standard_rig();

@@ -14,11 +14,11 @@
 
 using namespace edgestab;
 
-int main() {
+int main(int argc, char** argv) {
   bench::Run bench_run(
       "fig1",
       "Figure 1 — same phone, seconds apart: tiny pixel change, different "
-      "label");
+      "label", argc, argv);
   Workspace ws;
   Model model = ws.base_model();
 

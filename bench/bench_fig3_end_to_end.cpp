@@ -11,8 +11,8 @@
 
 using namespace edgestab;
 
-int main() {
-  bench::Run run("fig3", "Figure 3 — end-to-end accuracy and instability");
+int main(int argc, char** argv) {
+  bench::Run run("fig3", "Figure 3 — end-to-end accuracy and instability", argc, argv);
   Workspace ws;
   Model model = ws.base_model();
 

@@ -24,9 +24,9 @@ void print_distribution(const char* label, const std::vector<double>& v) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::Run run("fig4",
-                 "Figure 4 — prediction score for stable and unstable images");
+                 "Figure 4 — prediction score for stable and unstable images", argc, argv);
   Workspace ws;
   Model model = ws.base_model();
 

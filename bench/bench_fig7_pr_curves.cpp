@@ -9,8 +9,8 @@
 
 using namespace edgestab;
 
-int main() {
-  bench::Run run("fig7", "Figure 7 — precision-recall by fine-tuning scheme");
+int main(int argc, char** argv) {
+  bench::Run run("fig7", "Figure 7 — precision-recall by fine-tuning scheme", argc, argv);
   Workspace ws;
   StabilityGridConfig config;
   run.record_workspace(ws);

@@ -10,8 +10,8 @@
 
 using namespace edgestab;
 
-int main() {
-  bench::Run run("fig8", "Figure 8 — JPEG vs raw-converted photos");
+int main(int argc, char** argv) {
+  bench::Run run("fig8", "Figure 8 — JPEG vs raw-converted photos", argc, argv);
   Workspace ws;
   Model model = ws.base_model();
 

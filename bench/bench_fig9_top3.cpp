@@ -7,8 +7,8 @@
 
 using namespace edgestab;
 
-int main() {
-  bench::Run run("fig9", "Figure 9 — top-3 vs top-1 prediction");
+int main(int argc, char** argv) {
+  bench::Run run("fig9", "Figure 9 — top-3 vs top-1 prediction", argc, argv);
   Workspace ws;
   Model model = ws.base_model();
 

@@ -8,8 +8,8 @@
 
 using namespace edgestab;
 
-int main() {
-  bench::Run run("table2", "Table 2 — JPEG compression quality");
+int main(int argc, char** argv) {
+  bench::Run run("table2", "Table 2 — JPEG compression quality", argc, argv);
   Workspace ws;
   Model model = ws.base_model();
 

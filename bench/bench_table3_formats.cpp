@@ -7,8 +7,8 @@
 
 using namespace edgestab;
 
-int main() {
-  bench::Run run("table3", "Table 3 — compression formats (default parameters)");
+int main(int argc, char** argv) {
+  bench::Run run("table3", "Table 3 — compression formats (default parameters)", argc, argv);
   Workspace ws;
   Model model = ws.base_model();
 

@@ -9,9 +9,9 @@
 
 using namespace edgestab;
 
-int main() {
+int main(int argc, char** argv) {
   bench::Run run("table4_isp",
-                 "Table 4 — image signal processors (software ISPs)");
+                 "Table 4 — image signal processors (software ISPs)", argc, argv);
   Workspace ws;
   Model model = ws.base_model();
 

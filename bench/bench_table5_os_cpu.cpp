@@ -9,8 +9,8 @@
 
 using namespace edgestab;
 
-int main() {
-  bench::Run run("table5", "Table 5 / §7 — processor and OS");
+int main(int argc, char** argv) {
+  bench::Run run("table5", "Table 5 / §7 — processor and OS", argc, argv);
   Workspace ws;
   Model model = ws.base_model();
 

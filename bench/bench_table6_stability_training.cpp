@@ -32,9 +32,9 @@ void print_rows(const char* title,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::Run run("table6",
-                 "Table 6 — stability training grid (Samsung vs iPhone)");
+                 "Table 6 — stability training grid (Samsung vs iPhone)", argc, argv);
   Workspace ws;
   StabilityGridConfig config;  // calibrated defaults (see DESIGN.md)
   run.record_workspace(ws);

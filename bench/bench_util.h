@@ -21,6 +21,7 @@
 #include "obs/drift.h"
 #include "obs/obs.h"
 #include "obs/report.h"
+#include "runtime/thread_pool.h"
 #include "util/csv.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -61,6 +62,25 @@ inline LabRigConfig standard_rig() {
   return rig;
 }
 
+/// Parse `--threads N` / `--threads=N` from a bench command line and
+/// resize the global pool (overriding the EDGESTAB_THREADS default).
+/// Other flags are ignored. Returns the effective lane count. Results
+/// are bit-identical at every setting — the knob trades wall-clock only.
+inline int apply_thread_flag(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    int n = 0;
+    if (arg == "--threads" && i + 1 < argc)
+      n = std::atoi(argv[i + 1]);
+    else if (arg.rfind("--threads=", 0) == 0)
+      n = std::atoi(arg.c_str() + 10);
+    else
+      continue;
+    if (n > 0) runtime::ThreadPool::set_global_threads(n);
+  }
+  return runtime::ThreadPool::global().threads();
+}
+
 inline void banner(const std::string& title) {
   std::printf("\n================================================================\n");
   std::printf("%s\n", title.c_str());
@@ -79,6 +99,18 @@ class Run {
     banner(title);
     if (obs::kTracingCompiledIn) obs::Tracer::global().set_enabled(true);
     if (obs::kDriftCompiledIn) obs::DriftAuditor::global().set_enabled(true);
+    manifest_.set_field(
+        "threads",
+        static_cast<double>(runtime::ThreadPool::global().threads()));
+  }
+
+  /// Same, but also honors a `--threads N` flag on the bench command
+  /// line; the effective lane count lands in the provenance manifest so
+  /// a result row names the parallelism that produced its wall-clock.
+  Run(std::string name, const std::string& title, int argc, char** argv)
+      : Run(std::move(name), title) {
+    manifest_.set_field("threads",
+                        static_cast<double>(apply_thread_flag(argc, argv)));
   }
 
   /// Remember an externally detected failure for finish()'s exit code.

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <map>
+#include <mutex>
 
 #include "util/check.h"
 
@@ -34,7 +35,12 @@ int get_amplitude(BitReader& br, int category) {
 }
 
 const std::vector<int>& zigzag_order(int n) {
+  // Codecs run concurrently on pool lanes; the lazy cache needs a lock
+  // (map nodes stay stable, so returned references outlive the guard).
+  // Called once per plane pass, so the lock is nowhere near any hot loop.
+  static std::mutex mu;
   static std::map<int, std::vector<int>> cache;
+  std::lock_guard<std::mutex> lock(mu);
   auto it = cache.find(n);
   if (it != cache.end()) return it->second;
   ES_CHECK(n >= 2 && n <= 64);

@@ -1,6 +1,7 @@
 #include "core/experiment.h"
 
 #include <algorithm>
+#include <map>
 #include <numeric>
 
 #include "codec/png_like.h"
@@ -8,6 +9,7 @@
 #include "data/labels.h"
 #include "nn/trainer.h"
 #include "obs/drift.h"
+#include "runtime/parallel.h"
 #include "tensor/ops.h"
 #include "util/md5.h"
 
@@ -104,11 +106,13 @@ EndToEndResult run_end_to_end(Model& model,
                               const LabRigConfig& rig) {
   LabRun run = run_lab_rig(fleet, rig);
 
-  std::vector<Tensor> inputs;
-  inputs.reserve(run.shots.size());
-  for (const LabShot& shot : run.shots)
-    inputs.push_back(
-        capture_to_input(decode_capture(shot.capture, JpegDecodeOptions{})));
+  // Decode + normalize every shot in parallel: pure per-shot work, each
+  // lane writes its own slot.
+  std::vector<Tensor> inputs(run.shots.size());
+  runtime::parallel_for(run.shots.size(), [&](std::size_t i) {
+    inputs[i] = capture_to_input(
+        decode_capture(run.shots[i].capture, JpegDecodeOptions{}));
+  });
   Tensor logits;
   std::vector<ShotPrediction> preds = classify_inputs(model, inputs, 3,
                                                       &logits);
@@ -202,9 +206,10 @@ namespace {
 /// Develop every raw in the bank with the consistent software ISP once.
 std::vector<Image> develop_bank(const std::vector<RawShot>& bank,
                                 const IspConfig& isp) {
-  std::vector<Image> developed;
-  developed.reserve(bank.size());
-  for (const RawShot& rs : bank) developed.push_back(run_isp(rs.raw, isp));
+  std::vector<Image> developed(bank.size());
+  runtime::parallel_for(bank.size(), [&](std::size_t i) {
+    developed[i] = run_isp(bank[i].raw, isp);
+  });
   return developed;
 }
 
@@ -221,15 +226,20 @@ CompressionResult compression_over_conditions(
     if (obs::drift_enabled())
       obs::DriftAuditor::global().set_env_label(drift_group,
                                                 static_cast<int>(ci), label);
-    double total_size = 0.0;
-    std::vector<Tensor> inputs;
-    inputs.reserve(bank.size());
-    for (std::size_t i = 0; i < bank.size(); ++i) {
+    // Encode/decode every item in parallel; fold the sizes serially in
+    // index order afterwards so the float sum associates the same way at
+    // every thread count.
+    std::vector<Tensor> inputs(bank.size());
+    std::vector<std::size_t> file_sizes(bank.size(), 0);
+    runtime::parallel_for(bank.size(), [&](std::size_t i) {
       ImageU8 u8 = to_u8(developed[i]);
       Bytes file = codec->encode(u8);
-      total_size += static_cast<double>(file.size());
-      inputs.push_back(capture_to_input(codec->decode(file)));
-    }
+      file_sizes[i] = file.size();
+      inputs[i] = capture_to_input(codec->decode(file));
+    });
+    double total_size = 0.0;
+    for (std::size_t bytes : file_sizes)
+      total_size += static_cast<double>(bytes);
     Tensor logits;
     std::vector<ShotPrediction> preds = classify_inputs(model, inputs, 3,
                                                         &logits);
@@ -295,16 +305,18 @@ IspResult run_isp_experiment(Model& model, const std::vector<RawShot>& bank,
     if (obs::drift_enabled())
       obs::DriftAuditor::global().set_env_label(
           "software_isp", static_cast<int>(ii), software_isps[ii].name);
-    std::vector<Tensor> inputs;
-    inputs.reserve(bank.size());
-    for (const RawShot& rs : bank) {
+    // Items fan out across lanes; environments (the outer ISP loop)
+    // stay serial so the first ISP is every item's drift reference at
+    // any thread count.
+    std::vector<Tensor> inputs(bank.size());
+    runtime::parallel_for(bank.size(), [&](std::size_t i) {
+      const RawShot& rs = bank[i];
       // Each ISP is one environment: the drift taps inside run_isp
       // compare every stage's output against the first ISP's for the
       // same raw photo.
       ES_DRIFT_SCOPE("software_isp", rs.item, static_cast<int>(ii));
-      inputs.push_back(
-          image_to_input(run_isp(rs.raw, software_isps[ii])));
-    }
+      inputs[i] = image_to_input(run_isp(rs.raw, software_isps[ii]));
+    });
     Tensor logits;
     std::vector<ShotPrediction> preds = classify_inputs(model, inputs, 3,
                                                         &logits);
@@ -342,22 +354,26 @@ OsCpuResult run_os_cpu_experiment(Model& model,
     Bytes jpeg;
     Bytes png;
   };
-  std::vector<FixedImage> images;
   JpegLikeCodec reference_encoder(config.jpeg_quality);
   PngLikeCodec png_codec;
-  for (int cls = 0; cls < kNumClasses; ++cls) {
-    for (int i = 0; i < config.images_per_class; ++i) {
-      SceneSpec spec;
-      spec.class_id = cls;
-      spec.instance_seed = config.seed * 7919 + static_cast<std::uint64_t>(i);
-      ImageU8 u8 = to_u8(render_scene(spec, config.scene_size));
-      FixedImage fi;
-      fi.class_id = cls;
-      fi.jpeg = reference_encoder.encode(u8);
-      fi.png = png_codec.encode(u8);
-      images.push_back(std::move(fi));
-    }
-  }
+  std::vector<FixedImage> images(
+      static_cast<std::size_t>(kNumClasses) *
+      static_cast<std::size_t>(config.images_per_class));
+  runtime::parallel_for_2d(
+      static_cast<std::size_t>(kNumClasses),
+      static_cast<std::size_t>(config.images_per_class),
+      [&](std::size_t cls, std::size_t i) {
+        SceneSpec spec;
+        spec.class_id = static_cast<int>(cls);
+        spec.instance_seed = config.seed * 7919 + i;
+        ImageU8 u8 = to_u8(render_scene(spec, config.scene_size));
+        FixedImage fi;
+        fi.class_id = static_cast<int>(cls);
+        fi.jpeg = reference_encoder.encode(u8);
+        fi.png = png_codec.encode(u8);
+        images[cls * static_cast<std::size_t>(config.images_per_class) + i] =
+            std::move(fi);
+      });
 
   OsCpuResult result;
   std::vector<Observation> jpeg_obs, png_obs;
@@ -377,17 +393,21 @@ OsCpuResult run_os_cpu_experiment(Model& model,
     }
     model.set_matmul_mode(phone.backend.matmul_mode);
 
-    Md5 jpeg_md5, png_md5;
-    std::vector<Tensor> jpeg_inputs, png_inputs;
-    for (const FixedImage& fi : images) {
+    // Decode in parallel, keeping each decoded image so the MD5 streams
+    // (which are order-sensitive) can fold serially in index order.
+    std::vector<ImageU8> jpeg_decoded(images.size()), png_decoded(images.size());
+    std::vector<Tensor> jpeg_inputs(images.size()), png_inputs(images.size());
+    runtime::parallel_for(images.size(), [&](std::size_t i) {
       JpegLikeCodec decoder(config.jpeg_quality, phone.os_decoder);
-      ImageU8 decoded_jpeg = decoder.decode(fi.jpeg);
-      jpeg_md5.update(decoded_jpeg.data());
-      jpeg_inputs.push_back(capture_to_input(decoded_jpeg));
-
-      ImageU8 decoded_png = png_codec.decode(fi.png);
-      png_md5.update(decoded_png.data());
-      png_inputs.push_back(capture_to_input(decoded_png));
+      jpeg_decoded[i] = decoder.decode(images[i].jpeg);
+      jpeg_inputs[i] = capture_to_input(jpeg_decoded[i]);
+      png_decoded[i] = png_codec.decode(images[i].png);
+      png_inputs[i] = capture_to_input(png_decoded[i]);
+    });
+    Md5 jpeg_md5, png_md5;
+    for (std::size_t i = 0; i < images.size(); ++i) {
+      jpeg_md5.update(jpeg_decoded[i].data());
+      png_md5.update(png_decoded[i].data());
     }
     auto jd = jpeg_md5.digest();
     auto pd = png_md5.digest();
@@ -470,21 +490,40 @@ RawVsJpegResult run_raw_vs_jpeg(Model& model,
   ES_CHECK(phone_count >= 2);
 
   // Condition A: the phone's own pipeline output.
-  std::vector<Tensor> jpeg_inputs;
+  std::vector<Tensor> jpeg_inputs(bank.size());
   // Condition B: raw developed through one consistent software ISP.
-  std::vector<Tensor> raw_inputs;
+  std::vector<Tensor> raw_inputs(bank.size());
   IspConfig consistent = magick_isp();
   drift_label_envs("phone_pipeline", result.phone_names);
   drift_label_envs("raw_pipeline", result.phone_names);
-  for (const RawShot& rs : bank) {
-    jpeg_inputs.push_back(capture_to_input(
-        decode_capture(rs.phone_pipeline, JpegDecodeOptions{})));
-    // Same consistent ISP for every phone: residual per-stage drift here
-    // is what the raws themselves disagree on (sensor/exposure), the
-    // floor the §9.2 mitigation cannot remove.
-    ES_DRIFT_SCOPE("raw_pipeline", rs.stimulus, rs.phone_index);
-    raw_inputs.push_back(image_to_input(run_isp(rs.raw, consistent)));
-  }
+
+  // Stimuli (drift items) fan out across lanes; each stimulus walks its
+  // phones (drift environments) serially so the reference environment is
+  // the same at every thread count.
+  std::map<int, std::vector<std::size_t>> by_stimulus;
+  for (std::size_t i = 0; i < bank.size(); ++i)
+    by_stimulus[bank[i].stimulus].push_back(i);
+  std::vector<const std::vector<std::size_t>*> stimulus_groups;
+  stimulus_groups.reserve(by_stimulus.size());
+  for (const auto& [stim, idx] : by_stimulus)
+    stimulus_groups.push_back(&idx);
+
+  runtime::parallel_for(
+      stimulus_groups.size(),
+      [&](std::size_t g) {
+        for (std::size_t i : *stimulus_groups[g]) {
+          const RawShot& rs = bank[i];
+          jpeg_inputs[i] = capture_to_input(
+              decode_capture(rs.phone_pipeline, JpegDecodeOptions{}));
+          // Same consistent ISP for every phone: residual per-stage
+          // drift here is what the raws themselves disagree on
+          // (sensor/exposure), the floor the §9.2 mitigation cannot
+          // remove.
+          ES_DRIFT_SCOPE("raw_pipeline", rs.stimulus, rs.phone_index);
+          raw_inputs[i] = image_to_input(run_isp(rs.raw, consistent));
+        }
+      },
+      /*grain=*/1);
   Tensor jpeg_logits, raw_logits;
   std::vector<ShotPrediction> jpeg_preds =
       classify_inputs(model, jpeg_inputs, 3, &jpeg_logits);

@@ -5,6 +5,8 @@
 #include "data/labels.h"
 #include "obs/drift.h"
 #include "obs/obs.h"
+#include "runtime/parallel.h"
+#include "runtime/seed.h"
 #include "util/hashing.h"
 
 namespace edgestab {
@@ -49,45 +51,60 @@ LabRun run_lab_rig(const std::vector<PhoneProfile>& fleet,
     }
   }
 
-  // Each phone has its own temporal-noise stream, advanced shot by shot
-  // — matching a real rig where each camera accumulates its own noise
-  // history.
-  std::vector<Pcg32> phone_rngs;
-  phone_rngs.reserve(fleet.size());
-  for (const PhoneProfile& phone : fleet)
-    phone_rngs.emplace_back(config.seed, phone.noise_stream);
+  // The stimulus grid fans out across the thread pool, one lane per
+  // (object, angle) stimulus: render + display once, then every phone
+  // photographs the emission. Each (phone, stimulus, shot) draws its
+  // temporal noise from a counter-derived stream, so a capture's bits
+  // depend only on the rig seed and its coordinates — never on which
+  // lane produced it or in what order.
+  //
+  // Phones (the drift-audit environments) stay serial *within* a
+  // stimulus: the auditor's reference is the first environment to tap an
+  // item, which must be the same phone at every thread count.
+  const std::size_t phones = fleet.size();
+  const auto shots_per =
+      static_cast<std::size_t>(config.shots_per_stimulus);
+  const std::size_t stimuli =
+      objects.size() * static_cast<std::size_t>(run.angle_count);
+  run.shots.resize(stimuli * phones * shots_per);
 
-  for (std::size_t obj = 0; obj < objects.size(); ++obj) {
-    for (int a = 0; a < run.angle_count; ++a) {
-      SceneSpec spec = objects[obj];
-      spec.view_angle = config.angles[static_cast<std::size_t>(a)];
-      Image scene = render_scene(spec, config.scene_size);
-      Image emission = display_on_screen(scene, config.screen);
+  runtime::parallel_for(
+      stimuli,
+      [&](std::size_t s) {
+        const std::size_t obj =
+            s / static_cast<std::size_t>(run.angle_count);
+        const int a =
+            static_cast<int>(s % static_cast<std::size_t>(run.angle_count));
+        SceneSpec spec = objects[obj];
+        spec.view_angle = config.angles[static_cast<std::size_t>(a)];
+        Image scene = render_scene(spec, config.scene_size);
+        Image emission = display_on_screen(scene, config.screen);
 
-      for (std::size_t p = 0; p < fleet.size(); ++p) {
-        for (int shot = 0; shot < config.shots_per_stimulus; ++shot) {
-          LabShot record;
-          record.object_index = static_cast<int>(obj);
-          record.class_id = spec.class_id;
-          record.angle_index = a;
-          record.phone_index = static_cast<int>(p);
-          record.repeat = shot;
-          if (obs::drift_enabled() && shot == 0) {
-            // First shot of each stimulus: audit every ISP stage inside
-            // take_photo against the first phone's artifacts.
-            ES_DRIFT_SCOPE(
-                drift_group.c_str(),
-                static_cast<int>(obj) * run.angle_count + a,
-                static_cast<int>(p));
-            record.capture = take_photo(fleet[p], emission, phone_rngs[p]);
-          } else {
-            record.capture = take_photo(fleet[p], emission, phone_rngs[p]);
+        for (std::size_t p = 0; p < phones; ++p) {
+          for (std::size_t shot = 0; shot < shots_per; ++shot) {
+            LabShot record;
+            record.object_index = static_cast<int>(obj);
+            record.class_id = spec.class_id;
+            record.angle_index = a;
+            record.phone_index = static_cast<int>(p);
+            record.repeat = static_cast<int>(shot);
+            Pcg32 rng = runtime::derive_rng(config.seed,
+                                            fleet[p].noise_stream, s, shot);
+            if (obs::drift_enabled() && shot == 0) {
+              // First shot of each stimulus: audit every ISP stage inside
+              // take_photo against the first phone's artifacts.
+              ES_DRIFT_SCOPE(drift_group.c_str(), static_cast<int>(s),
+                             static_cast<int>(p));
+              record.capture = take_photo(fleet[p], emission, rng);
+            } else {
+              record.capture = take_photo(fleet[p], emission, rng);
+            }
+            run.shots[(s * phones + p) * shots_per + shot] =
+                std::move(record);
           }
-          run.shots.push_back(std::move(record));
         }
-      }
-    }
-  }
+      },
+      /*grain=*/1);
   return run;
 }
 

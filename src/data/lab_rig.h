@@ -45,7 +45,10 @@ struct LabRun {
 };
 
 /// Run the full rig: every phone captures every (object, angle) stimulus.
-/// Shots are ordered by (object, angle, phone, repeat).
+/// Shots are ordered by (object, angle, phone, repeat). Stimuli fan out
+/// across the runtime thread pool; every capture's temporal noise comes
+/// from a stream derived from (seed, phone, stimulus, shot), so the run
+/// is bit-identical at any thread count.
 LabRun run_lab_rig(const std::vector<PhoneProfile>& fleet,
                    const LabRigConfig& config);
 

@@ -55,6 +55,15 @@ void InvertedResidual::set_matmul_mode(MatmulMode mode) {
   for (auto& layer : seq_) layer->set_matmul_mode(mode);
 }
 
+LayerPtr InvertedResidual::clone() const {
+  auto copy = std::unique_ptr<InvertedResidual>(new InvertedResidual());
+  copy->mode_ = mode_;
+  copy->residual_ = residual_;
+  copy->seq_.reserve(seq_.size());
+  for (const auto& layer : seq_) copy->seq_.push_back(layer->clone());
+  return copy;
+}
+
 std::vector<Layer*> InvertedResidual::sublayers() {
   std::vector<Layer*> out;
   out.reserve(seq_.size());

@@ -20,6 +20,7 @@ class InvertedResidual : public Layer {
   std::string type() const override { return "inverted_residual"; }
   void init(Pcg32& rng) override;
   void set_matmul_mode(MatmulMode mode) override;
+  LayerPtr clone() const override;
 
   /// Sub-layers in forward order (exposed for serialization of
   /// batch-norm running statistics).
@@ -28,7 +29,9 @@ class InvertedResidual : public Layer {
   bool has_residual() const { return residual_; }
 
  private:
-  bool residual_;
+  InvertedResidual() = default;  // for clone()
+
+  bool residual_ = false;
   std::vector<LayerPtr> seq_;
 };
 

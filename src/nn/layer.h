@@ -56,6 +56,13 @@ class Layer {
   /// Propagate the matmul accumulation mode (compute-backend modeling).
   virtual void set_matmul_mode(MatmulMode mode) { mode_ = mode; }
 
+  /// Deep copy: parameters, running statistics and matmul mode. Forward
+  /// caches come along for the ride but are overwritten by the clone's
+  /// first forward. Clones let the parallel runtime run inference on
+  /// independent copies — a single layer's caches make a shared instance
+  /// unsafe across threads.
+  virtual std::unique_ptr<Layer> clone() const = 0;
+
  protected:
   MatmulMode mode_ = MatmulMode::kStandard;
 };

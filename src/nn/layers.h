@@ -19,6 +19,7 @@ class Conv2D : public Layer {
   std::vector<Param*> params() override;
   std::string type() const override { return "conv2d"; }
   void init(Pcg32& rng) override;
+  LayerPtr clone() const override { return std::make_unique<Conv2D>(*this); }
 
   const ConvGeom& geom() const { return geom_; }
 
@@ -43,6 +44,9 @@ class DepthwiseConv2D : public Layer {
   std::vector<Param*> params() override;
   std::string type() const override { return "depthwise"; }
   void init(Pcg32& rng) override;
+  LayerPtr clone() const override {
+    return std::make_unique<DepthwiseConv2D>(*this);
+  }
 
  private:
   ConvGeom geom_;
@@ -62,6 +66,7 @@ class Dense : public Layer {
   std::vector<Param*> params() override;
   std::string type() const override { return "dense"; }
   void init(Pcg32& rng) override;
+  LayerPtr clone() const override { return std::make_unique<Dense>(*this); }
 
   int in_dim() const { return in_dim_; }
   int out_dim() const { return out_dim_; }
@@ -85,6 +90,7 @@ class BatchNorm : public Layer {
   Tensor backward(const Tensor& grad_output) override;
   std::vector<Param*> params() override;
   std::string type() const override { return "batchnorm"; }
+  LayerPtr clone() const override { return std::make_unique<BatchNorm>(*this); }
 
   /// Running statistics are state (not gradients) but must serialize.
   Tensor& running_mean() { return running_mean_; }
@@ -117,6 +123,7 @@ class ReLU : public Layer {
   Tensor forward(const Tensor& input, bool train) override;
   Tensor backward(const Tensor& grad_output) override;
   std::string type() const override { return cap_ < 1e9f ? "relu6" : "relu"; }
+  LayerPtr clone() const override { return std::make_unique<ReLU>(*this); }
 
  private:
   float cap_;
@@ -129,6 +136,9 @@ class GlobalAvgPool : public Layer {
   Tensor forward(const Tensor& input, bool train) override;
   Tensor backward(const Tensor& grad_output) override;
   std::string type() const override { return "gap"; }
+  LayerPtr clone() const override {
+    return std::make_unique<GlobalAvgPool>(*this);
+  }
 
  private:
   std::vector<int> in_shape_;

@@ -9,6 +9,14 @@
 
 namespace edgestab {
 
+Model Model::clone() const {
+  Model copy;
+  copy.layers_.reserve(layers_.size());
+  for (const auto& layer : layers_) copy.layers_.push_back(layer->clone());
+  copy.embedding_tap_ = embedding_tap_;
+  return copy;
+}
+
 int Model::add(LayerPtr layer) {
   layers_.push_back(std::move(layer));
   return static_cast<int>(layers_.size()) - 1;

@@ -14,11 +14,17 @@ namespace edgestab {
 class Model {
  public:
   Model() = default;
-  // Layers hold forward caches; a model is move-only.
+  // Layers hold forward caches; a model is move-only. Use clone() for an
+  // explicit deep copy.
   Model(const Model&) = delete;
   Model& operator=(const Model&) = delete;
   Model(Model&&) = default;
   Model& operator=(Model&&) = default;
+
+  /// Deep copy: layers (weights, BN statistics, matmul mode) and the
+  /// embedding tap. The parallel runtime clones one model per worker so
+  /// concurrent inference never shares forward caches.
+  Model clone() const;
 
   /// Append a layer; returns its index.
   int add(LayerPtr layer);

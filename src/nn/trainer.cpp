@@ -6,6 +6,7 @@
 
 #include "nn/loss.h"
 #include "nn/optim.h"
+#include "runtime/thread_pool.h"
 #include "util/timer.h"
 
 namespace edgestab {
@@ -213,24 +214,66 @@ TrainStats train_stability(Model& model, const TensorDataset& train,
 
 Tensor predict_logits(Model& model, const Tensor& images, int batch_size) {
   ES_CHECK(images.rank() == 4);
+  ES_CHECK(batch_size > 0);
   const int n = images.dim(0);
   const int c = images.dim(1);
   const int h = images.dim(2);
   const int w = images.dim(3);
   const std::size_t sample_n = static_cast<std::size_t>(c) * h * w;
-  Tensor all_logits;
-  for (int start = 0; start < n; start += batch_size) {
-    int end = std::min(start + batch_size, n);
+  if (n == 0) return Tensor();
+
+  // Inference rows are batch-independent: convolutions and pooling are
+  // per-sample, batch-norm normalizes with running statistics, dense
+  // layers reduce per row. The chunking below may therefore differ from
+  // `batch_size` without changing a single output bit — we cut finer
+  // chunks when the pool has lanes to fill.
+  const int lanes = runtime::ThreadPool::global().threads();
+  int chunk = batch_size;
+  if (lanes > 1)
+    chunk = std::max(
+        1, std::min(batch_size, (n + lanes * 4 - 1) / (lanes * 4)));
+
+  auto run_chunk = [&](Model& m, int start, Tensor& out) {
+    const int end = std::min(start + chunk, n);
     Tensor batch({end - start, c, h, w});
     std::copy_n(images.raw() + start * sample_n,
                 sample_n * static_cast<std::size_t>(end - start),
                 batch.raw());
-    Tensor logits = model.forward(batch, /*train=*/false);
-    if (all_logits.empty()) all_logits = Tensor({n, logits.dim(1)});
+    Tensor logits = m.forward(batch, /*train=*/false);
     std::copy_n(logits.raw(), logits.numel(),
-                all_logits.raw() +
-                    static_cast<std::size_t>(start) * logits.dim(1));
+                out.raw() + static_cast<std::size_t>(start) * logits.dim(1));
+  };
+
+  // The first chunk runs on the caller's model and sizes the output.
+  Tensor all_logits;
+  {
+    Tensor batch({std::min(chunk, n), c, h, w});
+    std::copy_n(images.raw(),
+                sample_n * static_cast<std::size_t>(batch.dim(0)),
+                batch.raw());
+    Tensor logits = model.forward(batch, /*train=*/false);
+    all_logits = Tensor({n, logits.dim(1)});
+    std::copy_n(logits.raw(), logits.numel(), all_logits.raw());
   }
+
+  const std::size_t rest =
+      static_cast<std::size_t>((n + chunk - 1) / chunk) - 1;
+  if (rest == 0) return all_logits;
+  if (lanes <= 1) {
+    for (std::size_t i = 0; i < rest; ++i)
+      run_chunk(model, static_cast<int>(i + 1) * chunk, all_logits);
+    return all_logits;
+  }
+  // Remaining chunks forward through per-worker deep copies so no forward
+  // cache is shared across lanes; rows land in disjoint output slices.
+  runtime::ThreadPool::global().run_chunks(
+      rest,
+      std::max<std::size_t>(1, rest / (static_cast<std::size_t>(lanes) * 2)),
+      [&](std::size_t begin, std::size_t end) {
+        Model local = model.clone();
+        for (std::size_t i = begin; i < end; ++i)
+          run_chunk(local, static_cast<int>(i + 1) * chunk, all_logits);
+      });
   return all_logits;
 }
 

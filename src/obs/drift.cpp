@@ -81,16 +81,52 @@ struct DriftAuditor::StoredImage {
   }
 };
 
+// One completed comparison, staged until summary time. Folding the
+// records in sorted (item, env) order makes every DriftStat (whose
+// floating-point sums are association-order sensitive) independent of
+// the order taps arrived in — the determinism contract parallel
+// experiments rely on.
+struct StageRecord {
+  int item = 0;
+  int env = 0;
+  double psnr_db = 0.0;
+  double ssim = 0.0;
+  double mean_delta = 0.0;
+  double var_delta = 0.0;
+  bool identical = false;
+};
+
+struct LogitRecord {
+  int item = 0;
+  int env = 0;
+  double l2 = 0.0;
+  double linf = 0.0;
+  double kl = 0.0;
+  double top1_margin = 0.0;
+  bool top1_agree = false;
+};
+
+template <typename Record>
+void sort_records(std::vector<Record>& records) {
+  std::sort(records.begin(), records.end(),
+            [](const Record& a, const Record& b) {
+              return a.item != b.item ? a.item < b.item : a.env < b.env;
+            });
+}
+
 struct DriftAuditor::StageSlot {
-  StageDriftSummary summary;
+  StageDriftSummary summary;        // static fields (names) only
+  std::size_t item_cap = 0;         // id-based: audited iff item < cap
   std::map<int, StoredImage> refs;  // item -> reference artifact
+  std::vector<StageRecord> records;
   Histogram* psnr_hist = nullptr;
   Histogram* ssim_hist = nullptr;
 };
 
 struct DriftAuditor::LogitSlot {
-  LogitDriftSummary summary;
+  LogitDriftSummary summary;  // static fields (names) only
   std::map<int, std::pair<int, std::vector<float>>> refs;  // item -> (env, v)
+  std::vector<LogitRecord> records;
   std::int64_t skipped = 0;
   Histogram* l2_hist = nullptr;
   Histogram* linf_hist = nullptr;
@@ -146,132 +182,163 @@ void DriftAuditor::tap_stage(int stage_index, const char* stage_name,
   const TapContext ctx = t_drift_ctx;
   if (ctx.group == nullptr) return;
 
-  std::lock_guard<std::mutex> lock(mu_);
-  std::string key =
-      std::string(ctx.group) + '\x1f' + std::to_string(stage_index);
-  auto& slot = stages_[key];
-  if (slot == nullptr) {
-    slot = std::make_unique<StageSlot>();
-    slot->summary.group = ctx.group;
-    slot->summary.stage_index = stage_index;
-    slot->summary.stage = stage_name;
-    std::string base = std::string("drift.") + ctx.group + "." + stage_name;
-    slot->summary.psnr_metric = base + ".psnr_mdb";
-    slot->summary.ssim_metric = base + ".ssim_loss_ppm";
-    slot->psnr_hist =
-        &MetricsRegistry::global().histogram(slot->summary.psnr_metric);
-    slot->ssim_hist =
-        &MetricsRegistry::global().histogram(slot->summary.ssim_metric);
+  // Locked phase 1: resolve the slot and the stored reference. Slot and
+  // reference map nodes are stable and references immutable once
+  // inserted, so the pointers stay valid off-lock.
+  StageSlot* slot = nullptr;
+  const StoredImage* ref = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::string key =
+        std::string(ctx.group) + '\x1f' + std::to_string(stage_index);
+    auto& owned = stages_[key];
+    if (owned == nullptr) {
+      owned = std::make_unique<StageSlot>();
+      owned->summary.group = ctx.group;
+      owned->summary.stage_index = stage_index;
+      owned->summary.stage = stage_name;
+      // Id-based audit cap: whichever image reaches the slot first fixes
+      // the per-item byte cost (stages produce uniform shapes within a
+      // group), and with it how many item ids fit the byte budget.
+      owned->item_cap = std::min(
+          max_audited_items_,
+          std::max<std::size_t>(
+              1, kMaxSlotRefBytes / std::max<std::size_t>(1, rgb.size())));
+      std::string base = std::string("drift.") + ctx.group + "." + stage_name;
+      owned->summary.psnr_metric = base + ".psnr_mdb";
+      owned->summary.ssim_metric = base + ".ssim_loss_ppm";
+      owned->psnr_hist =
+          &MetricsRegistry::global().histogram(owned->summary.psnr_metric);
+      owned->ssim_hist =
+          &MetricsRegistry::global().histogram(owned->summary.ssim_metric);
+    }
+    slot = owned.get();
+
+    if (ctx.item < 0 ||
+        static_cast<std::size_t>(ctx.item) >= slot->item_cap) {
+      // Over the id cap: count which limit bit. Audited-set membership
+      // depends only on the item id, never on tap arrival order.
+      if (ctx.item >= 0 &&
+          static_cast<std::size_t>(ctx.item) < max_audited_items_)
+        ++skipped_bytes_items_;
+      else
+        ++skipped_items_;
+      return;
+    }
+    auto it = slot->refs.find(ctx.item);
+    if (it != slot->refs.end()) ref = &it->second;
   }
 
-  auto it = slot->refs.find(ctx.item);
-  if (it == slot->refs.end()) {
+  if (ref == nullptr) {
     // First environment to tap this (group, stage, item) becomes the
-    // reference everyone else is compared against.
-    if (slot->refs.size() >= max_audited_items_) {
-      ++skipped_items_;
-      return;
-    }
-    std::size_t bytes = rgb.size();
-    if (ref_bytes_ + bytes > kMaxRefBytes) {
-      ++skipped_bytes_items_;
-      return;
-    }
-    StoredImage ref;
-    ref.width = rgb.width();
-    ref.height = rgb.height();
-    ref.channels = rgb.channels();
-    ref.env = ctx.env;
-    ref.pixels.resize(rgb.size());
+    // reference everyone else is compared against. Quantization and
+    // stats run off-lock; per the ordering contract only one thread
+    // sweeps a given item, so no other thread races this insert.
+    StoredImage stored;
+    stored.width = rgb.width();
+    stored.height = rgb.height();
+    stored.channels = rgb.channels();
+    stored.env = ctx.env;
+    stored.pixels.resize(rgb.size());
     auto src = rgb.data();
     for (std::size_t i = 0; i < src.size(); ++i)
-      ref.pixels[i] =
+      stored.pixels[i] =
           static_cast<std::uint8_t>(clamp01(src[i]) * 255.0f + 0.5f);
-    channel_stats(rgb, ref.mean, ref.var);
-    ref_bytes_ += bytes;
-    slot->refs.emplace(ctx.item, std::move(ref));
+    channel_stats(rgb, stored.mean, stored.var);
+    std::lock_guard<std::mutex> lock(mu_);
+    auto [it, inserted] = slot->refs.emplace(ctx.item, std::move(stored));
+    if (inserted) ref_bytes_ += rgb.size();
     return;
   }
 
-  const StoredImage& ref = it->second;
-  if (ref.env == ctx.env) return;  // re-tap from the reference environment
-  if (ref.width != rgb.width() || ref.height != rgb.height() ||
-      ref.channels != rgb.channels())
+  if (ref->env == ctx.env) return;  // re-tap from the reference environment
+  if (ref->width != rgb.width() || ref->height != rgb.height() ||
+      ref->channels != rgb.channels())
     return;
 
-  // Compare the clamped display-referred views: intermediate ISP stages
-  // legitimately exceed [0,1]; what matters downstream is the visible
-  // range, and the quantized reference only holds that anyway.
+  // Off-lock phase 2: the expensive comparisons. Compare the clamped
+  // display-referred views: intermediate ISP stages legitimately exceed
+  // [0,1]; what matters downstream is the visible range, and the
+  // quantized reference only holds that anyway.
   Image cur(rgb.width(), rgb.height(), rgb.channels());
   auto src = rgb.data();
   auto dst = cur.data();
   for (std::size_t i = 0; i < src.size(); ++i) dst[i] = clamp01(src[i]);
-  Image ref_img = ref.dequantize();
+  Image ref_img = ref->dequantize();
 
+  StageRecord rec;
+  rec.item = ctx.item;
+  rec.env = ctx.env;
   double m = mse(cur, ref_img);
-  double psnr_db;
   if (m <= 0.0) {
-    ++slot->summary.identical_pairs;
-    psnr_db = kPsnrCapDb;
+    rec.identical = true;
+    rec.psnr_db = kPsnrCapDb;
   } else {
-    psnr_db = std::min(kPsnrCapDb, 10.0 * std::log10(1.0 / m));
+    rec.psnr_db = std::min(kPsnrCapDb, 10.0 * std::log10(1.0 / m));
   }
-  double s = ssim(cur, ref_img);
+  rec.ssim = ssim(cur, ref_img);
 
   std::vector<double> mean, var;
   channel_stats(rgb, mean, var);
-  double dmean = 0.0, dvar = 0.0;
   for (int c = 0; c < rgb.channels(); ++c) {
-    dmean += std::abs(mean[static_cast<std::size_t>(c)] -
-                      ref.mean[static_cast<std::size_t>(c)]);
-    dvar += std::abs(var[static_cast<std::size_t>(c)] -
-                     ref.var[static_cast<std::size_t>(c)]);
+    rec.mean_delta += std::abs(mean[static_cast<std::size_t>(c)] -
+                               ref->mean[static_cast<std::size_t>(c)]);
+    rec.var_delta += std::abs(var[static_cast<std::size_t>(c)] -
+                              ref->var[static_cast<std::size_t>(c)]);
   }
-  dmean /= rgb.channels();
-  dvar /= rgb.channels();
+  rec.mean_delta /= rgb.channels();
+  rec.var_delta /= rgb.channels();
 
-  slot->summary.psnr_db.add(psnr_db);
-  slot->summary.ssim.add(s);
-  slot->summary.channel_mean_delta.add(dmean);
-  slot->summary.channel_var_delta.add(dvar);
-  slot->psnr_hist->record(scaled(psnr_db, 1000.0));        // milli-dB
-  slot->ssim_hist->record(scaled(1.0 - s, 1e6));           // loss ppm
+  // Histograms are integer-bucketed atomics — order-independent, no
+  // lock needed. The record is staged for the summary-time sorted fold.
+  slot->psnr_hist->record(scaled(rec.psnr_db, 1000.0));  // milli-dB
+  slot->ssim_hist->record(scaled(1.0 - rec.ssim, 1e6));  // loss ppm
+  std::lock_guard<std::mutex> lock(mu_);
+  slot->records.push_back(rec);
 }
 
 void DriftAuditor::record_logits(const std::string& group, int item, int env,
                                  std::span<const float> logits) {
   if (!enabled() || logits.empty()) return;
-  std::lock_guard<std::mutex> lock(mu_);
-  auto& slot = logits_[group];
-  if (slot == nullptr) {
-    slot = std::make_unique<LogitSlot>();
-    slot->summary.group = group;
-    std::string base = "drift.logit." + group;
-    slot->summary.l2_metric = base + ".l2_micro";
-    slot->summary.linf_metric = base + ".linf_micro";
-    slot->summary.kl_metric = base + ".kl_micro";
-    slot->l2_hist =
-        &MetricsRegistry::global().histogram(slot->summary.l2_metric);
-    slot->linf_hist =
-        &MetricsRegistry::global().histogram(slot->summary.linf_metric);
-    slot->kl_hist =
-        &MetricsRegistry::global().histogram(slot->summary.kl_metric);
-  }
 
-  auto it = slot->refs.find(item);
-  if (it == slot->refs.end()) {
-    if (slot->refs.size() >= kMaxLogitRefs) {
+  LogitSlot* slot = nullptr;
+  const std::pair<int, std::vector<float>>* stored = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& owned = logits_[group];
+    if (owned == nullptr) {
+      owned = std::make_unique<LogitSlot>();
+      owned->summary.group = group;
+      std::string base = "drift.logit." + group;
+      owned->summary.l2_metric = base + ".l2_micro";
+      owned->summary.linf_metric = base + ".linf_micro";
+      owned->summary.kl_metric = base + ".kl_micro";
+      owned->l2_hist =
+          &MetricsRegistry::global().histogram(owned->summary.l2_metric);
+      owned->linf_hist =
+          &MetricsRegistry::global().histogram(owned->summary.linf_metric);
+      owned->kl_hist =
+          &MetricsRegistry::global().histogram(owned->summary.kl_metric);
+    }
+    slot = owned.get();
+
+    // Id-based cap, same arrival-order independence as stage refs.
+    if (item < 0 || static_cast<std::size_t>(item) >= kMaxLogitRefs) {
       ++slot->skipped;
       ++skipped_items_;
       return;
     }
-    slot->refs.emplace(
-        item, std::make_pair(env, std::vector<float>(logits.begin(),
-                                                     logits.end())));
-    return;
+    auto it = slot->refs.find(item);
+    if (it == slot->refs.end()) {
+      slot->refs.emplace(
+          item, std::make_pair(env, std::vector<float>(logits.begin(),
+                                                       logits.end())));
+      return;
+    }
+    stored = &it->second;
   }
 
-  const auto& [ref_env, ref] = it->second;
+  const auto& [ref_env, ref] = *stored;
   if (ref_env == env || ref.size() != logits.size()) return;
 
   double l2 = 0.0, linf = 0.0;
@@ -297,18 +364,22 @@ void DriftAuditor::record_logits(const std::string& group, int item, int env,
   for (std::size_t i = 0; i < logits.size(); ++i)
     if (static_cast<int>(i) != top1)
       second = std::max(second, static_cast<double>(logits[i]));
-  double margin = static_cast<double>(logits[static_cast<std::size_t>(top1)]) -
-                  second;
 
-  slot->summary.l2.add(l2);
-  slot->summary.linf.add(linf);
-  slot->summary.kl.add(kl);
-  slot->summary.top1_margin.add(margin);
-  ++slot->summary.comparisons;
-  if (top1 == argmax(ref)) ++slot->summary.top1_agree;
+  LogitRecord rec;
+  rec.item = item;
+  rec.env = env;
+  rec.l2 = l2;
+  rec.linf = linf;
+  rec.kl = kl;
+  rec.top1_margin =
+      static_cast<double>(logits[static_cast<std::size_t>(top1)]) - second;
+  rec.top1_agree = top1 == argmax(ref);
+
   slot->l2_hist->record(scaled(l2, 1e6));
   slot->linf_hist->record(scaled(linf, 1e6));
   slot->kl_hist->record(scaled(kl, 1e6));
+  std::lock_guard<std::mutex> lock(mu_);
+  slot->records.push_back(rec);
 }
 
 void DriftAuditor::record_flips(const std::string& group,
@@ -322,7 +393,21 @@ std::vector<StageDriftSummary> DriftAuditor::stage_summaries() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<StageDriftSummary> out;
   out.reserve(stages_.size());
-  for (const auto& [key, slot] : stages_) out.push_back(slot->summary);
+  for (const auto& [key, slot] : stages_) {
+    StageDriftSummary s = slot->summary;
+    // Fold staged records in sorted (item, env) order: float sums
+    // associate identically no matter which thread compared what when.
+    std::vector<StageRecord> records = slot->records;
+    sort_records(records);
+    for (const StageRecord& r : records) {
+      s.psnr_db.add(r.psnr_db);
+      s.ssim.add(r.ssim);
+      s.channel_mean_delta.add(r.mean_delta);
+      s.channel_var_delta.add(r.var_delta);
+      if (r.identical) ++s.identical_pairs;
+    }
+    out.push_back(std::move(s));
+  }
   std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
     return a.group != b.group ? a.group < b.group
                               : a.stage_index < b.stage_index;
@@ -334,7 +419,20 @@ std::vector<LogitDriftSummary> DriftAuditor::logit_summaries() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<LogitDriftSummary> out;
   out.reserve(logits_.size());
-  for (const auto& [group, slot] : logits_) out.push_back(slot->summary);
+  for (const auto& [group, slot] : logits_) {
+    LogitDriftSummary s = slot->summary;
+    std::vector<LogitRecord> records = slot->records;
+    sort_records(records);
+    for (const LogitRecord& r : records) {
+      s.l2.add(r.l2);
+      s.linf.add(r.linf);
+      s.kl.add(r.kl);
+      s.top1_margin.add(r.top1_margin);
+      ++s.comparisons;
+      if (r.top1_agree) ++s.top1_agree;
+    }
+    out.push_back(std::move(s));
+  }
   return out;
 }
 

@@ -25,9 +25,21 @@
 // atomic load per tap.
 //
 // Memory: references are stored u8-quantized (the comparison target is
-// the clamped [0,1] display range anyway) and capped both per
-// (group, stage) — max_audited_items — and globally (kMaxRefBytes);
-// taps beyond the caps are counted, not stored.
+// the clamped [0,1] display range anyway) and capped per (group, stage).
+// Caps are id-based so the audited set never depends on tap arrival
+// order: an item is audited iff its id is below both max_audited_items
+// and the slot's byte-derived cap (kMaxSlotRefBytes / reference image
+// bytes). Taps beyond the caps are counted, not stored.
+//
+// Parallelism: taps may arrive from any thread. The expensive image
+// comparisons (SSIM/MSE/channel stats) run outside the auditor mutex —
+// stored references are immutable once inserted — and each comparison is
+// staged as a per-(item, env) record; summaries fold the records in
+// sorted (item, env) order, so the reported statistics are bit-identical
+// at every thread count. The one ordering contract callers must keep:
+// one item's environments tap serially (the reference is whichever env
+// taps the item first). The parallel runtime therefore fans out across
+// items, never across one item's environment sweep.
 #pragma once
 
 #include <atomic>
@@ -108,14 +120,17 @@ class DriftScope {
   int prev_env_;
 };
 
-/// Process-wide divergence auditor. All mutating entry points are
-/// mutex-serialized; `enabled()` is a relaxed atomic so disabled taps
-/// stay cheap.
+/// Process-wide divergence auditor. Bookkeeping (slot/reference maps,
+/// staged comparison records) is mutex-serialized; image comparisons run
+/// off-lock against immutable stored references; `enabled()` is a
+/// relaxed atomic so disabled taps stay cheap. Summaries fold staged
+/// records in sorted (item, env) order — deterministic at any thread
+/// count (see the file comment for the caller-side ordering contract).
 class DriftAuditor {
  public:
   static constexpr double kPsnrCapDb = 99.0;
   static constexpr std::size_t kDefaultMaxAuditedItems = 256;
-  static constexpr std::size_t kMaxRefBytes = 256ull << 20;
+  static constexpr std::size_t kMaxSlotRefBytes = 32ull << 20;
   static constexpr std::size_t kMaxLogitRefs = 65536;
 
   static DriftAuditor& global();
@@ -124,8 +139,10 @@ class DriftAuditor {
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
   /// Cap on distinct items whose reference artifact is retained per
-  /// (group, stage). Comparisons for items beyond the cap are skipped
-  /// and counted in skipped_items().
+  /// (group, stage). The cap is on the item *id* (audited iff
+  /// id < cap) so the audited set is arrival-order independent;
+  /// comparisons for items beyond it are skipped and counted in
+  /// skipped_items().
   void set_max_audited_items(std::size_t n);
 
   /// Human-readable environment label (phone / ISP / condition name)

@@ -12,6 +12,21 @@ void FlipLedger::add_group(const std::string& group,
   raw.insert(raw.end(), outcomes.begin(), outcomes.end());
 }
 
+void FlipLedger::merge(const FlipLedger& other) {
+  for (const auto& [group, outcomes] : other.raw_) {
+    auto& raw = raw_[group];
+    raw.insert(raw.end(), outcomes.begin(), outcomes.end());
+    // Canonical order: summaries walk outcomes in insertion order when
+    // pairing correct/incorrect envs, so sort to make the merged result
+    // shard-order independent.
+    std::stable_sort(raw.begin(), raw.end(),
+                     [](const FlipOutcome& a, const FlipOutcome& b) {
+                       return a.item != b.item ? a.item < b.item
+                                               : a.env < b.env;
+                     });
+  }
+}
+
 LedgerGroupSummary FlipLedger::build_summary(const std::string& group) const {
   LedgerGroupSummary s;
   s.group = group;

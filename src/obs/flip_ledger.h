@@ -90,6 +90,12 @@ class FlipLedger {
   void add_group(const std::string& group,
                  std::span<const FlipOutcome> outcomes);
 
+  /// Fold another ledger (a per-thread shard) into this one. Each
+  /// affected group's raw outcomes are re-sorted by (item, env), so the
+  /// merged ledger — entries, tallies and digest() — is identical no
+  /// matter how the work was sharded or in which order shards merge.
+  void merge(const FlipLedger& other);
+
   std::vector<LedgerGroupSummary> summaries() const;
   std::optional<LedgerGroupSummary> find_group(const std::string& group) const;
   bool empty() const { return raw_.empty(); }

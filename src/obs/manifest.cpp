@@ -74,10 +74,20 @@ void RunManifest::set_wall_seconds(double seconds) {
 
 void RunManifest::set_field(const std::string& key,
                             const std::string& value) {
+  for (auto& [k, v] : string_fields_)
+    if (k == key) {
+      v = value;
+      return;
+    }
   string_fields_.emplace_back(key, value);
 }
 
 void RunManifest::set_field(const std::string& key, double value) {
+  for (auto& [k, v] : number_fields_)
+    if (k == key) {
+      v = value;
+      return;
+    }
   number_fields_.emplace_back(key, value);
 }
 

@@ -57,7 +57,16 @@ void Histogram::record(std::uint64_t value) {
 }
 
 double Histogram::quantile(double q) const {
-  std::uint64_t n = count();
+  // Snapshot the buckets and derive the population from the snapshot:
+  // with concurrent record()s the separate count_ counter can disagree
+  // with the bucket mass (all relaxed atomics), and a target computed
+  // from it could overshoot what the bucket walk will ever accumulate.
+  std::uint64_t snapshot[kBucketCount];
+  std::uint64_t n = 0;
+  for (int i = 0; i < kBucketCount; ++i) {
+    snapshot[i] = buckets_[i].load(std::memory_order_relaxed);
+    n += snapshot[i];
+  }
   if (n == 0) return 0.0;
   q = q < 0.0 ? 0.0 : (q > 1.0 ? 1.0 : q);
   auto target = static_cast<std::uint64_t>(std::ceil(q * n));
@@ -66,7 +75,7 @@ double Histogram::quantile(double q) const {
   double hi = static_cast<double>(max_.load(std::memory_order_relaxed));
   std::uint64_t seen = 0;
   for (int i = 0; i < kBucketCount; ++i) {
-    std::uint64_t in_bucket = buckets_[i].load(std::memory_order_relaxed);
+    std::uint64_t in_bucket = snapshot[i];
     if (in_bucket == 0) continue;
     if (seen + in_bucket >= target) {
       // Interpolate within the containing bucket: the k-th of its

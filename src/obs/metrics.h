@@ -10,6 +10,19 @@
 // Histogram buckets are logarithmic — kSubBuckets linear sub-buckets per
 // power of two — giving a bounded relative quantile error (<= 1/16 with 8
 // sub-buckets) over the full uint64 range in 512 fixed slots.
+//
+// Contention: counters and histogram buckets are single cache lines, so
+// many lanes hammering the *same* metric ping-pong that line. The
+// parallel runtime's workloads record at per-item granularity (span
+// exits, per-comparison drift units) — microseconds of work per record —
+// so the relaxed fetch_add is noise there; don't put a record() inside a
+// per-pixel loop. Readers are merely snapshot-consistent: quantile()
+// walks a bucket snapshot (so its target can't overshoot the observed
+// mass mid-record), but a summary taken while writers are active may
+// mix slightly different populations across count/sum/quantiles.
+// Summaries meant for artifact files must be taken after the parallel
+// region joins — every bench exporter runs post-join, where totals and
+// quantiles are exact and deterministic.
 #pragma once
 
 #include <atomic>

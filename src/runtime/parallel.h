@@ -1,0 +1,67 @@
+// Parallel loop helpers over the global thread pool.
+//
+// These are the only entry points experiment code should use; they keep
+// the determinism contract (DESIGN.md §10) easy to honor:
+//
+//   parallel_for(n, [&](std::size_t i) { out[i] = f(i); });
+//   parallel_for_2d(phones, items, [&](std::size_t p, std::size_t i) {...});
+//   auto v = parallel_map<T>(n, [&](std::size_t i) { return g(i); });
+//
+// Bodies run on arbitrary lanes in arbitrary order — they must write
+// only to index-addressed slots and derive any randomness from
+// runtime/seed.h streams. parallel_map is the ordered-reduction
+// primitive: results land in index order regardless of scheduling, so a
+// serial fold over them is bit-identical at any thread count.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "runtime/thread_pool.h"
+
+namespace edgestab::runtime {
+
+/// Chunk size that gives each lane several chunks to balance over.
+inline std::size_t default_grain(std::size_t n) {
+  std::size_t lanes =
+      static_cast<std::size_t>(ThreadPool::global().threads());
+  std::size_t grain = n / (lanes * 8);
+  return grain < 1 ? 1 : grain;
+}
+
+/// Run `fn(i)` for every i in [0, n) across the global pool.
+template <typename Fn>
+void parallel_for(std::size_t n, Fn&& fn, std::size_t grain = 0) {
+  if (n == 0) return;
+  if (grain == 0) grain = default_grain(n);
+  const std::function<void(std::size_t, std::size_t)> body =
+      [&fn](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) fn(i);
+      };
+  ThreadPool::global().run_chunks(n, grain, body);
+}
+
+/// Run `fn(i, j)` over the [0, n0) x [0, n1) grid (row-major flatten).
+template <typename Fn>
+void parallel_for_2d(std::size_t n0, std::size_t n1, Fn&& fn,
+                     std::size_t grain = 0) {
+  if (n0 == 0 || n1 == 0) return;
+  parallel_for(
+      n0 * n1,
+      [&fn, n1](std::size_t flat) { fn(flat / n1, flat % n1); }, grain);
+}
+
+/// Ordered parallel map: out[i] = fn(i). The result vector is the
+/// deterministic-merge point for per-item partials (sizes, digests,
+/// observations) — fold it serially afterwards.
+template <typename T, typename Fn>
+std::vector<T> parallel_map(std::size_t n, Fn&& fn, std::size_t grain = 0) {
+  std::vector<T> out(n);
+  parallel_for(
+      n, [&fn, &out](std::size_t i) { out[i] = fn(i); }, grain);
+  return out;
+}
+
+}  // namespace edgestab::runtime

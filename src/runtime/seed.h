@@ -1,0 +1,46 @@
+// Deterministic per-item RNG streams for parallel execution.
+//
+// A sequential RNG advanced item by item would make results depend on
+// iteration order — exactly what a thread pool does not guarantee.
+// Instead every unit of work derives its own Pcg32 from the run seed and
+// its stable coordinates (phone id, item id, repeat...):
+//
+//   Pcg32 rng = runtime::derive_rng(config.seed, phone.noise_stream,
+//                                   stimulus_id, shot);
+//
+// Same coordinates -> same stream, regardless of which lane runs the
+// item or how many lanes exist. Derivation is SplitMix64-based so
+// adjacent coordinates still produce statistically independent streams.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace edgestab::runtime {
+
+/// Fold one coordinate into a seed chain.
+inline std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t id) {
+  SplitMix64 sm(seed ^ (id + 0x9e3779b97f4a7c15ULL + (seed << 6) +
+                        (seed >> 2)));
+  return sm.next();
+}
+
+/// Derive a stable sub-seed from a run seed and work-item coordinates.
+template <typename... Ids>
+std::uint64_t derive_seed(std::uint64_t run_seed, Ids... ids) {
+  std::uint64_t h = SplitMix64(run_seed).next();
+  ((h = mix_seed(h, static_cast<std::uint64_t>(ids))), ...);
+  return h;
+}
+
+/// Per-item generator: state and stream are derived independently so
+/// distinct coordinate tuples never share a PCG sequence.
+template <typename... Ids>
+Pcg32 derive_rng(std::uint64_t run_seed, Ids... ids) {
+  std::uint64_t seed = derive_seed(run_seed, ids...);
+  std::uint64_t stream = mix_seed(seed, 0x5bf0363db2a96179ULL);
+  return Pcg32(seed, stream);
+}
+
+}  // namespace edgestab::runtime

@@ -1,0 +1,194 @@
+#include "runtime/thread_pool.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/check.h"
+
+namespace edgestab::runtime {
+
+namespace {
+
+/// Set while a thread is executing chunks, so nested parallel regions
+/// degrade to inline serial execution instead of deadlocking on the pool.
+thread_local bool t_in_parallel_region = false;
+
+}  // namespace
+
+struct ThreadPool::Impl {
+  // One parallel region at a time. Job fields are written by run_chunks
+  // and read by workers only under `mu`; workers snapshot them at wake-up
+  // and then claim chunks through the shared atomic cursor.
+  std::mutex mu;
+  std::condition_variable work_cv;  // workers wait here for a new job
+  std::condition_variable done_cv;  // run_chunks waits here for drain
+  std::uint64_t generation = 0;
+  bool shutdown = false;
+
+  std::size_t job_n = 0;
+  std::size_t job_grain = 1;
+  const std::function<void(std::size_t, std::size_t)>* job_body = nullptr;
+  std::atomic<std::size_t> cursor{0};
+  std::atomic<bool> failed{false};
+  int busy_workers = 0;
+  std::exception_ptr error;
+
+  std::vector<std::thread> workers;
+
+  /// Claim and run chunks until the range is drained (or a chunk threw).
+  void drain(std::size_t n, std::size_t grain,
+             const std::function<void(std::size_t, std::size_t)>& body) {
+    t_in_parallel_region = true;
+    for (;;) {
+      if (failed.load(std::memory_order_relaxed)) break;
+      std::size_t begin = cursor.fetch_add(grain, std::memory_order_relaxed);
+      if (begin >= n) break;
+      std::size_t end = std::min(n, begin + grain);
+      try {
+        body(begin, end);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (!error) error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+      }
+    }
+    t_in_parallel_region = false;
+  }
+
+  void worker_loop() {
+    std::uint64_t seen_generation = 0;
+    for (;;) {
+      std::size_t n = 0, grain = 1;
+      const std::function<void(std::size_t, std::size_t)>* body = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        work_cv.wait(lock, [&] {
+          return shutdown ||
+                 (generation != seen_generation && job_body != nullptr);
+        });
+        if (shutdown) return;
+        seen_generation = generation;
+        n = job_n;
+        grain = job_grain;
+        body = job_body;
+        ++busy_workers;
+      }
+      drain(n, grain, *body);
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        --busy_workers;
+      }
+      done_cv.notify_one();
+    }
+  }
+
+  void start_workers(int count) {
+    workers.reserve(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i)
+      workers.emplace_back([this] { worker_loop(); });
+  }
+
+  void stop_workers() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      shutdown = true;
+    }
+    work_cv.notify_all();
+    for (std::thread& t : workers) t.join();
+    workers.clear();
+  }
+};
+
+ThreadPool::ThreadPool(int threads) : impl_(std::make_unique<Impl>()) {
+  impl_->start_workers(threads < 1 ? 0 : threads - 1);
+}
+
+ThreadPool::~ThreadPool() { impl_->stop_workers(); }
+
+int ThreadPool::threads() const {
+  return static_cast<int>(impl_->workers.size()) + 1;
+}
+
+void ThreadPool::run_chunks(
+    std::size_t n, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (n == 0) return;
+  ES_CHECK(grain >= 1);
+
+  // Serial fast paths: single-lane pool, a range that fits one chunk, or
+  // a nested region (the caller is already a pool lane).
+  if (impl_->workers.empty() || n <= grain || t_in_parallel_region) {
+    bool was_nested = t_in_parallel_region;
+    t_in_parallel_region = true;
+    try {
+      for (std::size_t begin = 0; begin < n; begin += grain)
+        body(begin, std::min(n, begin + grain));
+    } catch (...) {
+      t_in_parallel_region = was_nested;
+      throw;
+    }
+    t_in_parallel_region = was_nested;
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    ES_CHECK_MSG(impl_->job_body == nullptr,
+                 "ThreadPool::run_chunks: concurrent parallel regions on one "
+                 "pool are not supported");
+    impl_->job_n = n;
+    impl_->job_grain = grain;
+    impl_->job_body = &body;
+    impl_->cursor.store(0, std::memory_order_relaxed);
+    impl_->failed.store(false, std::memory_order_relaxed);
+    impl_->error = nullptr;
+    ++impl_->generation;
+  }
+  impl_->work_cv.notify_all();
+
+  impl_->drain(n, grain, body);  // the calling thread is a lane too
+
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(impl_->mu);
+    impl_->done_cv.wait(lock, [&] { return impl_->busy_workers == 0; });
+    impl_->job_body = nullptr;
+    impl_->job_n = 0;
+    error = impl_->error;
+    impl_->error = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool* pool = new ThreadPool(default_threads());
+  return *pool;
+}
+
+void ThreadPool::set_global_threads(int n) {
+  static std::mutex mu;
+  std::lock_guard<std::mutex> lock(mu);
+  // global() hands out a stable reference, so swap the implementation
+  // behind it rather than the pool object itself.
+  ThreadPool& pool = global();
+  if (pool.threads() == (n < 1 ? 1 : n)) return;
+  pool.impl_->stop_workers();
+  pool.impl_ = std::make_unique<Impl>();
+  pool.impl_->start_workers(n < 1 ? 0 : n - 1);
+}
+
+int ThreadPool::default_threads() {
+  if (const char* env = std::getenv("EDGESTAB_THREADS")) {
+    int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+}  // namespace edgestab::runtime

@@ -1,0 +1,64 @@
+// Fixed-size thread pool with chunked work distribution.
+//
+// The pool is the execution engine behind runtime/parallel.h: callers
+// hand it an index range and a chunk body; workers (plus the calling
+// thread) claim chunks off a shared atomic cursor until the range is
+// drained. Scheduling is dynamic — which thread runs which chunk is
+// load-dependent — so DETERMINISM IS THE CALLER'S CONTRACT: bodies must
+// write only to index-addressed slots (or thread-local shards merged in
+// index order) and draw randomness from per-item streams
+// (runtime/seed.h), never from shared sequential state. Under that
+// contract results are bit-identical at any thread count; see
+// DESIGN.md §10.
+//
+// Nesting: a parallel region entered from inside a worker runs inline on
+// that worker (no new threads, no deadlock), so library code can use
+// parallel_for without caring whether its caller already did.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+namespace edgestab::runtime {
+
+class ThreadPool {
+ public:
+  /// A pool with `threads` total lanes (including the calling thread);
+  /// values < 1 are clamped to 1. `ThreadPool(1)` spawns no workers and
+  /// runs everything inline.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total parallel lanes (worker threads + the caller).
+  int threads() const;
+
+  /// Invoke `body(begin, end)` over consecutive chunks covering [0, n),
+  /// each at most `grain` indices, across all lanes; blocks until the
+  /// range is drained. Exceptions thrown by any chunk stop further chunk
+  /// dispatch and the first one captured is rethrown here. Recursive
+  /// calls from inside a chunk body run serially inline.
+  void run_chunks(std::size_t n, std::size_t grain,
+                  const std::function<void(std::size_t, std::size_t)>& body);
+
+  /// The process-wide pool used by runtime/parallel.h. Created on first
+  /// use with default_threads() lanes.
+  static ThreadPool& global();
+
+  /// Replace the global pool with an `n`-lane one (benches: --threads N).
+  /// Must not be called while a parallel region is running.
+  static void set_global_threads(int n);
+
+  /// EDGESTAB_THREADS when set to a positive integer, else
+  /// std::thread::hardware_concurrency (min 1).
+  static int default_threads();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace edgestab::runtime

@@ -699,6 +699,44 @@ TEST(FlipLedger, DigestTracksContent) {
   EXPECT_EQ(a.digest(), FlipLedger().digest());
 }
 
+TEST(FlipLedger, MergeIsShardOrderIndependent) {
+  // The same outcomes, recorded whole vs. sharded across two ledgers in
+  // scrambled order (as per-thread shards would be), must merge to an
+  // identical ledger: same tallies, entries and digest.
+  std::vector<FlipOutcome> outcomes = {
+      {0, 0, true, 3, 3},  {0, 1, false, 5, 3}, {1, 0, true, 2, 2},
+      {1, 1, false, 4, 2}, {2, 0, false, 1, 7}, {2, 1, true, 7, 7},
+  };
+  FlipLedger whole;
+  whole.add_group("g", outcomes);
+
+  FlipLedger shard_a, shard_b;
+  std::vector<FlipOutcome> a_part = {outcomes[3], outcomes[0], outcomes[5]};
+  std::vector<FlipOutcome> b_part = {outcomes[4], outcomes[2], outcomes[1]};
+  shard_a.add_group("g", a_part);
+  shard_b.add_group("g", b_part);
+
+  FlipLedger merged_ab, merged_ba;
+  merged_ab.merge(shard_a);
+  merged_ab.merge(shard_b);
+  merged_ba.merge(shard_b);
+  merged_ba.merge(shard_a);
+
+  EXPECT_EQ(merged_ab.digest(), whole.digest());
+  EXPECT_EQ(merged_ba.digest(), whole.digest());
+  auto s = merged_ab.find_group("g");
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->total_items, 3);
+  EXPECT_EQ(s->unstable_items, 3);
+  ASSERT_EQ(s->entries.size(), whole.find_group("g")->entries.size());
+  for (std::size_t i = 0; i < s->entries.size(); ++i) {
+    EXPECT_EQ(s->entries[i].item,
+              whole.find_group("g")->entries[i].item);
+    EXPECT_EQ(s->entries[i].env_correct,
+              whole.find_group("g")->entries[i].env_correct);
+  }
+}
+
 // ---- Drift report exporters -------------------------------------------------
 
 // Feed the auditor one of everything so the report sections are all
