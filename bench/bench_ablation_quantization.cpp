@@ -29,10 +29,29 @@ int main(int argc, char** argv) {
 
   std::vector<Tensor> inputs;
   std::vector<int> labels;
-  for (const LabShot& shot : run.shots) {
-    inputs.push_back(
-        capture_to_input(decode_capture(shot.capture, JpegDecodeOptions{})));
+  int lost_shots = 0;
+  for (std::size_t i = 0; i < run.shots.size(); ++i) {
+    const LabShot& shot = run.shots[i];
+    if (shot.dropped) {
+      ++lost_shots;
+      continue;
+    }
+    ShotDelivery d =
+        deliver_shot("quantization_delivery", shot.capture, shot.phone_index,
+                     one_phone[0].noise_stream, stimulus_id(run, shot),
+                     shot.repeat);
+    if (!d.usable) {
+      ++lost_shots;
+      continue;
+    }
+    inputs.push_back(capture_to_input(d.image));
     labels.push_back(shot.class_id);
+  }
+  if (lost_shots > 0)
+    std::printf("[fault] %d shot(s) lost to injected faults\n", lost_shots);
+  if (inputs.empty()) {
+    std::printf("all shots lost — nothing to classify\n");
+    return bench_run.finish();
   }
   std::vector<ShotPrediction> float_preds =
       classify_inputs(float_model, inputs);

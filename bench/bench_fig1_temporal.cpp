@@ -34,12 +34,38 @@ int main(int argc, char** argv) {
   bench_run.record_fleet(samsung);
   LabRun run = run_lab_rig(samsung, rig);
 
-  // Classify both shots of every stimulus.
+  // Deliver + decode both shots of every stimulus. Under fault injection
+  // a pair is only usable when both shots survived capture and delivery;
+  // on a clean run this is exactly the old decode_capture path.
+  std::vector<ShotDelivery> delivered(run.shots.size());
+  for (std::size_t i = 0; i < run.shots.size(); ++i) {
+    const LabShot& shot = run.shots[i];
+    if (shot.dropped) continue;
+    delivered[i] =
+        deliver_shot("fig1_delivery", shot.capture, shot.phone_index,
+                     samsung[0].noise_stream, stimulus_id(run, shot),
+                     shot.repeat);
+  }
   std::vector<Tensor> inputs;
+  std::vector<std::size_t> pair_start;  // shot-1 index of surviving pairs
   inputs.reserve(run.shots.size());
-  for (const LabShot& shot : run.shots)
-    inputs.push_back(
-        capture_to_input(decode_capture(shot.capture, JpegDecodeOptions{})));
+  int lost_pairs = 0;
+  for (std::size_t i = 0; i + 1 < run.shots.size(); i += 2) {
+    if (!delivered[i].usable || !delivered[i + 1].usable) {
+      ++lost_pairs;
+      continue;
+    }
+    pair_start.push_back(i);
+    inputs.push_back(capture_to_input(delivered[i].image));
+    inputs.push_back(capture_to_input(delivered[i + 1].image));
+  }
+  if (lost_pairs > 0)
+    std::printf("[fault] %d shot pair(s) lost to injected faults\n",
+                lost_pairs);
+  if (inputs.empty()) {
+    std::printf("all shot pairs lost — nothing to classify\n");
+    return bench_run.finish();
+  }
   std::vector<ShotPrediction> preds = classify_inputs(model, inputs, 3);
 
   int stimuli = 0;
@@ -50,18 +76,19 @@ int main(int argc, char** argv) {
 
   CsvWriter csv({"stimulus", "class", "pred_shot1", "pred_shot2",
                  "conf_shot1", "conf_shot2", "diff_fraction_5pct"});
-  for (std::size_t i = 0; i + 1 < run.shots.size(); i += 2) {
+  for (std::size_t k = 0; k < pair_start.size(); ++k) {
+    const std::size_t i = pair_start[k];
     const LabShot& s1 = run.shots[i];
     const LabShot& s2 = run.shots[i + 1];
     ES_CHECK(stimulus_id(run, s1) == stimulus_id(run, s2));
     ++stimuli;
-    Image img1 = to_float(decode_capture(s1.capture, JpegDecodeOptions{}));
-    Image img2 = to_float(decode_capture(s2.capture, JpegDecodeOptions{}));
+    Image img1 = to_float(delivered[i].image);
+    Image img2 = to_float(delivered[i + 1].image);
     double frac = diff_fraction(img1, img2, 0.05f);
     diff_stats.add(frac);
 
-    const ShotPrediction& p1 = preds[i];
-    const ShotPrediction& p2 = preds[i + 1];
+    const ShotPrediction& p1 = preds[2 * k];
+    const ShotPrediction& p2 = preds[2 * k + 1];
     bool flip = p1.predicted() != p2.predicted();
     if (flip) ++flips;
     bool c1 = prediction_correct(s1.class_id, p1.predicted());

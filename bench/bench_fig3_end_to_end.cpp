@@ -103,6 +103,8 @@ int main(int argc, char** argv) {
         mean_within * 100.0, r.overall.instability() * 100.0);
     run.write_csv(csv, "fig3d_within_phone.csv");
   }
+  bench::report_resilience(run, r.resilience);
+  bench::check_fault_ledger(run, "capture", "end_to_end", r.resilience);
   bench::check_flip_ledger(run, "end_to_end", r.overall);
   return run.finish();
 }

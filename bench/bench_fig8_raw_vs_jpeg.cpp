@@ -76,6 +76,12 @@ int main(int argc, char** argv) {
         "and instability are not the same thing.\n");
     run.write_csv(csv, "fig8c_accuracy.csv");
   }
+  if (r.jpeg_shots_lost > 0) {
+    std::printf("[fault] %d phone-pipeline shot(s) lost in delivery\n",
+                r.jpeg_shots_lost);
+    run.manifest().set_field("fault_shots_lost_run",
+                             static_cast<double>(r.jpeg_shots_lost));
+  }
   bench::check_flip_ledger(run, "phone_pipeline", r.jpeg_instability);
   bench::check_flip_ledger(run, "raw_pipeline", r.raw_instability);
   return run.finish();

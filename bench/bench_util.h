@@ -15,10 +15,13 @@
 #include <vector>
 
 #include "core/instability.h"
+#include "core/resilience.h"
 #include "core/workspace.h"
 #include "data/lab_rig.h"
 #include "device/fleets.h"
+#include "fault/fault.h"
 #include "obs/drift.h"
+#include "obs/fault_ledger.h"
 #include "obs/obs.h"
 #include "obs/report.h"
 #include "runtime/thread_pool.h"
@@ -81,6 +84,40 @@ inline int apply_thread_flag(int argc, char** argv) {
   return runtime::ThreadPool::global().threads();
 }
 
+/// Parse `--faults SPEC` / `--faults=SPEC` from a bench command line
+/// (falling back to the EDGESTAB_FAULTS environment variable) and arm
+/// the global injector. SPEC is "off", a preset ("light" | "moderate" |
+/// "heavy"), or a "k=v,k=v" list — see fault::parse_fault_plan. Returns
+/// the armed plan's summary, or "" when injection stays off. Every
+/// bench's Run wrapper calls this, so the knob exists uniformly.
+inline std::string apply_fault_flag(int argc, char** argv) {
+  std::string spec;
+  if (const char* env = std::getenv("EDGESTAB_FAULTS")) spec = env;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--faults" && i + 1 < argc)
+      spec = argv[i + 1];
+    else if (arg.rfind("--faults=", 0) == 0)
+      spec = arg.substr(9);
+  }
+  if (spec.empty()) return "";
+  fault::FaultPlan plan = fault::parse_fault_plan(spec);
+  if (!plan.any()) {
+    fault::FaultInjector::global().reset();
+    return "";
+  }
+  if (!fault::kFaultsCompiledIn) {
+    std::fprintf(stderr,
+                 "[fault] plan '%s' requested but fault injection is "
+                 "compiled out (EDGESTAB_FAULTS=OFF); running clean\n",
+                 spec.c_str());
+    return "";
+  }
+  fault::FaultInjector::global().configure(plan);
+  std::printf("[fault] injection armed: %s\n", plan.summary().c_str());
+  return plan.summary();
+}
+
 inline void banner(const std::string& title) {
   std::printf("\n================================================================\n");
   std::printf("%s\n", title.c_str());
@@ -104,13 +141,20 @@ class Run {
         static_cast<double>(runtime::ThreadPool::global().threads()));
   }
 
-  /// Same, but also honors a `--threads N` flag on the bench command
-  /// line; the effective lane count lands in the provenance manifest so
-  /// a result row names the parallelism that produced its wall-clock.
+  /// Same, but also honors `--threads N` and `--faults SPEC` flags on
+  /// the bench command line; the effective lane count and the armed
+  /// fault plan land in the provenance manifest so a result row names
+  /// the parallelism and fault schedule that produced it.
   Run(std::string name, const std::string& title, int argc, char** argv)
       : Run(std::move(name), title) {
     manifest_.set_field("threads",
                         static_cast<double>(apply_thread_flag(argc, argv)));
+    const std::string faults = apply_fault_flag(argc, argv);
+    if (!faults.empty()) {
+      manifest_.set_field("fault_plan", faults);
+      manifest_.add_digest("fault_plan",
+                           fault::FaultInjector::global().plan().digest());
+    }
   }
 
   /// Remember an externally detected failure for finish()'s exit code.
@@ -223,6 +267,76 @@ inline void check_flip_ledger(Run& run, const std::string& group,
     std::fprintf(stderr, "[drift] ledger group '%s' missing\n",
                  group.c_str());
   }
+  run.fail();
+}
+
+/// Print a degraded run's fault accounting and record the coverage in
+/// the manifest. No-op on clean runs, keeping their artifacts identical
+/// to a build without fault support.
+inline void report_resilience(Run& run, const FleetResilienceStats& stats) {
+  if (!stats.faults_active) return;
+  Table t({"DEVICE", "USABLE SHOTS", "QUARANTINED FROM ITEM"});
+  for (int d = 0; d < stats.device_count; ++d) {
+    const int qf = stats.quarantined_from_item[static_cast<std::size_t>(d)];
+    t.add_row({std::to_string(d),
+               std::to_string(
+                   stats.usable_shots_by_device[static_cast<std::size_t>(d)]),
+               qf >= 0 ? std::to_string(qf) : "-"});
+  }
+  std::printf(
+      "\nFault accounting (graceful degradation)\n%s"
+      "shots: %d total, %d lost, %d quarantine-excluded; devices "
+      "quarantined: %d\n"
+      "coverage: %d/%d items fully covered, %d degraded, %d lost "
+      "(mean %.2f envs/item)\n",
+      t.str().c_str(), stats.total_shots, stats.shots_lost,
+      stats.shots_excluded, stats.quarantined_devices,
+      stats.items_fully_covered, stats.item_count, stats.items_degraded,
+      stats.items_lost, stats.mean_coverage);
+  run.manifest().set_field("fault_shots_total",
+                           static_cast<double>(stats.total_shots));
+  run.manifest().set_field("fault_shots_lost_run",
+                           static_cast<double>(stats.shots_lost));
+  run.manifest().set_field("fault_shots_excluded",
+                           static_cast<double>(stats.shots_excluded));
+  run.manifest().set_field("fault_quarantined_devices_run",
+                           static_cast<double>(stats.quarantined_devices));
+  run.manifest().set_field("fault_items_lost",
+                           static_cast<double>(stats.items_lost));
+  run.manifest().set_field("fault_mean_coverage", stats.mean_coverage);
+}
+
+/// Cross-check the fault ledger's receipts against the experiment's own
+/// coverage accounting, the same way check_flip_ledger validates the
+/// drift report: shot losses filed under the capture and delivery groups
+/// must sum to the run's lost shots, and the quarantine verdicts must
+/// agree. A mismatch fails the bench. No-op when injection is off.
+inline void check_fault_ledger(Run& run, const std::string& capture_group,
+                               const std::string& delivery_group,
+                               const FleetResilienceStats& expected) {
+  if (!fault::FaultInjector::global().enabled()) return;
+  auto& ledger = obs::FaultLedger::global();
+  int lost = 0;
+  int quarantined = 0;
+  for (const std::string& group : {capture_group, delivery_group}) {
+    auto summary = ledger.find_group(group);
+    if (!summary.has_value()) continue;
+    lost += summary->shots_lost;
+    quarantined += summary->quarantined_devices;
+  }
+  if (lost == expected.shots_lost &&
+      quarantined == expected.quarantined_devices) {
+    std::printf(
+        "[fault] ledger ('%s' + '%s') matches run accounting: %d shots "
+        "lost, %d devices quarantined\n",
+        capture_group.c_str(), delivery_group.c_str(), lost, quarantined);
+    return;
+  }
+  std::fprintf(stderr,
+               "[fault] ledger MISMATCH: ledger %d lost / %d quarantined "
+               "vs run %d / %d\n",
+               lost, quarantined, expected.shots_lost,
+               expected.quarantined_devices);
   run.fail();
 }
 

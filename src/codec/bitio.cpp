@@ -1,5 +1,7 @@
 #include "codec/bitio.h"
 
+#include "codec/status.h"
+
 namespace edgestab {
 
 void BitWriter::put(std::uint32_t value, int bits) {
@@ -27,9 +29,9 @@ Bytes BitWriter::finish() {
 
 std::uint32_t BitReader::get(int bits) {
   ES_DCHECK(bits >= 0 && bits <= 32);
-  ES_CHECK_MSG(bit_pos_ + static_cast<std::size_t>(bits) <=
-                   data_.size() * 8,
-               "bit stream truncated");
+  ES_DECODE_CHECK(bit_pos_ + static_cast<std::size_t>(bits) <=
+                      data_.size() * 8,
+                  DecodeStatus::kTruncated, "bit stream truncated");
   std::uint32_t out = 0;
   for (int i = 0; i < bits; ++i) {
     std::size_t byte = bit_pos_ >> 3;

@@ -26,7 +26,9 @@ class BitWriter {
   std::size_t bit_count_ = 0;
 };
 
-/// MSB-first bit reader; throws CheckError past the end.
+/// MSB-first bit reader; throws DecodeError (kTruncated) past the end —
+/// the input bytes are untrusted, so running out of bits is a data error
+/// trapped at the try_decode boundary, not a programmer error.
 class BitReader {
  public:
   explicit BitReader(std::span<const std::uint8_t> data) : data_(data) {}

@@ -14,11 +14,18 @@ std::string format_name(ImageFormat format) {
     case ImageFormat::kWebpLike: return "WebP";
     case ImageFormat::kHeifLike: return "HEIF";
   }
-  ES_CHECK_MSG(false, "unknown format");
-  return "";
+  return "unknown(" + std::to_string(static_cast<int>(format)) + ")";
 }
 
-std::unique_ptr<Codec> make_codec(ImageFormat format, int quality) {
+ImageU8 Codec::decode(std::span<const std::uint8_t> data) const {
+  DecodeResult result = try_decode(data);
+  ES_CHECK_MSG(result.ok(), name() << ": decode failed ("
+                                   << decode_status_name(result.status)
+                                   << "): " << result.message);
+  return std::move(result.image);
+}
+
+std::unique_ptr<Codec> try_make_codec(ImageFormat format, int quality) {
   switch (format) {
     case ImageFormat::kJpegLike:
       return std::make_unique<JpegLikeCodec>(
@@ -32,8 +39,16 @@ std::unique_ptr<Codec> make_codec(ImageFormat format, int quality) {
       return std::make_unique<HeifLikeCodec>(
           quality == kDefaultQuality ? 60 : quality);
   }
-  ES_CHECK_MSG(false, "unknown format");
   return nullptr;
+}
+
+std::unique_ptr<Codec> make_codec(ImageFormat format, int quality) {
+  std::unique_ptr<Codec> codec = try_make_codec(format, quality);
+  if (!codec)
+    throw DecodeError(DecodeStatus::kUnknownFormat,
+                      "unknown format " +
+                          std::to_string(static_cast<int>(format)));
+  return codec;
 }
 
 }  // namespace edgestab

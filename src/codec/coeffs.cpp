@@ -4,6 +4,7 @@
 #include <map>
 #include <mutex>
 
+#include "codec/status.h"
 #include "util/check.h"
 
 namespace edgestab {
@@ -29,6 +30,10 @@ void put_amplitude(BitWriter& bw, int v, int category) {
 
 int get_amplitude(BitReader& br, int category) {
   if (category == 0) return 0;
+  // A corrupt table can carry symbols far outside the valid category
+  // range; shifting by them below would be undefined.
+  ES_DECODE_CHECK(category <= 30, DecodeStatus::kCorrupt,
+                  "bad amplitude category " << category);
   auto bits = static_cast<int>(br.get(category));
   if (bits < (1 << (category - 1))) bits -= (1 << category) - 1;
   return bits;
@@ -116,7 +121,7 @@ void decode_ac(std::span<int> zz_block, const HuffmanTable& table,
       continue;
     }
     i += s >> 4;
-    ES_CHECK_MSG(i < n, "coefficient overrun");
+    ES_DECODE_CHECK(i < n, DecodeStatus::kCorrupt, "coefficient overrun");
     zz_block[static_cast<std::size_t>(i)] = get_amplitude(br, s & 15);
     ++i;
   }

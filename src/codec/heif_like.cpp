@@ -185,14 +185,23 @@ Bytes HeifLikeCodec::encode(const ImageU8& image) const {
   return out;
 }
 
-ImageU8 HeifLikeCodec::decode(std::span<const std::uint8_t> data) const {
+DecodeResult HeifLikeCodec::try_decode(
+    std::span<const std::uint8_t> data) const {
+  return codec_detail::guarded_decode(
+      "heif_like", [&] { return decode_impl(data); });
+}
+
+ImageU8 HeifLikeCodec::decode_impl(std::span<const std::uint8_t> data) const {
   ES_TRACE_SCOPE("codec", "heif_decode");
   BitReader br(data);
-  ES_CHECK_MSG(br.get(16) == kMagic, "heif_like: bad magic");
+  ES_DECODE_CHECK(br.get(16) == kMagic, DecodeStatus::kBadMagic,
+                  "bad magic");
   int w = static_cast<int>(br.get(16));
   int h = static_cast<int>(br.get(16));
   int quality = static_cast<int>(br.get(8));
-  ES_CHECK(w > 0 && h > 0 && quality >= 1 && quality <= 100);
+  ES_DECODE_CHECK(w > 0 && h > 0 && quality >= 1 && quality <= 100,
+                  DecodeStatus::kBadHeader,
+                  "bad header: " << w << "x" << h << " q=" << quality);
   HuffmanTable dc_table = HuffmanTable::read_table(br);
   HuffmanTable ac_table = HuffmanTable::read_table(br);
 
@@ -200,6 +209,12 @@ ImageU8 HeifLikeCodec::decode(std::span<const std::uint8_t> data) const {
     CodedPlane cp;
     cp.blocks_x = pad_to(pw, kBlock) / kBlock;
     cp.blocks_y = pad_to(ph, kBlock) / kBlock;
+    // DC code + EOB is at least 2 bits per block; reject streams too
+    // short for the plane before the block vectors grow.
+    ES_DECODE_CHECK(br.bits_remaining() >=
+                        2 * static_cast<std::size_t>(cp.blocks_x) *
+                            static_cast<std::size_t>(cp.blocks_y),
+                    DecodeStatus::kTruncated, "plane data truncated");
     int prev_dc = 0;
     for (int b = 0; b < cp.blocks_x * cp.blocks_y; ++b) {
       std::vector<int> block(kBlockArea, 0);

@@ -14,12 +14,14 @@ class HeifLikeCodec : public Codec {
   explicit HeifLikeCodec(int quality = 80);
 
   Bytes encode(const ImageU8& image) const override;
-  ImageU8 decode(std::span<const std::uint8_t> data) const override;
+  DecodeResult try_decode(std::span<const std::uint8_t> data) const override;
   std::string name() const override {
     return "heif_like(q=" + std::to_string(quality_) + ")";
   }
 
  private:
+  ImageU8 decode_impl(std::span<const std::uint8_t> data) const;
+
   int quality_;
 };
 

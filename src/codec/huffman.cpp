@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <queue>
 
+#include "codec/status.h"
 #include "util/check.h"
 
 namespace edgestab {
@@ -98,7 +99,10 @@ void HuffmanTable::build_canonical() {
               if (lengths_[a] != lengths_[b]) return lengths_[a] < lengths_[b];
               return a < b;
             });
-  ES_CHECK_MSG(!sorted_symbols_.empty(), "huffman: empty code");
+  // Reached from read_table with attacker-controlled lengths, so invalid
+  // length distributions are decode errors, not aborts.
+  ES_DECODE_CHECK(!sorted_symbols_.empty(), DecodeStatus::kCorrupt,
+                  "huffman: empty code");
 
   first_code_.assign(kMaxBits + 2, 0);
   first_index_.assign(kMaxBits + 2, 0);
@@ -116,8 +120,8 @@ void HuffmanTable::build_canonical() {
     }
     code <<= 1;
   }
-  ES_CHECK_MSG(idx == sorted_symbols_.size(),
-               "huffman: lengths exceed kMaxBits");
+  ES_DECODE_CHECK(idx == sorted_symbols_.size(), DecodeStatus::kCorrupt,
+                  "huffman: lengths exceed kMaxBits");
 }
 
 void HuffmanTable::encode(BitWriter& bw, int symbol) const {
@@ -141,7 +145,8 @@ int HuffmanTable::decode(BitReader& br) const {
     if (code >= first && code < first + count)
       return sorted_symbols_[index + (code - first)];
   }
-  ES_CHECK_MSG(false, "huffman: invalid code in stream");
+  ES_DECODE_CHECK(false, DecodeStatus::kCorrupt,
+                  "huffman: invalid code in stream");
   return -1;
 }
 
@@ -152,7 +157,8 @@ void HuffmanTable::write_table(BitWriter& bw) const {
 
 HuffmanTable HuffmanTable::read_table(BitReader& br) {
   int n = static_cast<int>(br.get(16));
-  ES_CHECK_MSG(n > 0 && n <= 4096, "huffman: bad table size " << n);
+  ES_DECODE_CHECK(n > 0 && n <= 4096, DecodeStatus::kCorrupt,
+                  "huffman: bad table size " << n);
   std::vector<std::uint8_t> lens(static_cast<std::size_t>(n));
   for (auto& len : lens) len = static_cast<std::uint8_t>(br.get(4));
   return from_lengths(std::move(lens));

@@ -75,6 +75,10 @@ void put_amplitude(BitWriter& bw, int v, int category) {
 
 int get_amplitude(BitReader& br, int category) {
   if (category == 0) return 0;
+  // A corrupt table can carry symbols far outside the valid category
+  // range; shifting by them below would be undefined.
+  ES_DECODE_CHECK(category <= 30, DecodeStatus::kCorrupt,
+                  "bad amplitude category " << category);
   auto bits = static_cast<int>(br.get(category));
   if (bits < (1 << (category - 1))) bits -= (1 << category) - 1;
   return bits;
@@ -238,14 +242,23 @@ Bytes JpegLikeCodec::encode(const ImageU8& image) const {
   return out;
 }
 
-ImageU8 JpegLikeCodec::decode(std::span<const std::uint8_t> data) const {
+DecodeResult JpegLikeCodec::try_decode(
+    std::span<const std::uint8_t> data) const {
+  return codec_detail::guarded_decode(
+      "jpeg_like", [&] { return decode_impl(data); });
+}
+
+ImageU8 JpegLikeCodec::decode_impl(std::span<const std::uint8_t> data) const {
   ES_TRACE_SCOPE("codec", "jpeg_decode");
   BitReader br(data);
-  ES_CHECK_MSG(br.get(16) == kMagic, "jpeg_like: bad magic");
+  ES_DECODE_CHECK(br.get(16) == kMagic, DecodeStatus::kBadMagic,
+                  "bad magic");
   int w = static_cast<int>(br.get(16));
   int h = static_cast<int>(br.get(16));
   int quality = static_cast<int>(br.get(8));
-  ES_CHECK(w > 0 && h > 0 && quality >= 1 && quality <= 100);
+  ES_DECODE_CHECK(w > 0 && h > 0 && quality >= 1 && quality <= 100,
+                  DecodeStatus::kBadHeader,
+                  "bad header: " << w << "x" << h << " q=" << quality);
   HuffmanTable dc_table = HuffmanTable::read_table(br);
   HuffmanTable ac_table = HuffmanTable::read_table(br);
 
@@ -256,6 +269,13 @@ ImageU8 JpegLikeCodec::decode(std::span<const std::uint8_t> data) const {
     QuantizedPlane qp;
     qp.blocks_x = pad_to(pw, 8) / 8;
     qp.blocks_y = pad_to(ph, 8) / 8;
+    // Each block consumes at least a DC code + EOB (2 bits); a stream too
+    // short to possibly hold the plane is rejected before the block
+    // vector grows, bounding memory on fuzzed headers.
+    ES_DECODE_CHECK(br.bits_remaining() >=
+                        2 * static_cast<std::size_t>(qp.blocks_x) *
+                            static_cast<std::size_t>(qp.blocks_y),
+                    DecodeStatus::kTruncated, "plane data truncated");
     int prev_dc = 0;
     for (int b = 0; b < qp.blocks_x * qp.blocks_y; ++b) {
       std::array<int, 64> block{};
@@ -271,7 +291,8 @@ ImageU8 JpegLikeCodec::decode(std::span<const std::uint8_t> data) const {
           continue;
         }
         i += s >> 4;
-        ES_CHECK_MSG(i < 64, "jpeg_like: coefficient overrun");
+        ES_DECODE_CHECK(i < 64, DecodeStatus::kCorrupt,
+                        "coefficient overrun");
         block[static_cast<std::size_t>(i)] = get_amplitude(br, s & 15);
         ++i;
       }

@@ -28,13 +28,15 @@ class JpegLikeCodec : public Codec {
                          JpegDecodeOptions decode_options = {});
 
   Bytes encode(const ImageU8& image) const override;
-  ImageU8 decode(std::span<const std::uint8_t> data) const override;
+  DecodeResult try_decode(std::span<const std::uint8_t> data) const override;
   std::string name() const override;
 
   int quality() const { return quality_; }
   const JpegDecodeOptions& decode_options() const { return decode_options_; }
 
  private:
+  ImageU8 decode_impl(std::span<const std::uint8_t> data) const;
+
   int quality_;
   JpegDecodeOptions decode_options_;
 };

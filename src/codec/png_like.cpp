@@ -204,15 +204,28 @@ Bytes PngLikeCodec::encode(const ImageU8& image) const {
   return out;
 }
 
-ImageU8 PngLikeCodec::decode(std::span<const std::uint8_t> data) const {
+DecodeResult PngLikeCodec::try_decode(
+    std::span<const std::uint8_t> data) const {
+  return codec_detail::guarded_decode(
+      "png_like", [&] { return decode_impl(data); });
+}
+
+ImageU8 PngLikeCodec::decode_impl(std::span<const std::uint8_t> data) const {
   ES_TRACE_SCOPE("codec", "png_decode");
   BitReader br(data);
-  ES_CHECK_MSG(br.get(16) == kMagic, "png_like: bad magic");
+  ES_DECODE_CHECK(br.get(16) == kMagic, DecodeStatus::kBadMagic,
+                  "bad magic");
   int w = static_cast<int>(br.get(16));
   int h = static_cast<int>(br.get(16));
   auto token_count = br.get(32);
-  ES_CHECK(w > 0 && h > 0);
+  ES_DECODE_CHECK(w > 0 && h > 0, DecodeStatus::kBadHeader,
+                  "bad header: " << w << "x" << h);
   HuffmanTable table = HuffmanTable::read_table(br);
+  // Every token costs at least one bit, so a stream too short for the
+  // declared token count cannot decode — reject before the LZ loop, which
+  // a forged count would otherwise turn into an allocation bomb.
+  ES_DECODE_CHECK(br.bits_remaining() >= token_count,
+                  DecodeStatus::kTruncated, "token stream truncated");
 
   const int bpp = 3;
   const int row_bytes = w * bpp;
@@ -227,16 +240,20 @@ ImageU8 PngLikeCodec::decode(std::span<const std::uint8_t> data) const {
     } else {
       int length = sym - 256 + kMinMatch;
       int distance = static_cast<int>(br.get(kWindowBits)) + 1;
-      ES_CHECK_MSG(static_cast<std::size_t>(distance) <= filtered.size(),
-                   "png_like: bad LZ distance");
+      ES_DECODE_CHECK(static_cast<std::size_t>(distance) <= filtered.size(),
+                      DecodeStatus::kCorrupt, "bad LZ distance");
       std::size_t src = filtered.size() - static_cast<std::size_t>(distance);
       for (int k = 0; k < length; ++k)
         filtered.push_back(filtered[src + static_cast<std::size_t>(k)]);
     }
+    // Corrupt match tokens can overshoot the declared image size; stop as
+    // soon as expansion exceeds it rather than growing without bound.
+    ES_DECODE_CHECK(filtered.size() <= expected, DecodeStatus::kCorrupt,
+                    "decoded size overrun");
   }
-  ES_CHECK_MSG(filtered.size() == expected,
-               "png_like: decoded size mismatch: " << filtered.size()
-                                                   << " vs " << expected);
+  ES_DECODE_CHECK(filtered.size() == expected, DecodeStatus::kCorrupt,
+                  "decoded size mismatch: " << filtered.size() << " vs "
+                                            << expected);
 
   ImageU8 out(w, h, 3);
   std::uint8_t* prev = nullptr;
@@ -244,7 +261,8 @@ ImageU8 PngLikeCodec::decode(std::span<const std::uint8_t> data) const {
     const std::uint8_t* src =
         filtered.data() + static_cast<std::size_t>(y) * (row_bytes + 1);
     int filter = src[0];
-    ES_CHECK_MSG(filter >= 0 && filter <= 4, "png_like: bad filter id");
+    ES_DECODE_CHECK(filter >= 0 && filter <= 4, DecodeStatus::kCorrupt,
+                    "bad filter id");
     std::uint8_t* dst = out.data().data() +
                         static_cast<std::size_t>(y) * row_bytes;
     std::copy_n(src + 1, row_bytes, dst);

@@ -15,9 +15,12 @@ class PngLikeCodec : public Codec {
   PngLikeCodec() = default;
 
   Bytes encode(const ImageU8& image) const override;
-  ImageU8 decode(std::span<const std::uint8_t> data) const override;
+  DecodeResult try_decode(std::span<const std::uint8_t> data) const override;
   std::string name() const override { return "png_like"; }
   bool lossless() const override { return true; }
+
+ private:
+  ImageU8 decode_impl(std::span<const std::uint8_t> data) const;
 };
 
 }  // namespace edgestab

@@ -1,0 +1,17 @@
+#include "codec/status.h"
+
+namespace edgestab {
+
+const char* decode_status_name(DecodeStatus status) {
+  switch (status) {
+    case DecodeStatus::kOk: return "ok";
+    case DecodeStatus::kBadMagic: return "bad_magic";
+    case DecodeStatus::kBadHeader: return "bad_header";
+    case DecodeStatus::kTruncated: return "truncated";
+    case DecodeStatus::kCorrupt: return "corrupt";
+    case DecodeStatus::kUnknownFormat: return "unknown_format";
+  }
+  return "invalid_status";
+}
+
+}  // namespace edgestab

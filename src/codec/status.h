@@ -1,0 +1,52 @@
+// Typed decode-side error handling for the codec family.
+//
+// Decoders consume untrusted bytes: under fault injection (src/fault) and
+// in real fleets, payloads arrive bit-flipped or truncated. Decode-side
+// failures therefore raise DecodeError — trapped at the Codec::try_decode
+// boundary and surfaced as a typed status the caller can branch on —
+// while encode-side invariants stay on the aborting ES_CHECK path
+// (feeding a bad image to an encoder is a programmer error, not data).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace edgestab {
+
+enum class DecodeStatus {
+  kOk = 0,
+  kBadMagic,       ///< leading magic does not match the codec's signature
+  kBadHeader,      ///< dimension / quality header fields out of range
+  kTruncated,      ///< bitstream ended mid-read
+  kCorrupt,        ///< structurally invalid payload (bad code, overrun, ...)
+  kUnknownFormat,  ///< ImageFormat value outside the enum
+};
+
+const char* decode_status_name(DecodeStatus status);
+
+/// Thrown by decode internals (BitReader, HuffmanTable, codec bodies) on
+/// malformed input. Codec::try_decode converts it into a DecodeResult;
+/// the aborting Codec::decode wrapper re-raises it as a CheckError.
+class DecodeError : public std::runtime_error {
+ public:
+  DecodeError(DecodeStatus status, const std::string& message)
+      : std::runtime_error(message), status_(status) {}
+
+  DecodeStatus status() const { return status_; }
+
+ private:
+  DecodeStatus status_;
+};
+
+}  // namespace edgestab
+
+#define ES_DECODE_CHECK(expr, status_code, msg)                  \
+  do {                                                           \
+    if (!(expr)) {                                               \
+      std::ostringstream es_decode_os;                           \
+      es_decode_os << msg;                                       \
+      throw ::edgestab::DecodeError((status_code),               \
+                                    es_decode_os.str());         \
+    }                                                            \
+  } while (0)

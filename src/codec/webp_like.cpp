@@ -243,14 +243,23 @@ Bytes WebpLikeCodec::encode(const ImageU8& image) const {
   return out;
 }
 
-ImageU8 WebpLikeCodec::decode(std::span<const std::uint8_t> data) const {
+DecodeResult WebpLikeCodec::try_decode(
+    std::span<const std::uint8_t> data) const {
+  return codec_detail::guarded_decode(
+      "webp_like", [&] { return decode_impl(data); });
+}
+
+ImageU8 WebpLikeCodec::decode_impl(std::span<const std::uint8_t> data) const {
   ES_TRACE_SCOPE("codec", "webp_decode");
   BitReader br(data);
-  ES_CHECK_MSG(br.get(16) == kMagic, "webp_like: bad magic");
+  ES_DECODE_CHECK(br.get(16) == kMagic, DecodeStatus::kBadMagic,
+                  "bad magic");
   int w = static_cast<int>(br.get(16));
   int h = static_cast<int>(br.get(16));
   int quality = static_cast<int>(br.get(8));
-  ES_CHECK(w > 0 && h > 0 && quality >= 1 && quality <= 100);
+  ES_DECODE_CHECK(w > 0 && h > 0 && quality >= 1 && quality <= 100,
+                  DecodeStatus::kBadHeader,
+                  "bad header: " << w << "x" << h << " q=" << quality);
   HuffmanTable dc_table = HuffmanTable::read_table(br);
   HuffmanTable ac_table = HuffmanTable::read_table(br);
 
@@ -258,10 +267,17 @@ ImageU8 WebpLikeCodec::decode(std::span<const std::uint8_t> data) const {
     CodedPlane cp;
     cp.blocks_x = pad_to(pw, kB) / kB;
     cp.blocks_y = pad_to(ph, kB) / kB;
+    // Mode (2 bits) + DC code + EOB is at least 4 bits per block; reject
+    // streams too short for the plane before the block vectors grow.
+    ES_DECODE_CHECK(br.bits_remaining() >=
+                        4 * static_cast<std::size_t>(cp.blocks_x) *
+                            static_cast<std::size_t>(cp.blocks_y),
+                    DecodeStatus::kTruncated, "plane data truncated");
     int prev_dc = 0;
     for (int b = 0; b < cp.blocks_x * cp.blocks_y; ++b) {
       cp.modes.push_back(static_cast<int>(br.get(2)));
-      ES_CHECK_MSG(cp.modes.back() <= 2, "webp_like: bad prediction mode");
+      ES_DECODE_CHECK(cp.modes.back() <= 2, DecodeStatus::kCorrupt,
+                      "bad prediction mode");
       std::array<int, kArea> block{};
       int cat = dc_table.decode(br);
       prev_dc += codec_detail::get_amplitude(br, cat);

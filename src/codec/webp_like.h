@@ -14,12 +14,14 @@ class WebpLikeCodec : public Codec {
   explicit WebpLikeCodec(int quality = 75);
 
   Bytes encode(const ImageU8& image) const override;
-  ImageU8 decode(std::span<const std::uint8_t> data) const override;
+  DecodeResult try_decode(std::span<const std::uint8_t> data) const override;
   std::string name() const override {
     return "webp_like(q=" + std::to_string(quality_) + ")";
   }
 
  private:
+  ImageU8 decode_impl(std::span<const std::uint8_t> data) const;
+
   int quality_;
 };
 

@@ -7,6 +7,7 @@
 #include "codec/png_like.h"
 #include "data/dataset.h"
 #include "data/labels.h"
+#include "fault/fault.h"
 #include "nn/trainer.h"
 #include "obs/drift.h"
 #include "runtime/parallel.h"
@@ -106,28 +107,87 @@ EndToEndResult run_end_to_end(Model& model,
                               const LabRigConfig& rig) {
   LabRun run = run_lab_rig(fleet, rig);
 
-  // Decode + normalize every shot in parallel: pure per-shot work, each
-  // lane writes its own slot.
-  std::vector<Tensor> inputs(run.shots.size());
+  const auto& injector = fault::FaultInjector::global();
+  const bool faulted = injector.enabled();
+  const auto phones = fleet.size();
+  const auto shots_per = static_cast<std::size_t>(rig.shots_per_stimulus);
+  const std::size_t stimuli = run.shots.size() / (phones * shots_per);
+  const int slots_per_device = static_cast<int>(stimuli * shots_per);
+
+  // Deliver + decode every shot in parallel: pure per-shot work, each
+  // lane writes its own slot. With faults armed each delivery may be
+  // corrupted and retried; without them this is exactly the old
+  // decode_capture path.
+  std::vector<ShotDelivery> delivered(run.shots.size());
   runtime::parallel_for(run.shots.size(), [&](std::size_t i) {
-    inputs[i] = capture_to_input(
-        decode_capture(run.shots[i].capture, JpegDecodeOptions{}));
+    const LabShot& shot = run.shots[i];
+    if (shot.dropped) return;  // lost at capture; the rig filed the loss
+    delivered[i] = deliver_shot(
+        "end_to_end", shot.capture, shot.phone_index,
+        fleet[static_cast<std::size_t>(shot.phone_index)].noise_stream,
+        stimulus_id(run, shot), shot.repeat);
+  });
+
+  // Quarantine is a serial fold over each device's shots in stimulus
+  // order — deterministic at any thread count — and everything a
+  // quarantined device produced past its verdict is discarded.
+  std::vector<unsigned char> usable(run.shots.size(), 0);
+  auto slot_of = [&](const LabShot& shot) {
+    return static_cast<int>(stimulus_id(run, shot)) *
+               static_cast<int>(shots_per) +
+           shot.repeat;
+  };
+  for (std::size_t i = 0; i < run.shots.size(); ++i) {
+    const LabShot& shot = run.shots[i];
+    usable[static_cast<std::size_t>(shot.phone_index) *
+               static_cast<std::size_t>(slots_per_device) +
+           static_cast<std::size_t>(slot_of(shot))] =
+        delivered[i].usable ? 1 : 0;
+  }
+  const QuarantineDecision quarantine = quarantine_fold(
+      "end_to_end", static_cast<int>(phones), slots_per_device, usable,
+      faulted ? injector.plan().quarantine_after : 0,
+      static_cast<int>(shots_per), /*record=*/faulted);
+
+  std::vector<std::size_t> kept;  // identity on a clean run
+  kept.reserve(run.shots.size());
+  for (std::size_t i = 0; i < run.shots.size(); ++i) {
+    const LabShot& shot = run.shots[i];
+    if (!delivered[i].usable) continue;
+    if (quarantine.excluded(shot.phone_index, slot_of(shot))) continue;
+    kept.push_back(i);
+  }
+
+  EndToEndResult result;
+  for (const PhoneProfile& p : fleet) result.phone_names.push_back(p.name);
+  drift_label_envs("end_to_end", result.phone_names);
+  result.resilience = tally_fleet_coverage(
+      static_cast<int>(phones), static_cast<int>(stimuli),
+      static_cast<int>(shots_per), usable, quarantine);
+  result.resilience.faults_active = faulted;
+  if (kept.empty()) {
+    // Whole fleet lost (heavy plans on tiny runs): degrade to an empty
+    // result rather than aborting — coverage accounting says why.
+    result.accuracy_by_phone.assign(phones, 0.0);
+    result.accuracy_by_phone_top3.assign(phones, 0.0);
+    return result;
+  }
+
+  std::vector<Tensor> inputs(kept.size());
+  runtime::parallel_for(kept.size(), [&](std::size_t j) {
+    inputs[j] = capture_to_input(delivered[kept[j]].image);
   });
   Tensor logits;
   std::vector<ShotPrediction> preds = classify_inputs(model, inputs, 3,
                                                       &logits);
 
-  EndToEndResult result;
-  for (const PhoneProfile& p : fleet) result.phone_names.push_back(p.name);
-  drift_label_envs("end_to_end", result.phone_names);
-
   // Cross-phone observations use the first shot of each stimulus only;
   // repeats feed the within-phone analysis.
   std::vector<std::vector<Observation>> repeat_obs(
       fleet.size());  // per phone, env = repeat index
-  for (std::size_t i = 0; i < run.shots.size(); ++i) {
-    const LabShot& shot = run.shots[i];
-    const ShotPrediction& pred = preds[i];
+  for (std::size_t j = 0; j < kept.size(); ++j) {
+    const LabShot& shot = run.shots[kept[j]];
+    const ShotPrediction& pred = preds[j];
     Observation o;
     o.item = stimulus_id(run, shot);
     o.env = shot.phone_index;
@@ -145,7 +205,7 @@ EndToEndResult run_end_to_end(Model& model,
         const auto d = static_cast<std::size_t>(logits.dim(1));
         obs::DriftAuditor::global().record_logits(
             "end_to_end", o.item, o.env,
-            std::span<const float>(logits.raw() + i * d, d));
+            std::span<const float>(logits.raw() + j * d, d));
       }
     }
     Observation rep = o;
@@ -186,6 +246,7 @@ std::vector<RawShot> collect_raw_bank(
   bank.reserve(run.shots.size());
   for (const LabShot& shot : run.shots) {
     if (shot.repeat != 0) continue;
+    if (shot.dropped) continue;  // lost at capture; the rig filed the loss
     ES_CHECK(shot.capture.raw.has_value());
     RawShot rs;
     rs.item = static_cast<int>(bank.size());
@@ -484,14 +545,21 @@ RawVsJpegResult run_raw_vs_jpeg(Model& model,
                                 const std::vector<PhoneProfile>& raw_fleet,
                                 const std::vector<RawShot>& bank) {
   RawVsJpegResult result;
+  std::vector<PhoneProfile> raw_capable;
   for (const PhoneProfile& p : raw_fleet)
-    if (p.supports_raw) result.phone_names.push_back(p.name);
+    if (p.supports_raw) {
+      result.phone_names.push_back(p.name);
+      raw_capable.push_back(p);
+    }
   const auto phone_count = static_cast<int>(result.phone_names.size());
   ES_CHECK(phone_count >= 2);
 
-  // Condition A: the phone's own pipeline output.
+  // Condition A: the phone's own pipeline output, delivered over the
+  // (possibly lossy) link. Condition B: raw developed through one
+  // consistent software ISP — raws never leave the lab, so only the
+  // JPEG condition can lose shots.
   std::vector<Tensor> jpeg_inputs(bank.size());
-  // Condition B: raw developed through one consistent software ISP.
+  std::vector<unsigned char> jpeg_usable(bank.size(), 1);
   std::vector<Tensor> raw_inputs(bank.size());
   IspConfig consistent = magick_isp();
   drift_label_envs("phone_pipeline", result.phone_names);
@@ -513,8 +581,13 @@ RawVsJpegResult run_raw_vs_jpeg(Model& model,
       [&](std::size_t g) {
         for (std::size_t i : *stimulus_groups[g]) {
           const RawShot& rs = bank[i];
-          jpeg_inputs[i] = capture_to_input(
-              decode_capture(rs.phone_pipeline, JpegDecodeOptions{}));
+          ShotDelivery d = deliver_shot(
+              "phone_pipeline", rs.phone_pipeline, rs.phone_index,
+              raw_capable[static_cast<std::size_t>(rs.phone_index)]
+                  .noise_stream,
+              rs.stimulus, 0);
+          jpeg_usable[i] = d.usable ? 1 : 0;
+          if (d.usable) jpeg_inputs[i] = capture_to_input(d.image);
           // Same consistent ISP for every phone: residual per-stage
           // drift here is what the raws themselves disagree on
           // (sensor/exposure), the floor the §9.2 mitigation cannot
@@ -524,18 +597,40 @@ RawVsJpegResult run_raw_vs_jpeg(Model& model,
         }
       },
       /*grain=*/1);
+
+  // Compact the surviving JPEG inputs for the batch classifier; identity
+  // on a clean run.
+  std::vector<std::size_t> jpeg_kept;
+  jpeg_kept.reserve(bank.size());
+  std::vector<int> jpeg_pred_of(bank.size(), -1);
+  for (std::size_t i = 0; i < bank.size(); ++i) {
+    if (!jpeg_usable[i]) continue;
+    jpeg_pred_of[i] = static_cast<int>(jpeg_kept.size());
+    jpeg_kept.push_back(i);
+  }
+  result.jpeg_shots_lost =
+      static_cast<int>(bank.size() - jpeg_kept.size());
+  std::vector<Tensor> jpeg_batch(jpeg_kept.size());
+  for (std::size_t j = 0; j < jpeg_kept.size(); ++j)
+    jpeg_batch[j] = std::move(jpeg_inputs[jpeg_kept[j]]);
+
   Tensor jpeg_logits, raw_logits;
-  std::vector<ShotPrediction> jpeg_preds =
-      classify_inputs(model, jpeg_inputs, 3, &jpeg_logits);
+  std::vector<ShotPrediction> jpeg_preds;
+  if (!jpeg_kept.empty())
+    jpeg_preds = classify_inputs(model, jpeg_batch, 3, &jpeg_logits);
   std::vector<ShotPrediction> raw_preds =
       classify_inputs(model, raw_inputs, 3, &raw_logits);
   if (obs::drift_enabled()) {
     auto& auditor = obs::DriftAuditor::global();
-    const auto d = static_cast<std::size_t>(jpeg_logits.dim(1));
+    const auto d = static_cast<std::size_t>(raw_logits.dim(1));
     for (std::size_t i = 0; i < bank.size(); ++i) {
-      auditor.record_logits(
-          "phone_pipeline", bank[i].stimulus, bank[i].phone_index,
-          std::span<const float>(jpeg_logits.raw() + i * d, d));
+      if (jpeg_pred_of[i] >= 0)
+        auditor.record_logits(
+            "phone_pipeline", bank[i].stimulus, bank[i].phone_index,
+            std::span<const float>(
+                jpeg_logits.raw() +
+                    static_cast<std::size_t>(jpeg_pred_of[i]) * d,
+                d));
       auditor.record_logits(
           "raw_pipeline", bank[i].stimulus, bank[i].phone_index,
           std::span<const float>(raw_logits.raw() + i * d, d));
@@ -545,27 +640,31 @@ RawVsJpegResult run_raw_vs_jpeg(Model& model,
   std::vector<Observation> jpeg_obs, raw_obs;
   std::vector<int> jpeg_correct(static_cast<std::size_t>(phone_count), 0);
   std::vector<int> raw_correct(static_cast<std::size_t>(phone_count), 0);
-  std::vector<int> counts(static_cast<std::size_t>(phone_count), 0);
+  std::vector<int> jpeg_counts(static_cast<std::size_t>(phone_count), 0);
+  std::vector<int> raw_counts(static_cast<std::size_t>(phone_count), 0);
   for (std::size_t i = 0; i < bank.size(); ++i) {
     const RawShot& rs = bank[i];
-    Observation oj;
-    oj.item = rs.stimulus;  // compare *between phones*
-    oj.env = rs.phone_index;
-    oj.class_id = rs.class_id;
-    oj.predicted = jpeg_preds[i].predicted();
-    oj.confidence = jpeg_preds[i].confidence();
-    oj.correct = topk_correct(jpeg_preds[i], rs.class_id, 1);
-    jpeg_obs.push_back(oj);
-
-    Observation orw = oj;
+    Observation orw;
+    orw.item = rs.stimulus;  // compare *between phones*
+    orw.env = rs.phone_index;
+    orw.class_id = rs.class_id;
     orw.predicted = raw_preds[i].predicted();
     orw.confidence = raw_preds[i].confidence();
     orw.correct = topk_correct(raw_preds[i], rs.class_id, 1);
     raw_obs.push_back(orw);
-
-    ++counts[static_cast<std::size_t>(rs.phone_index)];
-    if (oj.correct) ++jpeg_correct[static_cast<std::size_t>(rs.phone_index)];
+    ++raw_counts[static_cast<std::size_t>(rs.phone_index)];
     if (orw.correct) ++raw_correct[static_cast<std::size_t>(rs.phone_index)];
+
+    if (jpeg_pred_of[i] < 0) continue;  // lost in delivery
+    const ShotPrediction& jp =
+        jpeg_preds[static_cast<std::size_t>(jpeg_pred_of[i])];
+    Observation oj = orw;
+    oj.predicted = jp.predicted();
+    oj.confidence = jp.confidence();
+    oj.correct = topk_correct(jp, rs.class_id, 1);
+    jpeg_obs.push_back(oj);
+    ++jpeg_counts[static_cast<std::size_t>(rs.phone_index)];
+    if (oj.correct) ++jpeg_correct[static_cast<std::size_t>(rs.phone_index)];
   }
 
   result.jpeg_instability = compute_instability(jpeg_obs);
@@ -575,11 +674,16 @@ RawVsJpegResult run_raw_vs_jpeg(Model& model,
   drift_audit_flips("phone_pipeline", jpeg_obs);
   drift_audit_flips("raw_pipeline", raw_obs);
   for (int p = 0; p < phone_count; ++p) {
-    double n = std::max(counts[static_cast<std::size_t>(p)], 1);
     result.jpeg_accuracy_by_phone.push_back(
-        jpeg_correct[static_cast<std::size_t>(p)] / n);
+        jpeg_correct[static_cast<std::size_t>(p)] /
+        std::max(static_cast<double>(
+                     jpeg_counts[static_cast<std::size_t>(p)]),
+                 1.0));
     result.raw_accuracy_by_phone.push_back(
-        raw_correct[static_cast<std::size_t>(p)] / n);
+        raw_correct[static_cast<std::size_t>(p)] /
+        std::max(
+            static_cast<double>(raw_counts[static_cast<std::size_t>(p)]),
+            1.0));
   }
   return result;
 }

@@ -11,6 +11,7 @@
 
 #include "core/confidence.h"
 #include "core/instability.h"
+#include "core/resilience.h"
 #include "data/lab_rig.h"
 #include "isp/software_isp.h"
 #include "nn/model.h"
@@ -49,11 +50,18 @@ struct EndToEndResult {
   std::vector<Observation> observations_top3;               // Fig 9
   InstabilityResult overall_top3;                           // Fig 9b
   std::vector<double> accuracy_by_phone_top3;               // Fig 9a
+  /// Fault accounting for degraded runs (trivial when faults are off):
+  /// which shots were lost or quarantined and how many environments
+  /// actually observed each item.
+  FleetResilienceStats resilience;
 };
 
 /// Runs the lab rig over the fleet and classifies every shot with the
 /// standard decoder. When `rig.shots_per_stimulus > 1`, repeat shots feed
-/// the within-phone instability numbers (Fig 3d).
+/// the within-phone instability numbers (Fig 3d). Under fault injection
+/// the run degrades gracefully: lost shots are retried per the plan,
+/// devices are quarantined after K consecutive losses, and the metrics
+/// are computed over whatever coverage survives (see `resilience`).
 EndToEndResult run_end_to_end(Model& model,
                               const std::vector<PhoneProfile>& fleet,
                               const LabRigConfig& rig);
@@ -150,6 +158,9 @@ struct RawVsJpegResult {
   std::map<int, InstabilityResult> raw_by_class;
   std::vector<double> jpeg_accuracy_by_phone;
   std::vector<double> raw_accuracy_by_phone;
+  /// Phone-pipeline files lost in (faulted) delivery after retries; the
+  /// raw condition never crosses the lossy link.
+  int jpeg_shots_lost = 0;
 };
 
 RawVsJpegResult run_raw_vs_jpeg(Model& model,

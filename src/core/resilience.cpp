@@ -1,0 +1,200 @@
+#include "core/resilience.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "fault/fault.h"
+#include "obs/fault_ledger.h"
+#include "util/check.h"
+
+namespace edgestab {
+
+using obs::FaultEvent;
+using obs::FaultEventKind;
+
+ShotDelivery deliver_shot(const std::string& group, const Capture& capture,
+                          int device, std::uint64_t device_stream, int item,
+                          int shot, const JpegDecodeOptions& os_decoder) {
+  ShotDelivery out;
+  const auto& injector = fault::FaultInjector::global();
+  if (!injector.enabled()) {
+    // Clean path: identical bytes, identical aborting semantics — a
+    // faultless run through here matches the pre-resilience pipeline
+    // bit for bit.
+    out.usable = true;
+    out.attempts = 1;
+    out.image = decode_capture(capture, os_decoder);
+    return out;
+  }
+
+  auto& ledger = obs::FaultLedger::global();
+  std::vector<FaultEvent> events;
+
+  const double straggle =
+      injector.straggler_delay_ms(device_stream, static_cast<std::uint64_t>(item),
+                                  static_cast<std::uint64_t>(shot));
+  if (straggle > 0.0) {
+    events.push_back(FaultEvent{FaultEventKind::kStragglerDelay, device, item,
+                                shot, 0, false, straggle});
+    out.delay_ms += straggle;
+  }
+
+  const int max_attempts = std::max(1, injector.plan().max_attempts);
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    if (attempt > 0) {
+      const double backoff = injector.backoff_ms(attempt);
+      events.push_back(FaultEvent{FaultEventKind::kRetry, device, item, shot,
+                                  attempt, false, backoff});
+      out.delay_ms += backoff;
+    }
+    // Each attempt retransmits the original payload over the lossy link:
+    // corruption is re-drawn per attempt, so a retry can genuinely
+    // succeed. The raw mosaic never crosses the link.
+    Capture delivered;
+    delivered.file = capture.file;
+    delivered.format = capture.format;
+    delivered.quality = capture.quality;
+    const fault::PayloadFaults pf = injector.corrupt_payload(
+        delivered.file, device_stream, static_cast<std::uint64_t>(item),
+        static_cast<std::uint64_t>(shot), attempt);
+    if (pf.bit_flips > 0)
+      events.push_back(FaultEvent{FaultEventKind::kPayloadBitFlip, device,
+                                  item, shot, attempt, false,
+                                  static_cast<double>(pf.bit_flips)});
+    if (pf.truncated_bytes > 0)
+      events.push_back(FaultEvent{FaultEventKind::kPayloadTruncation, device,
+                                  item, shot, attempt, false,
+                                  static_cast<double>(pf.truncated_bytes)});
+
+    DecodeResult result = try_decode_capture(delivered, os_decoder);
+    if (result.ok()) {
+      // Note: a corrupted payload can still decode — those shots stay
+      // usable with damaged pixels, exactly the kind of silent
+      // divergence the instability metric is for.
+      out.usable = true;
+      out.attempts = attempt + 1;
+      out.image = std::move(result.image);
+      break;
+    }
+    events.push_back(
+        FaultEvent{FaultEventKind::kDecodeFailure, device, item, shot,
+                   attempt, false,
+                   static_cast<double>(static_cast<int>(result.status))});
+  }
+  if (!out.usable) {
+    out.attempts = max_attempts;
+    events.push_back(FaultEvent{FaultEventKind::kShotLost, device, item, shot,
+                                max_attempts - 1, false,
+                                static_cast<double>(max_attempts)});
+  }
+  for (FaultEvent& e : events) {
+    if (e.kind != FaultEventKind::kShotLost) e.recovered = out.usable;
+    ledger.record(group, e);
+  }
+  return out;
+}
+
+QuarantineDecision quarantine_fold(const std::string& group,
+                                   int device_count, int slots_per_device,
+                                   const std::vector<unsigned char>& usable,
+                                   int quarantine_after, int slots_per_item,
+                                   bool record) {
+  ES_CHECK(device_count >= 0 && slots_per_device >= 0);
+  ES_CHECK(slots_per_item >= 1);
+  ES_CHECK(usable.size() == static_cast<std::size_t>(device_count) *
+                                static_cast<std::size_t>(slots_per_device));
+  QuarantineDecision q;
+  q.quarantined_from.assign(static_cast<std::size_t>(device_count), -1);
+  if (quarantine_after <= 0) return q;
+
+  for (int d = 0; d < device_count; ++d) {
+    int consecutive = 0;
+    for (int slot = 0; slot < slots_per_device; ++slot) {
+      const std::size_t idx =
+          static_cast<std::size_t>(d) *
+              static_cast<std::size_t>(slots_per_device) +
+          static_cast<std::size_t>(slot);
+      if (usable[idx]) {
+        consecutive = 0;
+        continue;
+      }
+      if (++consecutive >= quarantine_after) {
+        // Quarantine from the slot after the K-th consecutive loss;
+        // anything the device produces from here on is discarded.
+        q.quarantined_from[static_cast<std::size_t>(d)] = slot + 1;
+        ++q.quarantined_devices;
+        if (record)
+          obs::FaultLedger::global().record(
+              group, FaultEvent{FaultEventKind::kQuarantine, d,
+                                (slot + 1) / slots_per_item, 0, 0, false,
+                                static_cast<double>(quarantine_after)});
+        break;
+      }
+    }
+  }
+  return q;
+}
+
+FleetResilienceStats tally_fleet_coverage(
+    int device_count, int item_count, int slots_per_item,
+    const std::vector<unsigned char>& usable, const QuarantineDecision& q) {
+  const int slots_per_device = item_count * slots_per_item;
+  ES_CHECK(usable.size() == static_cast<std::size_t>(device_count) *
+                                static_cast<std::size_t>(slots_per_device));
+  ES_CHECK(q.quarantined_from.size() ==
+           static_cast<std::size_t>(device_count));
+
+  FleetResilienceStats s;
+  s.device_count = device_count;
+  s.item_count = item_count;
+  s.total_shots = device_count * slots_per_device;
+  s.quarantined_devices = q.quarantined_devices;
+  s.usable_shots_by_device.assign(static_cast<std::size_t>(device_count), 0);
+  s.quarantined_from_item.assign(static_cast<std::size_t>(device_count), -1);
+
+  auto at = [&](int d, int slot) {
+    return usable[static_cast<std::size_t>(d) *
+                      static_cast<std::size_t>(slots_per_device) +
+                  static_cast<std::size_t>(slot)] != 0;
+  };
+
+  for (int d = 0; d < device_count; ++d) {
+    const int qf = q.quarantined_from[static_cast<std::size_t>(d)];
+    if (qf >= 0)
+      s.quarantined_from_item[static_cast<std::size_t>(d)] =
+          qf / slots_per_item;
+    for (int slot = 0; slot < slots_per_device; ++slot) {
+      if (!at(d, slot)) {
+        ++s.shots_lost;
+      } else if (q.excluded(d, slot)) {
+        ++s.shots_excluded;
+      } else {
+        ++s.usable_shots_by_device[static_cast<std::size_t>(d)];
+      }
+    }
+  }
+
+  s.coverage_histogram.assign(static_cast<std::size_t>(device_count) + 1, 0);
+  long long total_coverage = 0;
+  for (int item = 0; item < item_count; ++item) {
+    const int slot0 = item * slots_per_item;
+    int coverage = 0;
+    for (int d = 0; d < device_count; ++d)
+      if (at(d, slot0) && !q.excluded(d, slot0)) ++coverage;
+    ++s.coverage_histogram[static_cast<std::size_t>(coverage)];
+    total_coverage += coverage;
+    if (coverage == device_count) {
+      ++s.items_fully_covered;
+    } else if (coverage == 0) {
+      ++s.items_lost;
+    } else {
+      ++s.items_degraded;
+    }
+  }
+  s.mean_coverage = item_count > 0 ? static_cast<double>(total_coverage) /
+                                         static_cast<double>(item_count)
+                                   : 0.0;
+  return s;
+}
+
+}  // namespace edgestab

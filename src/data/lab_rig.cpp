@@ -1,15 +1,80 @@
 #include "data/lab_rig.h"
 
+#include <algorithm>
 #include <atomic>
+#include <string>
 
 #include "data/labels.h"
+#include "fault/fault.h"
 #include "obs/drift.h"
+#include "obs/fault_ledger.h"
 #include "obs/obs.h"
 #include "runtime/parallel.h"
 #include "runtime/seed.h"
 #include "util/hashing.h"
 
 namespace edgestab {
+
+namespace {
+
+/// Capture-site fault injection for one (phone, stimulus, shot). A
+/// dropout loses the frame outright (not retryable — the emission has
+/// moved on); a transient device failure is retried up to the plan's
+/// attempt budget with recorded (never slept) backoff. Every decision is
+/// a pure function of the fault seed and the shot coordinates, so the
+/// schedule is identical at any thread count. Marks `record` dropped
+/// when the shot is lost and files the receipts with the fault ledger.
+void inject_capture_faults(const std::string& group,
+                           const PhoneProfile& phone, int device,
+                           std::size_t stimulus, std::size_t shot,
+                           LabShot& record) {
+  const auto& injector = fault::FaultInjector::global();
+  if (!injector.enabled()) return;
+
+  using obs::FaultEvent;
+  using obs::FaultEventKind;
+  auto& ledger = obs::FaultLedger::global();
+  const int item = static_cast<int>(stimulus);
+  const int rep = static_cast<int>(shot);
+
+  if (injector.capture_dropout(phone.noise_stream, stimulus, shot)) {
+    record.dropped = true;
+    ledger.record(group, FaultEvent{FaultEventKind::kCaptureDropout, device,
+                                    item, rep, 0, false, 0.0});
+    ledger.record(group, FaultEvent{FaultEventKind::kShotLost, device, item,
+                                    rep, 0, false, 1.0});
+    return;
+  }
+
+  const int max_attempts = std::max(1, injector.plan().max_attempts);
+  std::vector<FaultEvent> events;
+  int attempt = 0;
+  while (attempt < max_attempts &&
+         injector.transient_failure(phone.noise_stream, stimulus, shot,
+                                    attempt)) {
+    events.push_back(FaultEvent{FaultEventKind::kTransientFailure, device,
+                                item, rep, attempt, false, 0.0});
+    ++attempt;
+    if (attempt < max_attempts)
+      events.push_back(FaultEvent{FaultEventKind::kRetry, device, item, rep,
+                                  attempt, false,
+                                  injector.backoff_ms(attempt)});
+  }
+  const bool recovered = attempt < max_attempts;
+  record.capture_attempts = recovered ? attempt + 1 : attempt;
+  if (!recovered) {
+    record.dropped = true;
+    events.push_back(FaultEvent{FaultEventKind::kShotLost, device, item, rep,
+                                attempt - 1, false,
+                                static_cast<double>(attempt)});
+  }
+  for (FaultEvent& e : events) {
+    if (e.kind != FaultEventKind::kShotLost) e.recovered = recovered;
+    ledger.record(group, e);
+  }
+}
+
+}  // namespace
 
 LabRun run_lab_rig(const std::vector<PhoneProfile>& fleet,
                    const LabRigConfig& config) {
@@ -19,19 +84,21 @@ LabRun run_lab_rig(const std::vector<PhoneProfile>& fleet,
   ES_CHECK(!config.angles.empty());
   ES_CHECK(config.shots_per_stimulus >= 1);
 
-  // Drift-audit group for this rig run. A process can run the rig more
-  // than once (end-to-end rig, then the raw bank's rig); stimulus ids
-  // restart from 0 each time, so each run gets its own group name to
-  // keep reference artifacts from colliding. The string outlives every
-  // scope below.
+  // Group name for this rig run, shared by the drift auditor and the
+  // fault ledger. A process can run the rig more than once (end-to-end
+  // rig, then the raw bank's rig); stimulus ids restart from 0 each
+  // time, so each run gets its own group name to keep reference
+  // artifacts (and fault tallies) from colliding. The counter advances
+  // unconditionally so group names agree across build flavors. The
+  // string outlives every scope below.
   static std::atomic<int> rig_run_counter{0};
-  std::string drift_group;
+  const int rig_run = rig_run_counter.fetch_add(1, std::memory_order_relaxed);
+  const std::string group =
+      rig_run == 0 ? "capture" : "capture#" + std::to_string(rig_run);
   if (obs::drift_enabled()) {
-    int n = rig_run_counter.fetch_add(1, std::memory_order_relaxed);
-    drift_group = n == 0 ? "capture" : "capture#" + std::to_string(n);
     for (std::size_t p = 0; p < fleet.size(); ++p)
       obs::DriftAuditor::global().set_env_label(
-          drift_group, static_cast<int>(p), fleet[p].name);
+          group, static_cast<int>(p), fleet[p].name);
   }
 
   LabRun run;
@@ -88,16 +155,23 @@ LabRun run_lab_rig(const std::vector<PhoneProfile>& fleet,
             record.angle_index = a;
             record.phone_index = static_cast<int>(p);
             record.repeat = static_cast<int>(shot);
-            Pcg32 rng = runtime::derive_rng(config.seed,
-                                            fleet[p].noise_stream, s, shot);
-            if (obs::drift_enabled() && shot == 0) {
-              // First shot of each stimulus: audit every ISP stage inside
-              // take_photo against the first phone's artifacts.
-              ES_DRIFT_SCOPE(drift_group.c_str(), static_cast<int>(s),
-                             static_cast<int>(p));
-              record.capture = take_photo(fleet[p], emission, rng);
-            } else {
-              record.capture = take_photo(fleet[p], emission, rng);
+            inject_capture_faults(group, fleet[p], static_cast<int>(p), s,
+                                  shot, record);
+            if (!record.dropped) {
+              // A surviving capture draws the same noise stream as a
+              // clean run, so its pixels are bit-identical whether or
+              // not faults were armed around it.
+              Pcg32 rng = runtime::derive_rng(
+                  config.seed, fleet[p].noise_stream, s, shot);
+              if (obs::drift_enabled() && shot == 0) {
+                // First shot of each stimulus: audit every ISP stage
+                // inside take_photo against the first phone's artifacts.
+                ES_DRIFT_SCOPE(group.c_str(), static_cast<int>(s),
+                               static_cast<int>(p));
+                record.capture = take_photo(fleet[p], emission, rng);
+              } else {
+                record.capture = take_photo(fleet[p], emission, rng);
+              }
             }
             run.shots[(s * phones + p) * shots_per + shot] =
                 std::move(record);

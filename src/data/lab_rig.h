@@ -23,6 +23,11 @@ struct LabShot {
   int angle_index = 0;   ///< 0..angles-1 (left..right)
   int phone_index = 0;   ///< index into the fleet
   int repeat = 0;        ///< consecutive-shot index (Figure 1 pairs)
+  /// Capture-site fault accounting (src/fault). A dropped shot carries an
+  /// empty capture and must be skipped by consumers; capture_attempts
+  /// counts how many tries the phone needed (1 on a clean run).
+  bool dropped = false;
+  int capture_attempts = 1;
   Capture capture;
 };
 

@@ -53,6 +53,33 @@ ImageU8 decode_capture(const Capture& capture,
   return codec->decode(capture.file);
 }
 
+DecodeResult try_decode_capture(const Capture& capture,
+                                const JpegDecodeOptions& os_decoder) {
+  ES_TRACE_SCOPE("device", "decode_capture");
+  try {
+    if (capture.format == ImageFormat::kJpegLike) {
+      // Constructing the codec validates the quality field, which on a
+      // dropped or mangled capture may itself be garbage.
+      JpegLikeCodec codec(capture.quality, os_decoder);
+      return codec.try_decode(capture.file);
+    }
+    auto codec = try_make_codec(capture.format, capture.quality);
+    if (!codec) {
+      DecodeResult result;
+      result.status = DecodeStatus::kUnknownFormat;
+      result.message = "unknown storage format " +
+                       std::to_string(static_cast<int>(capture.format));
+      return result;
+    }
+    return codec->try_decode(capture.file);
+  } catch (const CheckError& e) {
+    DecodeResult result;
+    result.status = DecodeStatus::kBadHeader;
+    result.message = e.what();
+    return result;
+  }
+}
+
 Image develop_raw(const RawImage& raw, const IspConfig& software_isp) {
   ES_TRACE_SCOPE("device", "develop_raw");
   return run_isp(raw, software_isp);

@@ -29,9 +29,17 @@ Capture take_photo(const PhoneProfile& phone, const Image& screen_emission,
 
 /// Decode a capture's stored bytes with a given OS decoder behaviour
 /// (inference may happen on a different device than the one that took
-/// the photo).
+/// the photo). Aborts (CheckError) on malformed bytes — use
+/// try_decode_capture when the payload may have been corrupted in
+/// transit.
 ImageU8 decode_capture(const Capture& capture,
                        const JpegDecodeOptions& os_decoder);
+
+/// Total variant of decode_capture for untrusted payloads: malformed
+/// bytes, an empty capture (dropout) or an out-of-enum format come back
+/// as a typed DecodeResult instead of killing the process.
+DecodeResult try_decode_capture(const Capture& capture,
+                                const JpegDecodeOptions& os_decoder);
 
 /// Convert a raw capture with a software ISP (the §9.2 consistent
 /// pipeline), producing a display-referred image.

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/fault_ledger.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
@@ -192,6 +193,59 @@ std::string drift_json(const DriftAuditor& auditor,
   }
   w.end_array();
 
+  // Only faulted runs carry the section — a clean run's report stays
+  // byte-identical to one from a tree without fault injection.
+  const std::vector<FaultGroupSummary> fault_groups =
+      FaultLedger::global().summaries();
+  if (fault_groups.empty()) {
+    w.end_object();
+    return w.take();
+  }
+  w.key("fault_ledger");
+  w.begin_array();
+  for (const FaultGroupSummary& g : fault_groups) {
+    w.begin_object();
+    w.key("group").value(g.group);
+    w.key("total_events").value(g.total_events);
+    w.key("shots_lost").value(g.shots_lost);
+    w.key("quarantined_devices").value(g.quarantined_devices);
+    w.key("events_by_kind");
+    w.begin_array();
+    for (const auto& [kind, n] : g.events_by_kind) {
+      w.begin_object();
+      w.key("kind").value(
+          fault_event_kind_name(static_cast<FaultEventKind>(kind)));
+      w.key("count").value(n);
+      w.end_object();
+    }
+    w.end_array();
+    w.key("devices");
+    w.begin_array();
+    for (const DeviceFaultRow& row : g.devices) {
+      w.begin_object();
+      w.key("device").value(row.device);
+      w.key("device_label").value(auditor.env_label(g.group, row.device));
+      w.key("dropouts").value(row.dropouts);
+      w.key("transient_failures").value(row.transient_failures);
+      w.key("payload_bit_flips").value(row.payload_bit_flips);
+      w.key("payload_truncations").value(row.payload_truncations);
+      w.key("stragglers").value(row.stragglers);
+      w.key("retries").value(row.retries);
+      w.key("decode_failures").value(row.decode_failures);
+      w.key("shots_lost").value(row.shots_lost);
+      w.key("quarantined").value(row.quarantined);
+      w.key("quarantined_from_item").value(row.quarantined_from_item);
+      w.key("total_delay_ms").value(row.total_delay_ms);
+      w.end_object();
+    }
+    w.end_array();
+    w.key("entries_recorded")
+        .value(static_cast<std::int64_t>(g.entries.size()));
+    w.key("entries_dropped").value(g.dropped_entries);
+    w.end_object();
+  }
+  w.end_array();
+
   w.end_object();
   return w.take();
 }
@@ -345,6 +399,49 @@ std::string drift_html(const DriftAuditor& auditor,
     }
   }
 
+  // --- Fault accounting ---------------------------------------------------
+  std::vector<FaultGroupSummary> fault_groups =
+      FaultLedger::global().summaries();
+  if (!fault_groups.empty()) {
+    html += "<h2>Fault accounting</h2>\n";
+    for (const FaultGroupSummary& g : fault_groups) {
+      html += "<h3>" + html_escape(g.group) + "</h3>\n";
+      html += "<table class=\"fault-summary\">\n";
+      html +=
+          "<tr><th>events</th><th>shots lost</th>"
+          "<th>quarantined devices</th></tr>\n<tr>";
+      td(html, std::to_string(g.total_events));
+      td(html, std::to_string(g.shots_lost));
+      td(html, std::to_string(g.quarantined_devices));
+      html += "</tr>\n</table>\n";
+
+      html += "<table class=\"fault-devices\">\n";
+      html +=
+          "<tr><th class=l>device</th><th>dropouts</th><th>transient</th>"
+          "<th>bit flips</th><th>truncations</th><th>stragglers</th>"
+          "<th>retries</th><th>decode fail</th><th>shots lost</th>"
+          "<th>quarantined</th><th>delay ms</th></tr>\n";
+      for (const DeviceFaultRow& row : g.devices) {
+        html += "<tr>";
+        td(html, auditor.env_label(g.group, row.device), true);
+        td(html, std::to_string(row.dropouts));
+        td(html, std::to_string(row.transient_failures));
+        td(html, std::to_string(row.payload_bit_flips));
+        td(html, std::to_string(row.payload_truncations));
+        td(html, std::to_string(row.stragglers));
+        td(html, std::to_string(row.retries));
+        td(html, std::to_string(row.decode_failures));
+        td(html, std::to_string(row.shots_lost));
+        td(html, row.quarantined
+                     ? "from item " + std::to_string(row.quarantined_from_item)
+                     : "no");
+        td(html, fmt(row.total_delay_ms, 1));
+        html += "</tr>\n";
+      }
+      html += "</table>\n";
+    }
+  }
+
   html += "</body></html>\n";
   return html;
 }
@@ -413,6 +510,25 @@ bool export_run_artifacts(const std::string& bench_name,
                    static_cast<unsigned long long>(tracer.dropped()));
       ok = false;
     }
+  }
+
+  // Fault accounting goes to the manifest in every build flavor (the
+  // drift report carries the per-device detail when drift is compiled
+  // in) — a faulted run must be distinguishable from a clean one by its
+  // meta.json alone.
+  const FaultLedger& faults = FaultLedger::global();
+  if (!faults.empty()) {
+    manifest.add_digest("fault_ledger", faults.digest());
+    int events = 0, lost = 0, quarantined = 0;
+    for (const FaultGroupSummary& g : faults.summaries()) {
+      events += g.total_events;
+      lost += g.shots_lost;
+      quarantined += g.quarantined_devices;
+    }
+    manifest.set_field("fault_events", static_cast<double>(events));
+    manifest.set_field("fault_shots_lost", static_cast<double>(lost));
+    manifest.set_field("fault_quarantined_devices",
+                       static_cast<double>(quarantined));
   }
 
   if (kDriftCompiledIn && DriftAuditor::global().enabled()) {

@@ -1,0 +1,55 @@
+# Builds the tree with -DEDGESTAB_ASAN=ON in a child build tree and runs
+# the decoder fuzz harness (test_codec_fuzz) under AddressSanitizer +
+# UBSan. The harness itself asserts try_decode is total over arbitrary
+# bytes; this run adds the memory-safety half of the claim — no heap
+# overrun, use-after-free or undefined shift survives a corrupt stream.
+# -fno-sanitize-recover=all makes the first finding abort the binary, so
+# any report fails the test.
+#
+# Expected -D variables: SOURCE_DIR, WORK_DIR.
+foreach(var SOURCE_DIR WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "check_asan_smoke: ${var} not set")
+  endif()
+endforeach()
+
+set(build_dir "${WORK_DIR}/asan_build")
+message(STATUS "==== asan_smoke: configure ====")
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -S "${SOURCE_DIR}" -B "${build_dir}"
+    -DCMAKE_BUILD_TYPE=Release
+    -DEDGESTAB_ASAN=ON
+  RESULT_VARIABLE rc
+  OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "asan_smoke: configure failed with ${rc}")
+endif()
+
+message(STATUS "==== asan_smoke: build test_codec_fuzz ====")
+include(ProcessorCount)
+ProcessorCount(ncpu)
+if(ncpu EQUAL 0)
+  set(ncpu 2)
+endif()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} --build "${build_dir}"
+    --target test_codec_fuzz --parallel ${ncpu}
+  RESULT_VARIABLE rc
+  OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "asan_smoke: build failed with ${rc}")
+endif()
+
+message(STATUS "==== asan_smoke: run fuzz harness under ASan/UBSan ====")
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env
+    "ASAN_OPTIONS=halt_on_error=1:detect_leaks=0"
+    "${build_dir}/tests/test_codec_fuzz"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+    "asan_smoke: fuzz harness exited with ${rc} (an ASan/UBSan report or "
+    "test failure fails the run; see output above)")
+endif()
+
+message(STATUS "asan_smoke OK — decoder fuzzing clean under ASan/UBSan")

@@ -71,7 +71,9 @@ TEST(BitIo, ReadPastEndThrows) {
   Bytes data = bw.finish();
   BitReader br(data);
   br.get(8);
-  EXPECT_THROW(br.get(1), CheckError);
+  // Over-reading is a data error (truncated stream), not a programmer
+  // error: it throws the typed DecodeError so try_decode can trap it.
+  EXPECT_THROW(br.get(1), DecodeError);
 }
 
 TEST(Huffman, RoundTripRandomSymbols) {

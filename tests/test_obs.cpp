@@ -13,10 +13,12 @@
 #include <fstream>
 #include <string>
 #include <thread>
+#include <tuple>
 #include <vector>
 
 #include "image/image.h"
 #include "obs/drift.h"
+#include "obs/fault_ledger.h"
 #include "obs/flip_ledger.h"
 #include "obs/json.h"
 #include "obs/obs.h"
@@ -735,6 +737,124 @@ TEST(FlipLedger, MergeIsShardOrderIndependent) {
     EXPECT_EQ(s->entries[i].env_correct,
               whole.find_group("g")->entries[i].env_correct);
   }
+}
+
+// ---- Fault ledger -----------------------------------------------------------
+
+FaultEvent fault_event(FaultEventKind kind, int device, int item, int shot,
+                       int attempt = 0, double detail = 0.0) {
+  return FaultEvent{kind, device, item, shot, attempt, false, detail};
+}
+
+TEST(FaultLedger, SummariesTallyPerDeviceAndKind) {
+  FaultLedger ledger;
+  ledger.record("g", fault_event(FaultEventKind::kCaptureDropout, 0, 1, 0));
+  ledger.record("g", fault_event(FaultEventKind::kShotLost, 0, 1, 0, 0, 1));
+  ledger.record("g",
+                fault_event(FaultEventKind::kPayloadBitFlip, 1, 2, 0, 0, 3));
+  ledger.record("g",
+                fault_event(FaultEventKind::kStragglerDelay, 1, 2, 0, 0, 80));
+  ledger.record("g", fault_event(FaultEventKind::kRetry, 1, 2, 0, 1, 20));
+  ledger.record("g", fault_event(FaultEventKind::kQuarantine, 1, 4, 0, 0, 2));
+  ledger.record("other", fault_event(FaultEventKind::kShotLost, 0, 0, 0));
+
+  auto g = ledger.find_group("g");
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->total_events, 6);
+  EXPECT_EQ(g->shots_lost, 1);
+  EXPECT_EQ(g->quarantined_devices, 1);
+  ASSERT_EQ(g->devices.size(), 2u);
+  EXPECT_EQ(g->devices[0].device, 0);
+  EXPECT_EQ(g->devices[0].dropouts, 1);
+  EXPECT_EQ(g->devices[0].shots_lost, 1);
+  EXPECT_FALSE(g->devices[0].quarantined);
+  EXPECT_EQ(g->devices[1].device, 1);
+  EXPECT_EQ(g->devices[1].payload_bit_flips, 1);
+  EXPECT_EQ(g->devices[1].stragglers, 1);
+  EXPECT_EQ(g->devices[1].retries, 1);
+  // Straggler + backoff time both land in the synthetic delay total.
+  EXPECT_DOUBLE_EQ(g->devices[1].total_delay_ms, 100.0);
+  EXPECT_TRUE(g->devices[1].quarantined);
+  EXPECT_EQ(g->devices[1].quarantined_from_item, 4);
+
+  EXPECT_FALSE(ledger.find_group("missing").has_value());
+  ASSERT_TRUE(ledger.find_group("other").has_value());
+  EXPECT_EQ(ledger.find_group("other")->shots_lost, 1);
+}
+
+TEST(FaultLedger, EntriesAreCanonicallySorted) {
+  // Record in scrambled (completion) order; the summary must come back
+  // in coordinate order regardless.
+  FaultLedger ledger;
+  ledger.record("g", fault_event(FaultEventKind::kShotLost, 1, 0, 1));
+  ledger.record("g", fault_event(FaultEventKind::kCaptureDropout, 0, 2, 0));
+  ledger.record("g", fault_event(FaultEventKind::kCaptureDropout, 1, 0, 0));
+  ledger.record("g", fault_event(FaultEventKind::kCaptureDropout, 0, 1, 0));
+
+  auto g = ledger.find_group("g");
+  ASSERT_TRUE(g.has_value());
+  ASSERT_EQ(g->entries.size(), 4u);
+  for (std::size_t i = 1; i < g->entries.size(); ++i) {
+    const FaultEvent& a = g->entries[i - 1];
+    const FaultEvent& b = g->entries[i];
+    EXPECT_LE(std::tie(a.device, a.item, a.shot),
+              std::tie(b.device, b.item, b.shot));
+  }
+  EXPECT_EQ(g->entries[0].device, 0);
+  EXPECT_EQ(g->entries[0].item, 1);
+}
+
+TEST(FaultLedger, MergeIsShardOrderIndependent) {
+  // The same events recorded whole vs. sharded across two ledgers in
+  // scrambled order (as parallel lanes would) must merge to identical
+  // tallies and digest — the property the faulted determinism test
+  // leans on.
+  std::vector<FaultEvent> events = {
+      fault_event(FaultEventKind::kCaptureDropout, 0, 0, 0),
+      fault_event(FaultEventKind::kShotLost, 0, 0, 0, 0, 1),
+      fault_event(FaultEventKind::kPayloadBitFlip, 1, 1, 0, 0, 2),
+      fault_event(FaultEventKind::kRetry, 1, 1, 0, 1, 20),
+      fault_event(FaultEventKind::kShotLost, 2, 3, 1, 1, 2),
+      fault_event(FaultEventKind::kQuarantine, 2, 4, 0, 0, 2),
+  };
+  FaultLedger whole;
+  for (const FaultEvent& e : events) whole.record("g", e);
+
+  FaultLedger shard_a, shard_b;
+  for (std::size_t i : {3u, 0u, 5u}) shard_a.record("g", events[i]);
+  for (std::size_t i : {4u, 2u, 1u}) shard_b.record("g", events[i]);
+
+  FaultLedger merged_ab, merged_ba;
+  merged_ab.merge(shard_a);
+  merged_ab.merge(shard_b);
+  merged_ba.merge(shard_b);
+  merged_ba.merge(shard_a);
+
+  EXPECT_EQ(merged_ab.digest(), whole.digest());
+  EXPECT_EQ(merged_ba.digest(), whole.digest());
+  auto s = merged_ab.find_group("g");
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->total_events, 6);
+  EXPECT_EQ(s->shots_lost, 2);
+  EXPECT_EQ(s->quarantined_devices, 1);
+}
+
+TEST(FaultLedger, DigestTracksContentAndClearResets) {
+  FaultLedger a, b;
+  EXPECT_TRUE(a.empty());
+  EXPECT_EQ(a.digest(), b.digest());
+  a.record("g", fault_event(FaultEventKind::kShotLost, 0, 0, 0));
+  EXPECT_FALSE(a.empty());
+  EXPECT_NE(a.digest(), b.digest());
+  b.record("g", fault_event(FaultEventKind::kShotLost, 0, 0, 0));
+  EXPECT_EQ(a.digest(), b.digest());
+  // Same coordinates, different kind -> different digest.
+  FaultLedger c;
+  c.record("g", fault_event(FaultEventKind::kCaptureDropout, 0, 0, 0));
+  EXPECT_NE(a.digest(), c.digest());
+  a.clear();
+  EXPECT_TRUE(a.empty());
+  EXPECT_EQ(a.digest(), FaultLedger().digest());
 }
 
 // ---- Drift report exporters -------------------------------------------------

@@ -18,9 +18,11 @@
 #include "core/experiment.h"
 #include "data/lab_rig.h"
 #include "device/fleets.h"
+#include "fault/fault.h"
 #include "nn/mobilenet.h"
 #include "nn/model.h"
 #include "obs/drift.h"
+#include "obs/fault_ledger.h"
 #include "obs/obs.h"
 #include "runtime/parallel.h"
 #include "runtime/seed.h"
@@ -236,6 +238,9 @@ struct EndToEndDigests {
   std::uint64_t observations = 0;
   std::uint64_t ledger = 0;
   std::uint64_t drift = 0;
+  std::uint64_t faults = 0;      ///< fault-ledger fingerprint (0 clean)
+  std::uint64_t resilience = 0;  ///< coverage/quarantine fingerprint
+  int shots_lost = 0;
 };
 
 // The lab rig names each run's drift group "capture", "capture#1", ...
@@ -247,12 +252,21 @@ std::string base_group(const std::string& group) {
 
 // One smoke-size end-to-end run (untrained mini model, 3 phones,
 // 2 angles x 2 shots) at the given lane count, reduced to fingerprints
-// of everything the paper's tables are built from.
-EndToEndDigests run_fixture(int threads) {
+// of everything the paper's tables are built from. When `faulted`, the
+// run executes under an aggressive fault plan — the fault schedule and
+// the resulting retries / quarantines / coverage accounting must be
+// just as lane-count-invariant as the clean numbers.
+EndToEndDigests run_fixture(int threads, bool faulted = false) {
   runtime::ThreadPool::set_global_threads(threads);
   auto& auditor = obs::DriftAuditor::global();
   auditor.clear();
   if (obs::kDriftCompiledIn) auditor.set_enabled(true);
+  obs::FaultLedger::global().clear();
+  if (faulted) {
+    fault::FaultInjector::global().configure(fault::parse_fault_plan(
+        "dropout=0.1,transient=0.1,bitflip=0.2,truncate=0.1,"
+        "straggler=0.2,burst=0.4,attempts=2,quarantine_after=2"));
+  }
 
   MobileNetConfig config;
   Model model = build_mini_mobilenet_v2(config);
@@ -308,6 +322,64 @@ EndToEndDigests run_fixture(int threads) {
     auditor.set_enabled(false);
     auditor.clear();
   }
+
+  const FleetResilienceStats& res = result.resilience;
+  Fingerprint res_fp;
+  res_fp.add(res.faults_active ? 1 : 0)
+      .add(res.device_count)
+      .add(res.item_count)
+      .add(res.total_shots)
+      .add(res.shots_lost)
+      .add(res.shots_excluded)
+      .add(res.quarantined_devices)
+      .add(res.items_fully_covered)
+      .add(res.items_degraded)
+      .add(res.items_lost)
+      .add(res.mean_coverage);
+  for (int v : res.quarantined_from_item) res_fp.add(v);
+  for (int v : res.usable_shots_by_device) res_fp.add(v);
+  for (int v : res.coverage_histogram) res_fp.add(v);
+  d.resilience = res_fp.value();
+  d.shots_lost = res.shots_lost;
+
+  // Fingerprint the fault ledger via base_group for the same reason as
+  // the drift summaries: the capture group name carries a per-process
+  // run counter.
+  Fingerprint fault_fp;
+  for (const auto& g : obs::FaultLedger::global().summaries()) {
+    fault_fp.add(base_group(g.group))
+        .add(g.total_events)
+        .add(g.shots_lost)
+        .add(g.quarantined_devices)
+        .add(g.dropped_entries);
+    for (const auto& [kind, count] : g.events_by_kind)
+      fault_fp.add(kind).add(count);
+    for (const auto& row : g.devices)
+      fault_fp.add(row.device)
+          .add(row.dropouts)
+          .add(row.transient_failures)
+          .add(row.payload_bit_flips)
+          .add(row.payload_truncations)
+          .add(row.stragglers)
+          .add(row.retries)
+          .add(row.decode_failures)
+          .add(row.shots_lost)
+          .add(row.quarantined ? 1 : 0)
+          .add(row.quarantined_from_item)
+          .add(row.total_delay_ms);
+    for (const auto& e : g.entries)
+      fault_fp.add(static_cast<int>(e.kind))
+          .add(e.device)
+          .add(e.item)
+          .add(e.shot)
+          .add(e.attempt)
+          .add(e.recovered ? 1 : 0)
+          .add(e.detail);
+  }
+  d.faults = fault_fp.value();
+
+  fault::FaultInjector::global().reset();
+  obs::FaultLedger::global().clear();
   return d;
 }
 
@@ -323,6 +395,31 @@ TEST(RuntimeDeterminism, EndToEndBitIdenticalAcrossLaneCounts) {
   EXPECT_EQ(one.ledger, eight.ledger);
   EXPECT_EQ(one.drift, two.drift);
   EXPECT_EQ(one.drift, eight.drift);
+}
+
+TEST(RuntimeDeterminism, FaultedEndToEndBitIdenticalAcrossLaneCounts) {
+  PoolWidthGuard guard;
+  EndToEndDigests one = run_fixture(1, /*faulted=*/true);
+  EndToEndDigests two = run_fixture(2, /*faulted=*/true);
+  EndToEndDigests eight = run_fixture(8, /*faulted=*/true);
+
+  EXPECT_EQ(one.observations, two.observations);
+  EXPECT_EQ(one.observations, eight.observations);
+  EXPECT_EQ(one.ledger, two.ledger);
+  EXPECT_EQ(one.ledger, eight.ledger);
+  EXPECT_EQ(one.drift, two.drift);
+  EXPECT_EQ(one.drift, eight.drift);
+  EXPECT_EQ(one.faults, two.faults);
+  EXPECT_EQ(one.faults, eight.faults);
+  EXPECT_EQ(one.resilience, two.resilience);
+  EXPECT_EQ(one.resilience, eight.resilience);
+
+  if (fault::kFaultsCompiledIn) {
+    // The aggressive plan must actually bite, or the test proves nothing.
+    EXPECT_GT(one.shots_lost, 0);
+  } else {
+    EXPECT_EQ(one.shots_lost, 0);
+  }
 }
 
 }  // namespace
