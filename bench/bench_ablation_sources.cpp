@@ -46,39 +46,59 @@ int main(int argc, char** argv) {
   bench_run.record_workspace(ws);
   bench_run.record_rig(rig);
 
+  struct SourceRow {
+    std::string tag;
+    double instability;
+    double min_accuracy;
+    double max_accuracy;
+    int items;
+  };
+  auto fleet = end_to_end_fleet();
+  bench_run.record_fleet(fleet);
+
+  std::vector<SourceRow> rows = bench::run_repeats(bench_run, [&] {
+    std::vector<SourceRow> out;
+    auto measure = [&](const std::string& tag,
+                       const std::vector<PhoneProfile>& f) {
+      EndToEndResult r = run_end_to_end(model, f, rig);
+      double mn = 1.0, mx = 0.0;
+      for (double a : r.accuracy_by_phone) {
+        mn = std::min(mn, a);
+        mx = std::max(mx, a);
+      }
+      out.push_back({tag, r.overall.instability(), mn, mx,
+                     r.overall.total_items});
+    };
+    // Factor toggles at the calibrated operating point.
+    measure("sensor noise only (all unified)",
+            unify(fleet, true, true, true));
+    measure("+ codec differences", unify(fleet, true, false, true));
+    measure("+ ISP differences", unify(fleet, false, true, true));
+    measure("+ sensor/mount differences", unify(fleet, true, true, false));
+    measure("full calibrated fleet", fleet);
+    // Divergence sweep.
+    for (float d : {0.0f, 0.5f, 1.0f, 2.0f, 3.0f, 4.0f})
+      measure("divergence sweep d=" + Table::num(d, 2), end_to_end_fleet(d));
+    return out;
+  });
+
   CsvWriter csv({"configuration", "instability", "min_accuracy",
                  "max_accuracy"});
   Table t({"CONFIGURATION", "INSTABILITY", "ACC MIN", "ACC MAX"});
-  auto run = [&](const std::string& tag,
-                 const std::vector<PhoneProfile>& fleet) {
-    EndToEndResult r = run_end_to_end(model, fleet, rig);
-    double mn = 1.0, mx = 0.0;
-    for (double a : r.accuracy_by_phone) {
-      mn = std::min(mn, a);
-      mx = std::max(mx, a);
-    }
-    t.add_row({tag, Table::pct(r.overall.instability()), Table::pct(mn),
-               Table::pct(mx)});
-    csv.add_row({tag, Table::num(r.overall.instability(), 4),
-                 Table::num(mn, 4), Table::num(mx, 4)});
-    std::printf(".");
-    std::fflush(stdout);
-  };
+  int total_items = 0;
+  for (const SourceRow& row : rows) {
+    t.add_row({row.tag, Table::pct(row.instability),
+               Table::pct(row.min_accuracy), Table::pct(row.max_accuracy)});
+    csv.add_row({row.tag, Table::num(row.instability, 4),
+                 Table::num(row.min_accuracy, 4),
+                 Table::num(row.max_accuracy, 4)});
+    total_items += row.items;
+    if (row.tag == "full calibrated fleet")
+      bench_run.record_metric("full_fleet_instability", row.instability);
+  }
+  bench_run.set_items(total_items);
 
-  // Factor toggles at the calibrated operating point.
-  auto fleet = end_to_end_fleet();
-  bench_run.record_fleet(fleet);
-  run("sensor noise only (all unified)", unify(fleet, true, true, true));
-  run("+ codec differences", unify(fleet, true, false, true));
-  run("+ ISP differences", unify(fleet, false, true, true));
-  run("+ sensor/mount differences", unify(fleet, true, true, false));
-  run("full calibrated fleet", fleet);
-
-  // Divergence sweep.
-  for (float d : {0.0f, 0.5f, 1.0f, 2.0f, 3.0f, 4.0f})
-    run("divergence sweep d=" + Table::num(d, 2), end_to_end_fleet(d));
-
-  std::printf("\n\n%s", t.str().c_str());
+  std::printf("\n%s", t.str().c_str());
   std::printf(
       "\nReading: ISP differences contribute the most, codec differences\n"
       "a moderate amount, sensor/mount little — matching the paper's\n"

@@ -32,41 +32,56 @@ int main(int argc, char** argv) {
   bench_run.record_workspace(ws);
   bench_run.record_rig(rig);
   bench_run.record_fleet(samsung);
-  LabRun run = run_lab_rig(samsung, rig);
-
-  // Deliver + decode both shots of every stimulus. Under fault injection
-  // a pair is only usable when both shots survived capture and delivery;
-  // on a clean run this is exactly the old decode_capture path.
-  std::vector<ShotDelivery> delivered(run.shots.size());
-  for (std::size_t i = 0; i < run.shots.size(); ++i) {
-    const LabShot& shot = run.shots[i];
-    if (shot.dropped) continue;
-    delivered[i] =
-        deliver_shot("fig1_delivery", shot.capture, shot.phone_index,
-                     samsung[0].noise_stream, stimulus_id(run, shot),
-                     shot.repeat);
-  }
-  std::vector<Tensor> inputs;
-  std::vector<std::size_t> pair_start;  // shot-1 index of surviving pairs
-  inputs.reserve(run.shots.size());
-  int lost_pairs = 0;
-  for (std::size_t i = 0; i + 1 < run.shots.size(); i += 2) {
-    if (!delivered[i].usable || !delivered[i + 1].usable) {
-      ++lost_pairs;
-      continue;
+  struct Fig1Result {
+    LabRun run;
+    std::vector<ShotDelivery> delivered;
+    std::vector<std::size_t> pair_start;  // shot-1 index of surviving pairs
+    std::vector<ShotPrediction> preds;
+    int lost_pairs = 0;
+  };
+  // The full compute body — rig, delivery, classification — runs under
+  // run_repeats so `--repeats N` archives N timing samples of it.
+  Fig1Result r = bench::run_repeats(bench_run, [&] {
+    Fig1Result out;
+    out.run = run_lab_rig(samsung, rig);
+    // Deliver + decode both shots of every stimulus. Under fault
+    // injection a pair is only usable when both shots survived capture
+    // and delivery; on a clean run this is exactly the old
+    // decode_capture path.
+    out.delivered.resize(out.run.shots.size());
+    for (std::size_t i = 0; i < out.run.shots.size(); ++i) {
+      const LabShot& shot = out.run.shots[i];
+      if (shot.dropped) continue;
+      out.delivered[i] =
+          deliver_shot("fig1_delivery", shot.capture, shot.phone_index,
+                       samsung[0].noise_stream, stimulus_id(out.run, shot),
+                       shot.repeat);
     }
-    pair_start.push_back(i);
-    inputs.push_back(capture_to_input(delivered[i].image));
-    inputs.push_back(capture_to_input(delivered[i + 1].image));
-  }
-  if (lost_pairs > 0)
+    std::vector<Tensor> inputs;
+    inputs.reserve(out.run.shots.size());
+    for (std::size_t i = 0; i + 1 < out.run.shots.size(); i += 2) {
+      if (!out.delivered[i].usable || !out.delivered[i + 1].usable) {
+        ++out.lost_pairs;
+        continue;
+      }
+      out.pair_start.push_back(i);
+      inputs.push_back(capture_to_input(out.delivered[i].image));
+      inputs.push_back(capture_to_input(out.delivered[i + 1].image));
+    }
+    if (!inputs.empty()) out.preds = classify_inputs(model, inputs, 3);
+    return out;
+  });
+  LabRun& run = r.run;
+  std::vector<ShotDelivery>& delivered = r.delivered;
+  std::vector<std::size_t>& pair_start = r.pair_start;
+  std::vector<ShotPrediction>& preds = r.preds;
+  if (r.lost_pairs > 0)
     std::printf("[fault] %d shot pair(s) lost to injected faults\n",
-                lost_pairs);
-  if (inputs.empty()) {
+                r.lost_pairs);
+  if (preds.empty()) {
     std::printf("all shot pairs lost — nothing to classify\n");
     return bench_run.finish();
   }
-  std::vector<ShotPrediction> preds = classify_inputs(model, inputs, 3);
 
   int stimuli = 0;
   int flips = 0;
@@ -133,6 +148,12 @@ int main(int argc, char** argv) {
       "stimuli while the two shots differ on only a tiny fraction of\n"
       "pixels (the phone was never touched between shots).\n");
 
+  bench_run.set_items(stimuli);
+  bench_run.record_metric("flip_rate",
+                          static_cast<double>(flips) / stimuli);
+  bench_run.record_metric("correct_incorrect_flip_rate",
+                          static_cast<double>(figure_like_flips) / stimuli);
+  bench_run.record_metric("mean_pixel_diff_5pct", diff_stats.mean());
   bench_run.write_csv(csv, "fig1_temporal.csv");
   return bench_run.finish();
 }

@@ -24,9 +24,11 @@ int main(int argc, char** argv) {
   run.record_fleet(fleet);
 
   WallTimer timer;
-  EndToEndResult r = run_end_to_end(model, fleet, rig);
+  EndToEndResult r = bench::run_repeats(
+      run, [&] { return run_end_to_end(model, fleet, rig); });
   std::printf("captured + classified %d stimuli x %zu phones in %.1fs\n",
               r.overall.total_items, fleet.size(), timer.seconds());
+  run.set_items(static_cast<double>(r.overall.total_items));
 
   // (a) Accuracy by phone.
   {
@@ -102,6 +104,18 @@ int main(int argc, char** argv) {
         "models.\n",
         mean_within * 100.0, r.overall.instability() * 100.0);
     run.write_csv(csv, "fig3d_within_phone.csv");
+  }
+  // Headline metrics the regression sentinel guards across runs.
+  {
+    double mean_accuracy = 0.0;
+    double mean_within = 0.0;
+    for (std::size_t p = 0; p < fleet.size(); ++p) {
+      mean_accuracy += r.accuracy_by_phone[p] / fleet.size();
+      mean_within += r.within_phone_instability[p] / fleet.size();
+    }
+    run.record_metric("group_instability", r.overall.instability());
+    run.record_metric("mean_accuracy", mean_accuracy);
+    run.record_metric("mean_within_phone_instability", mean_within);
   }
   bench::report_resilience(run, r.resilience);
   bench::check_fault_ledger(run, "capture", "end_to_end", r.resilience);

@@ -35,8 +35,10 @@ int main(int argc, char** argv) {
   run.record_workspace(ws);
   run.record_rig(rig);
   run.record_fleet(fleet);
-  EndToEndResult r = run_end_to_end(model, fleet, rig);
+  EndToEndResult r = bench::run_repeats(
+      run, [&] { return run_end_to_end(model, fleet, rig); });
   ConfidenceSplit split = split_confidences(r.observations);
+  run.set_items(static_cast<double>(r.overall.total_items));
 
   std::printf("\n(a) Stable images (all phones agree)\n");
   print_distribution("  stable & correct  ", split.stable_correct);
@@ -64,6 +66,12 @@ int main(int argc, char** argv) {
   dump("stable_incorrect", split.stable_incorrect);
   dump("unstable_correct", split.unstable_correct);
   dump("unstable_incorrect", split.unstable_incorrect);
+  run.record_metric("stable_correct_confidence_mean",
+                    mean_of(split.stable_correct));
+  run.record_metric("unstable_correct_confidence_mean",
+                    mean_of(split.unstable_correct));
+  run.record_metric("unstable_incorrect_confidence_mean",
+                    mean_of(split.unstable_incorrect));
   run.write_csv(csv, "fig4_confidence.csv");
   return run.finish();
 }

@@ -20,8 +20,11 @@ int main(int argc, char** argv) {
   run.record_workspace(ws);
   run.record_rig(rig);
   run.record_fleet(fleet);
-  std::vector<RawShot> bank = collect_raw_bank(fleet, rig);
-  RawVsJpegResult r = run_raw_vs_jpeg(model, fleet, bank);
+  RawVsJpegResult r = bench::run_repeats(run, [&] {
+    std::vector<RawShot> bank = collect_raw_bank(fleet, rig);
+    return run_raw_vs_jpeg(model, fleet, bank);
+  });
+  run.set_items(static_cast<double>(r.jpeg_instability.total_items));
 
   // (a) Aggregate instability.
   {
@@ -82,6 +85,8 @@ int main(int argc, char** argv) {
     run.manifest().set_field("fault_shots_lost_run",
                              static_cast<double>(r.jpeg_shots_lost));
   }
+  run.record_metric("jpeg_instability", r.jpeg_instability.instability());
+  run.record_metric("raw_instability", r.raw_instability.instability());
   bench::check_flip_ledger(run, "phone_pipeline", r.jpeg_instability);
   bench::check_flip_ledger(run, "raw_pipeline", r.raw_instability);
   return run.finish();

@@ -17,7 +17,9 @@ int main(int argc, char** argv) {
   run.record_workspace(ws);
   run.record_rig(rig);
   run.record_fleet(fleet);
-  EndToEndResult r = run_end_to_end(model, fleet, rig);
+  EndToEndResult r = bench::run_repeats(
+      run, [&] { return run_end_to_end(model, fleet, rig); });
+  run.set_items(static_cast<double>(r.overall.total_items));
 
   // (a) Accuracy.
   {
@@ -50,5 +52,7 @@ int main(int argc, char** argv) {
     csv.add_row({"3", Table::num(r.overall_top3.instability(), 4)});
     run.write_csv(csv, "fig9b_top3_instability.csv");
   }
+  run.record_metric("top1_instability", r.overall.instability());
+  run.record_metric("top3_instability", r.overall_top3.instability());
   return run.finish();
 }

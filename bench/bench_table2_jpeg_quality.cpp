@@ -18,12 +18,18 @@ int main(int argc, char** argv) {
   run.record_workspace(ws);
   run.record_rig(rig);
   run.record_fleet(fleet);
-  std::vector<RawShot> bank = collect_raw_bank(fleet, rig);
+  struct Table2Result {
+    std::size_t bank_size = 0;
+    CompressionResult result;
+  };
+  auto [bank_size, r] = bench::run_repeats(run, [&] {
+    std::vector<RawShot> bank = collect_raw_bank(fleet, rig);
+    return Table2Result{
+        bank.size(), run_jpeg_quality_experiment(model, bank, {100, 85, 50})};
+  });
   std::printf("raw bank: %zu photos (Samsung + iPhone analogues)\n",
-              bank.size());
-
-  CompressionResult r =
-      run_jpeg_quality_experiment(model, bank, {100, 85, 50});
+              bank_size);
+  run.set_items(static_cast<double>(r.instability.total_items));
 
   Table t({"METRIC", "JPEG 100", "JPEG 85", "JPEG 50"});
   t.add_row({"AVG. SIZE [KB]", Table::kb(r.conditions[0].avg_size_bytes),
@@ -47,6 +53,13 @@ int main(int argc, char** argv) {
     csv.add_row({c.label, Table::num(c.avg_size_bytes, 1),
                  Table::num(c.accuracy, 4),
                  Table::num(r.instability.instability(), 4)});
+  run.record_metric("instability", r.instability.instability());
+  for (const auto& c : r.conditions) {
+    std::string label = c.label;  // "JPEG 100" → "JPEG_100"
+    for (char& ch : label)
+      if (ch == ' ') ch = '_';
+    run.record_metric("avg_size_bytes_" + label, c.avg_size_bytes);
+  }
   run.write_csv(csv, "table2_jpeg_quality.csv");
   return run.finish();
 }

@@ -17,10 +17,12 @@ int main(int argc, char** argv) {
   run.record_workspace(ws);
   run.record_rig(rig);
   run.record_fleet(fleet);
-  std::vector<RawShot> bank = collect_raw_bank(fleet, rig);
-
-  CompressionResult r = run_format_experiment(model, bank);
+  CompressionResult r = bench::run_repeats(run, [&] {
+    std::vector<RawShot> bank = collect_raw_bank(fleet, rig);
+    return run_format_experiment(model, bank);
+  });
   ES_CHECK(r.conditions.size() == 4);
+  run.set_items(static_cast<double>(r.instability.total_items));
 
   Table t({"METRIC", "JPEG", "PNG", "WEBP", "HEIF"});
   std::vector<std::string> sizes{"AVG. SIZE [KB]"};
@@ -45,6 +47,9 @@ int main(int argc, char** argv) {
     csv.add_row({c.label, Table::num(c.avg_size_bytes, 1),
                  Table::num(c.accuracy, 4),
                  Table::num(r.instability.instability(), 4)});
+  run.record_metric("instability", r.instability.instability());
+  for (const auto& c : r.conditions)
+    run.record_metric("avg_size_bytes_" + c.label, c.avg_size_bytes);
   run.write_csv(csv, "table3_formats.csv");
   return run.finish();
 }

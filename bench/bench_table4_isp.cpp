@@ -22,9 +22,11 @@ int main(int argc, char** argv) {
   run.record_fleet(fleet);
   run.manifest().add_digest("isp_magick", isp_digest(magick_isp()));
   run.manifest().add_digest("isp_photo", isp_digest(photo_isp()));
-  std::vector<RawShot> bank = collect_raw_bank(fleet, rig);
-
-  IspResult r = run_isp_experiment(model, bank, {magick_isp(), photo_isp()});
+  IspResult r = bench::run_repeats(run, [&] {
+    std::vector<RawShot> bank = collect_raw_bank(fleet, rig);
+    return run_isp_experiment(model, bank, {magick_isp(), photo_isp()});
+  });
+  run.set_items(static_cast<double>(r.instability.total_items));
 
   Table t({"METRIC", "RESULT"});
   t.add_row({"ADOBE-LIKE (photo_isp) ACCURACY", Table::pct(r.accuracy[1], 2)});
@@ -41,6 +43,9 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < r.isp_names.size(); ++i)
     csv.add_row({r.isp_names[i], Table::num(r.accuracy[i], 4),
                  Table::num(r.instability.instability(), 4)});
+  run.record_metric("instability", r.instability.instability());
+  run.record_metric("magick_accuracy", r.accuracy[0]);
+  run.record_metric("photo_accuracy", r.accuracy[1]);
   run.write_csv(csv, "table4_isp.csv");
   bench::check_flip_ledger(run, "software_isp", r.instability);
   return run.finish();

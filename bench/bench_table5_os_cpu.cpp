@@ -22,7 +22,9 @@ int main(int argc, char** argv) {
   run.manifest().set_seed(config.seed);
   run.manifest().set_field("images_per_class",
                            static_cast<double>(config.images_per_class));
-  OsCpuResult r = run_os_cpu_experiment(model, fleet, config);
+  OsCpuResult r = bench::run_repeats(
+      run, [&] { return run_os_cpu_experiment(model, fleet, config); });
+  run.set_items(static_cast<double>(r.jpeg_instability.total_items));
 
   Table t({"PHONE", "SOC", "JPEG DECODE MD5", "PNG DECODE MD5"});
   CsvWriter csv({"phone", "soc", "jpeg_md5", "png_md5"});
@@ -59,6 +61,20 @@ int main(int argc, char** argv) {
   summary.add_row({"jpeg", Table::num(r.jpeg_instability.instability(), 5)});
   summary.add_row({"png", Table::num(r.png_instability.instability(), 5)});
   run.write_csv(summary, "table5_summary.csv");
+  run.record_metric("jpeg_instability", r.jpeg_instability.instability());
+  run.record_metric("png_instability", r.png_instability.instability());
+  {
+    // The paper's §7 diagnosis hinges on which phones share a decode
+    // stream — guard the joined MD5 streams as a digest metric.
+    std::string joined;
+    for (std::size_t p = 0; p < r.phone_names.size(); ++p) {
+      joined += r.jpeg_decode_md5[p];
+      joined += '|';
+      joined += r.png_decode_md5[p];
+      joined += ';';
+    }
+    run.record_digest_metric("decode_md5_streams", joined);
+  }
   bench::check_flip_ledger(run, "os_jpeg", r.jpeg_instability);
   bench::check_flip_ledger(run, "os_png", r.png_instability);
   return run.finish();

@@ -45,9 +45,12 @@ int main(int argc, char** argv) {
                            static_cast<double>(config.fleet_divergence));
 
   WallTimer timer;
-  StabilityGridResult grid = run_stability_grid(ws, config);
+  StabilityGridResult grid = bench::run_repeats(
+      run, [&] { return run_stability_grid(ws, config); });
   std::printf("grid complete in %.1fs (fine-tuned models are cached)\n",
               timer.seconds());
+  run.set_items(
+      static_cast<double>(grid.embedding_rows.size() + grid.kl_rows.size()));
 
   std::printf("\nBase model (no fine-tuning) instability: %s\n",
               Table::pct(grid.base_model_instability, 2).c_str());
@@ -87,6 +90,8 @@ int main(int argc, char** argv) {
       "close behind (4.22%%); distortion+KL is the best scheme that needs\n"
       "no new data collection (4.52%%).\n");
 
+  run.record_metric("base_model_instability", grid.base_model_instability);
+  run.record_metric("best_scheme_instability", best);
   run.write_csv(csv, "table6_stability_training.csv");
   return run.finish();
 }

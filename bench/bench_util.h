@@ -10,6 +10,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <filesystem>
 #include <string>
 #include <vector>
@@ -20,9 +21,11 @@
 #include "data/lab_rig.h"
 #include "device/fleets.h"
 #include "fault/fault.h"
+#include "obs/baseline.h"
 #include "obs/drift.h"
 #include "obs/fault_ledger.h"
 #include "obs/obs.h"
+#include "obs/progress.h"
 #include "obs/report.h"
 #include "runtime/thread_pool.h"
 #include "util/csv.h"
@@ -141,10 +144,11 @@ class Run {
         static_cast<double>(runtime::ThreadPool::global().threads()));
   }
 
-  /// Same, but also honors `--threads N` and `--faults SPEC` flags on
-  /// the bench command line; the effective lane count and the armed
-  /// fault plan land in the provenance manifest so a result row names
-  /// the parallelism and fault schedule that produced it.
+  /// Same, but also honors `--threads N`, `--faults SPEC`, `--repeats N`
+  /// and `--progress` flags on the bench command line; the effective
+  /// lane count and the armed fault plan land in the provenance manifest
+  /// so a result row names the parallelism and fault schedule that
+  /// produced it.
   Run(std::string name, const std::string& title, int argc, char** argv)
       : Run(std::move(name), title) {
     manifest_.set_field("threads",
@@ -155,12 +159,75 @@ class Run {
       manifest_.add_digest("fault_plan",
                            fault::FaultInjector::global().plan().digest());
     }
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg == "--repeats" && i + 1 < argc)
+        repeats_ = std::atoi(argv[i + 1]);
+      else if (arg.rfind("--repeats=", 0) == 0)
+        repeats_ = std::atoi(arg.c_str() + 10);
+      else if (arg == "--progress")
+        progress_flag_ = true;
+    }
+    if (repeats_ < 1) repeats_ = 1;
+    if (repeats_ > 1)
+      manifest_.set_field("repeats", static_cast<double>(repeats_));
   }
 
   /// Remember an externally detected failure for finish()'s exit code.
   void fail() { ok_ = false; }
 
   obs::RunManifest& manifest() { return manifest_; }
+
+  const std::string& name() const { return name_; }
+
+  /// Timing repeats requested on the command line (>= 1).
+  int repeats() const { return repeats_; }
+
+  /// Progress heartbeat armed by `--progress` or EDGESTAB_PROGRESS=1.
+  bool progress_enabled() const {
+    return progress_flag_ || obs::ProgressMeter::env_enabled();
+  }
+
+  /// Headline work-unit count; feeds the archived items/sec perf metric.
+  void set_items(double items) {
+    items_ = items;
+    manifest_.set_field("items", items);
+  }
+
+  /// Declare a headline result the sentinel should guard across runs.
+  /// Mirrored into the manifest as `metric_<name>` so the per-run
+  /// artifact stays self-describing.
+  void record_metric(const std::string& metric, double value,
+                     obs::MetricKind kind = obs::MetricKind::kCorrectness,
+                     obs::Direction direction = obs::Direction::kExact,
+                     const std::string& unit = "", double epsilon = 0.0) {
+    obs::MetricSample sample;
+    sample.name = metric;
+    sample.kind = kind;
+    sample.direction = direction;
+    sample.unit = unit;
+    sample.value = value;
+    sample.epsilon = epsilon;
+    metrics_.push_back(std::move(sample));
+    manifest_.set_field("metric_" + metric, value);
+  }
+
+  /// Declare a textual fingerprint (e.g. a joined MD5 stream) guarded by
+  /// hard equality under matching provenance.
+  void record_digest_metric(const std::string& metric,
+                            const std::string& text) {
+    obs::MetricSample sample;
+    sample.name = metric;
+    sample.kind = obs::MetricKind::kDigest;
+    sample.text = text;
+    metrics_.push_back(std::move(sample));
+    manifest_.set_field("metric_" + metric, text);
+  }
+
+  /// File one repeat's timing (run_repeats does this for you).
+  void add_repeat_sample(const obs::RepeatSample& sample) {
+    repeat_samples_.push_back(sample);
+  }
 
   /// Record the capture-rig configuration (seed, geometry, digest).
   void record_rig(const LabRigConfig& rig) {
@@ -219,21 +286,123 @@ class Run {
   /// Export trace + stage timing (tracing builds), drift reports (drift
   /// builds with the auditor enabled) and the provenance manifest;
   /// returns the process exit code. Dropped span events and any artifact
-  /// that failed to land surface here as a non-zero exit.
+  /// that failed to land surface here as a non-zero exit. Afterwards the
+  /// run is archived: one record line appended to bench_out/runs.jsonl
+  /// and the candidate baseline bench_out/BENCH_<name>.json rewritten —
+  /// archiving runs after artifact export so the drift-report and
+  /// ledger digests the export adds to the manifest make it into the
+  /// record.
   int finish() {
     manifest_.set_wall_seconds(timer_.seconds());
     std::string dir;
     if (!ensure_out_dir(dir)) return 1;
     if (!obs::export_run_artifacts(name_, dir, manifest_)) ok_ = false;
+    archive(dir);
     return ok_ ? 0 : 1;
   }
 
  private:
+  void archive(const std::string& dir) {
+    obs::RunRecord record;
+    record.bench = name_;
+    std::string sha = obs::git_head_sha();
+    record.git_sha = sha.empty() ? "unknown" : sha;
+    record.created_unix = static_cast<std::int64_t>(std::time(nullptr));
+    record.has_seed = manifest_.has_seed();
+    if (record.has_seed) record.seed = manifest_.seed();
+    record.threads = static_cast<int>(
+        manifest_.find_number_field("threads").value_or(
+            static_cast<double>(runtime::ThreadPool::global().threads())));
+    if (const std::string* plan = manifest_.find_string_field("fault_plan"))
+      record.fault_plan = *plan;
+    for (const auto& [digest_name, digest] : manifest_.digests())
+      record.digests.emplace_back(digest_name, obs::hex_digest(digest));
+    record.repeats = repeat_samples_;
+    if (record.repeats.empty()) {
+      // Bench never called run_repeats: the whole process is one repeat.
+      obs::RepeatSample whole;
+      whole.wall_seconds = timer_.seconds();
+      obs::ResourceUsage usage = obs::process_usage();
+      whole.user_seconds = usage.user_seconds;
+      whole.sys_seconds = usage.sys_seconds;
+      record.repeats.push_back(whole);
+    }
+    record.items = items_;
+    record.max_rss_kb = obs::process_usage().max_rss_kb;
+    record.stage_wall_ms = obs::stage_wall_ms_from_registry();
+    record.metrics = metrics_;
+
+    std::string archive_path = dir + "/runs.jsonl";
+    if (obs::append_run_record(archive_path, record))
+      std::printf("[archive] %s (+1 record)\n", archive_path.c_str());
+    else
+      ok_ = false;
+    std::string baseline_path = dir + "/BENCH_" + name_ + ".json";
+    if (obs::write_baseline(baseline_path, obs::baseline_from_record(record)))
+      std::printf("[archive] %s\n", baseline_path.c_str());
+    else
+      ok_ = false;
+  }
+
   std::string name_;
   WallTimer timer_;
   obs::RunManifest manifest_;
   bool ok_ = true;
+  int repeats_ = 1;
+  bool progress_flag_ = false;
+  double items_ = 0.0;
+  std::vector<obs::RepeatSample> repeat_samples_;
+  std::vector<obs::MetricSample> metrics_;
 };
+
+/// Execute the bench's compute body `run.repeats()` times and file one
+/// RepeatSample (wall + getrusage deltas) per execution; returns the
+/// LAST execution's result.
+///
+/// Ordering matters: the N-1 timing-only repeats run FIRST with the
+/// tracer and drift auditor muted, then every cross-run accumulator
+/// (metrics registry, drift ledgers, fault receipts) is cleared, and the
+/// authoritative repeat runs LAST with observability restored — so its
+/// artifacts, ledger cross-checks and digests are byte-identical to a
+/// --repeats 1 run while the archive still gets N timing samples.
+template <typename Fn>
+auto run_repeats(Run& run, Fn&& body) {
+  const int repeats = run.repeats();
+  obs::ProgressMeter progress(run.name() + " repeats", repeats,
+                              run.progress_enabled());
+  auto timed = [&run, &progress, &body] {
+    obs::ResourceUsage before = obs::process_usage();
+    WallTimer timer;
+    auto result = body();
+    obs::RepeatSample sample;
+    sample.wall_seconds = timer.seconds();
+    obs::ResourceUsage after = obs::process_usage();
+    sample.user_seconds = after.user_seconds - before.user_seconds;
+    sample.sys_seconds = after.sys_seconds - before.sys_seconds;
+    run.add_repeat_sample(sample);
+    progress.tick();
+    return result;
+  };
+  if (repeats > 1) {
+    const bool tracer_was = obs::Tracer::global().enabled();
+    const bool drift_was = obs::DriftAuditor::global().enabled();
+    obs::Tracer::global().set_enabled(false);
+    obs::DriftAuditor::global().set_enabled(false);
+    for (int i = 0; i + 1 < repeats; ++i) (void)timed();
+    // Warm-up repeats must not leak into the authoritative run's
+    // metrics, drift report, or fault receipts — nor into the rig-run
+    // counter that names their groups.
+    obs::MetricsRegistry::global().reset();
+    obs::DriftAuditor::global().clear();
+    obs::FaultLedger::global().clear();
+    reset_rig_run_counter();
+    obs::Tracer::global().set_enabled(tracer_was);
+    obs::DriftAuditor::global().set_enabled(drift_was);
+  }
+  auto result = timed();
+  progress.finish();
+  return result;
+}
 
 /// Cross-check the drift flip-ledger's totals against the instability
 /// numbers core/instability computed for the same observations. The two

@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# Refresh the committed cross-run baselines in baselines/.
+#
+# Runs the requested benches (default: all 13 table/figure benches) from
+# a build tree with --repeats N, then promotes the candidate
+# BENCH_<name>.json files each run emits in bench_out/ into the repo's
+# baselines/ directory. Perf bands in a baseline are medians + MADs of
+# *this machine's* wall/cpu timings — refresh on the machine that will
+# run the sentinel, and commit the result only if that machine is the
+# reference rig (e.g. the CI runner).
+#
+# usage: scripts/refresh_baselines.sh [-b BUILD_DIR] [-r REPEATS]
+#                                     [-s] [bench ...]
+#   -b BUILD_DIR  build tree holding the bench binaries (default: build)
+#   -r REPEATS    repeats per bench; odd values give a true median
+#                 (default: 5)
+#   -s            smoke mode: EDGESTAB_RIG_OBJECTS=2, for a quick local
+#                 sanity pass (do NOT commit smoke baselines)
+#   bench ...     bench executable names (default: every bench_* binary)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="$repo_root/build"
+repeats=5
+smoke=0
+while getopts "b:r:sh" opt; do
+  case "$opt" in
+    b) build_dir="$OPTARG" ;;
+    r) repeats="$OPTARG" ;;
+    s) smoke=1 ;;
+    *) grep '^#' "$0" | sed 's/^# \{0,1\}//'; exit 1 ;;
+  esac
+done
+shift $((OPTIND - 1))
+
+bench_dir="$build_dir/bench"
+[ -d "$bench_dir" ] || {
+  echo "refresh_baselines: no bench binaries in $bench_dir — build first" >&2
+  exit 1
+}
+
+if [ "$#" -gt 0 ]; then
+  benches=("$@")
+else
+  benches=()
+  for exe in "$bench_dir"/bench_*; do
+    [ -x "$exe" ] && benches+=("$(basename "$exe")")
+  done
+fi
+
+env_extra=()
+if [ "$smoke" -eq 1 ]; then
+  env_extra+=("EDGESTAB_RIG_OBJECTS=2")
+  echo "refresh_baselines: SMOKE run — do not commit these baselines" >&2
+fi
+
+workdir="$(mktemp -d "${TMPDIR:-/tmp}/refresh_baselines.XXXXXX")"
+trap 'rm -rf "$workdir"' EXIT
+
+mkdir -p "$repo_root/baselines"
+for bench in "${benches[@]}"; do
+  echo "== $bench (--repeats $repeats)"
+  (cd "$workdir" &&
+   env "EDGESTAB_CACHE=$build_dir/edgestab_cache" \
+       ${env_extra[@]+"${env_extra[@]}"} \
+       "$bench_dir/$bench" --repeats "$repeats")
+done
+
+shopt -s nullglob
+candidates=("$workdir"/bench_out/BENCH_*.json)
+if [ "${#candidates[@]}" -eq 0 ]; then
+  echo "refresh_baselines: no BENCH_*.json candidates produced" >&2
+  exit 1
+fi
+for candidate in "${candidates[@]}"; do
+  cp "$candidate" "$repo_root/baselines/"
+  echo "promoted baselines/$(basename "$candidate")"
+done
+echo "refresh_baselines: done — review 'git diff baselines/' before committing"

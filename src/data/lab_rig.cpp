@@ -76,6 +76,14 @@ void inject_capture_faults(const std::string& group,
 
 }  // namespace
 
+namespace {
+std::atomic<int> rig_run_counter{0};
+}  // namespace
+
+void reset_rig_run_counter() {
+  rig_run_counter.store(0, std::memory_order_relaxed);
+}
+
 LabRun run_lab_rig(const std::vector<PhoneProfile>& fleet,
                    const LabRigConfig& config) {
   ES_TRACE_SCOPE("rig", "run_lab_rig");
@@ -91,7 +99,6 @@ LabRun run_lab_rig(const std::vector<PhoneProfile>& fleet,
   // artifacts (and fault tallies) from colliding. The counter advances
   // unconditionally so group names agree across build flavors. The
   // string outlives every scope below.
-  static std::atomic<int> rig_run_counter{0};
   const int rig_run = rig_run_counter.fetch_add(1, std::memory_order_relaxed);
   const std::string group =
       rig_run == 0 ? "capture" : "capture#" + std::to_string(rig_run);

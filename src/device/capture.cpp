@@ -1,14 +1,36 @@
 #include "device/capture.h"
 
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
 #include "image/resize.h"
 #include "obs/obs.h"
 
 namespace edgestab {
 
+namespace {
+
+// EDGESTAB_PERF_CANARY_MS injects a per-shot sleep into the capture
+// stage: a known slowdown that changes no pixels, used by the regression
+// gate to prove the sentinel flags wall-time regressions without
+// touching digests. 0 / unset = off.
+int perf_canary_ms() {
+  static const int ms = [] {
+    const char* env = std::getenv("EDGESTAB_PERF_CANARY_MS");
+    return env != nullptr ? std::atoi(env) : 0;
+  }();
+  return ms;
+}
+
+}  // namespace
+
 Capture take_photo(const PhoneProfile& phone, const Image& screen_emission,
                    Pcg32& rng) {
   ES_TRACE_SCOPE("device", "take_photo");
   ES_CHECK(screen_emission.channels() == 3);
+  if (int ms = perf_canary_ms(); ms > 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
 
   // Optics + mount: small per-phone geometric offset/tilt of the framed
   // scene. The warp maps output (sensor-facing) coordinates to screen

@@ -1,0 +1,86 @@
+// Noise-aware comparison of a run record against a committed baseline.
+//
+// The verdict vocabulary is deliberately four-valued: a comparison that
+// cannot be made honestly (provenance mismatch, NaN, metric missing on
+// one side) is *incomparable*, never silently "unchanged" — the paper's
+// core lesson is that environment drift masquerades as model change, so
+// the sentinel refuses to score apples against oranges.
+//
+// Tolerance policy by metric kind:
+//   perf         band = max(rel_tol * |median|, mad_k * MAD, abs_floor);
+//                inside the band → unchanged, outside → improved or
+//                regressed by the metric's declared direction. Requires
+//                matching thread counts (wall time at --threads 4 says
+//                nothing about a --threads 1 baseline).
+//   correctness  |delta| <= max(epsilon, default_epsilon) → unchanged;
+//                results are bit-deterministic at any thread count here,
+//                so these stay comparable across thread counts.
+//   digest       hard string equality, gated on matching provenance
+//                (seed, config digests, fault plan).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/baseline.h"
+
+namespace edgestab::obs {
+
+enum class Verdict { kImproved, kUnchanged, kRegressed, kIncomparable };
+
+const char* verdict_name(Verdict verdict);
+
+struct CompareOptions {
+  double perf_rel_tol = 0.25;    ///< relative tolerance on the median
+  double perf_mad_k = 5.0;       ///< MAD multiplier (noise-scaled band)
+  double default_epsilon = 1e-12;  ///< correctness floor when undeclared
+};
+
+/// One metric's comparison outcome.
+struct MetricVerdict {
+  std::string name;
+  MetricKind kind = MetricKind::kPerf;
+  Verdict verdict = Verdict::kIncomparable;
+  double current = 0.0;
+  double baseline = 0.0;
+  double delta = 0.0;  ///< current - baseline (numeric kinds)
+  double band = 0.0;   ///< tolerance applied (band or epsilon)
+  std::string current_text;   ///< digest kind
+  std::string baseline_text;  ///< digest kind
+  std::string reason;  ///< one-phrase justification, always set
+};
+
+struct CompareReport {
+  std::string bench;
+  /// False when seed / fault plan / config digests differ: every metric
+  /// is incomparable-provenance.
+  bool provenance_comparable = true;
+  /// False when thread counts differ: perf metrics only are incomparable.
+  bool perf_comparable = true;
+  std::vector<std::string> provenance_notes;
+  std::vector<MetricVerdict> verdicts;
+
+  int count(Verdict verdict) const;
+  bool has_regressions() const { return count(Verdict::kRegressed) > 0; }
+};
+
+/// Diff `record` against `baseline`. The record's repeats are collapsed
+/// the same way baselines are built (median over repeats), so a
+/// `--repeats N` run is compared median-to-median.
+CompareReport compare_run(const RunRecord& record, const Baseline& baseline,
+                          const CompareOptions& options = {});
+
+/// Human-readable table for the CLI.
+std::string compare_report_text(const CompareReport& report);
+
+/// Machine-readable rendering (schema edgestab-compare-v1).
+std::string compare_report_json(const CompareReport& report);
+
+/// Self-contained HTML trend report: per-bench metric trajectories over
+/// the archived runs (inline SVG, no external assets), with points that
+/// regress against the matching baseline marked. `baselines` may be
+/// empty — trends still render, without regression markers.
+std::string trend_html(const std::vector<RunRecord>& records,
+                       const std::vector<Baseline>& baselines);
+
+}  // namespace edgestab::obs

@@ -1,15 +1,29 @@
-// Minimal streaming JSON writer for the observability exporters (Chrome
-// traces, provenance manifests). Handles comma placement and string
-// escaping; the caller is responsible for well-formed nesting (checked
-// with ES_CHECK so malformed exporter code fails loudly in tests).
+// Minimal streaming JSON writer + strict parser for the observability
+// layer (Chrome traces, provenance manifests, the cross-run baseline
+// archive). The writer handles comma placement and string escaping; the
+// caller is responsible for well-formed nesting (checked with ES_CHECK
+// so malformed exporter code fails loudly in tests). The parser accepts
+// strict JSON — exactly the language the writer emits — and returns a
+// small ordered DOM the sentinel tooling reads baselines and run
+// records through.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace edgestab::obs {
+
+/// Shortest decimal rendering of `v` that parses back to the same
+/// double (tries 15, 16, then 17 significant digits). Used for every
+/// number the exporters emit so document digests are stable across
+/// rebuilds and platforms — a fixed "%.6g" truncates differently than
+/// it re-parses. Non-finite values render as "null" (JSON has no
+/// NaN/Inf).
+std::string format_double(double v);
 
 class JsonWriter {
  public:
@@ -44,5 +58,44 @@ class JsonWriter {
   std::vector<bool> has_element_;
   bool after_key_ = false;
 };
+
+/// Parsed JSON value. A deliberately small DOM: public fields, object
+/// members kept in document order (the writer emits deterministic
+/// ordering and the sentinel preserves it through round trips).
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> items;                            ///< arrays
+  std::vector<std::pair<std::string, JsonValue>> members;  ///< objects
+
+  bool is_null() const { return type == Type::kNull; }
+  bool is_bool() const { return type == Type::kBool; }
+  bool is_number() const { return type == Type::kNumber; }
+  bool is_string() const { return type == Type::kString; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_object() const { return type == Type::kObject; }
+
+  /// First member with key `key` (objects only); nullptr when absent.
+  const JsonValue* find(std::string_view key) const;
+
+  /// The number/string when this value has that type, else `fallback`.
+  double number_or(double fallback) const {
+    return is_number() ? number : fallback;
+  }
+  std::string string_or(std::string fallback) const {
+    return is_string() ? string : std::move(fallback);
+  }
+};
+
+/// Parse one complete JSON document (trailing whitespace allowed,
+/// trailing garbage rejected). Returns nullopt on malformed input and,
+/// when `error` is non-null, fills it with a byte offset + message.
+std::optional<JsonValue> parse_json(std::string_view text,
+                                    std::string* error = nullptr);
 
 }  // namespace edgestab::obs

@@ -9,7 +9,32 @@
 #include "obs/metrics.h"
 #include "obs/obs.h"
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 namespace edgestab::obs {
+
+ResourceUsage process_usage() {
+  ResourceUsage usage;
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru = {};
+  if (getrusage(RUSAGE_SELF, &ru) == 0) {
+    auto seconds = [](const timeval& tv) {
+      return static_cast<double>(tv.tv_sec) +
+             static_cast<double>(tv.tv_usec) / 1e6;
+    };
+    usage.user_seconds = seconds(ru.ru_utime);
+    usage.sys_seconds = seconds(ru.ru_stime);
+#if defined(__APPLE__)
+    usage.max_rss_kb = ru.ru_maxrss / 1024;  // bytes on Darwin
+#else
+    usage.max_rss_kb = ru.ru_maxrss;  // KiB on Linux
+#endif
+  }
+#endif
+  return usage;
+}
 
 namespace {
 
@@ -91,6 +116,20 @@ void RunManifest::set_field(const std::string& key, double value) {
   number_fields_.emplace_back(key, value);
 }
 
+const std::string* RunManifest::find_string_field(
+    const std::string& key) const {
+  for (const auto& [k, v] : string_fields_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+std::optional<double> RunManifest::find_number_field(
+    const std::string& key) const {
+  for (const auto& [k, v] : number_fields_)
+    if (k == key) return v;
+  return std::nullopt;
+}
+
 void RunManifest::add_digest(const std::string& name, std::uint64_t digest) {
   digests_.emplace_back(name, digest);
 }
@@ -117,11 +156,21 @@ std::string RunManifest::to_json() const {
   if (has_seed_) w.key("seed").value(seed_);
   if (wall_seconds_ >= 0.0) w.key("wall_seconds").value(wall_seconds_);
 
-  if (!string_fields_.empty() || !number_fields_.empty()) {
+  {
     w.key("fields");
     w.begin_object();
     for (const auto& [key, value] : string_fields_) w.key(key).value(value);
     for (const auto& [key, value] : number_fields_) w.key(key).value(value);
+    // Process resource accounting, folded in at render time so every
+    // manifest writer — bench::Run and the micro-bench hook alike —
+    // gains the data. Explicit set_field() values win.
+    ResourceUsage usage = process_usage();
+    if (find_number_field("user_seconds") == std::nullopt)
+      w.key("user_seconds").value(usage.user_seconds);
+    if (find_number_field("sys_seconds") == std::nullopt)
+      w.key("sys_seconds").value(usage.sys_seconds);
+    if (find_number_field("max_rss_kb") == std::nullopt)
+      w.key("max_rss_kb").value(static_cast<double>(usage.max_rss_kb));
     w.end_object();
   }
 

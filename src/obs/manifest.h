@@ -12,10 +12,25 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace edgestab::obs {
+
+/// Point-in-time process resource accounting (getrusage where the
+/// platform has it; zeros elsewhere). Rendered into every manifest's
+/// `fields` at write time — independent of the regression sentinel, so
+/// each run's meta.json names the CPU time and peak memory it cost.
+struct ResourceUsage {
+  double user_seconds = 0.0;
+  double sys_seconds = 0.0;
+  long max_rss_kb = 0;  ///< peak resident set, KiB (0 when unavailable)
+};
+
+/// Cumulative usage of the calling process.
+ResourceUsage process_usage();
 
 /// One device row in the manifest's fleet table.
 struct ManifestDevice {
@@ -42,6 +57,18 @@ class RunManifest {
   void add_artifact(const std::string& path);
 
   const std::string& bench_name() const { return bench_name_; }
+  bool has_seed() const { return has_seed_; }
+  std::uint64_t seed() const { return seed_; }
+
+  /// Named digests in insertion order (hex rendering is the exporter's
+  /// job); the regression sentinel snapshots these into the run archive.
+  const std::vector<std::pair<std::string, std::uint64_t>>& digests() const {
+    return digests_;
+  }
+
+  /// Stored string/number field lookups; nullptr / nullopt when unset.
+  const std::string* find_string_field(const std::string& key) const;
+  std::optional<double> find_number_field(const std::string& key) const;
 
   /// Render the manifest, folding in the current global counter and
   /// stage-timing state (milliseconds).

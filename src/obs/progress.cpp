@@ -1,0 +1,65 @@
+#include "obs/progress.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace edgestab::obs {
+
+ProgressMeter::ProgressMeter(std::string label, std::int64_t total,
+                             bool enabled, double min_interval_seconds)
+    : label_(std::move(label)),
+      total_(total),
+      enabled_(enabled),
+      min_interval_seconds_(min_interval_seconds) {}
+
+bool ProgressMeter::env_enabled() {
+  const char* env = std::getenv("EDGESTAB_PROGRESS");
+  return env != nullptr && env[0] != '\0' && std::strcmp(env, "0") != 0;
+}
+
+void ProgressMeter::tick(std::int64_t n) {
+  done_ += n;
+  if (!enabled_ || finished_) return;
+  double now = timer_.seconds();
+  bool due = last_emit_seconds_ < 0.0 ||
+             now - last_emit_seconds_ >= min_interval_seconds_;
+  bool last = total_ > 0 && done_ >= total_;
+  if (due || last) emit(false);
+}
+
+void ProgressMeter::finish() {
+  if (!enabled_ || finished_) {
+    finished_ = true;
+    return;
+  }
+  emit(true);
+  finished_ = true;
+}
+
+void ProgressMeter::emit(bool closing) {
+  double elapsed = timer_.seconds();
+  if (closing) {
+    std::fprintf(stderr, "[progress] %s done: %lld in %.1fs\n",
+                 label_.c_str(), static_cast<long long>(done_), elapsed);
+  } else if (total_ > 0) {
+    double fraction =
+        static_cast<double>(done_) / static_cast<double>(total_);
+    double eta = done_ > 0
+                     ? elapsed / static_cast<double>(done_) *
+                           static_cast<double>(total_ - done_)
+                     : 0.0;
+    std::fprintf(stderr,
+                 "[progress] %s %lld/%lld (%.0f%%) elapsed %.1fs eta %.1fs\n",
+                 label_.c_str(), static_cast<long long>(done_),
+                 static_cast<long long>(total_), fraction * 100.0, elapsed,
+                 eta);
+  } else {
+    std::fprintf(stderr, "[progress] %s %lld elapsed %.1fs\n", label_.c_str(),
+                 static_cast<long long>(done_), elapsed);
+  }
+  std::fflush(stderr);
+  last_emit_seconds_ = elapsed;
+}
+
+}  // namespace edgestab::obs

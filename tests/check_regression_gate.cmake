@@ -1,0 +1,113 @@
+# Hermetic end-to-end check of the cross-run regression sentinel.
+#
+# Flow (all inside WORK_DIR, smoke-size rig, single thread):
+#   1. Run bench_fig3_end_to_end --repeats 3 — the run archive and the
+#      candidate baseline BENCH_fig3.json must land in bench_out/.
+#   2. Promote the candidate into a local baselines/ directory.
+#   3. Re-run the bench clean; `sentinel compare` must exit 0 with zero
+#      regressed metrics (digests are bit-identical by the PR3
+#      determinism guarantee, perf is within band on the same machine).
+#   4. Re-run with EDGESTAB_PERF_CANARY_MS armed — a per-shot sleep that
+#      adds wall time without touching a single pixel; compare must exit
+#      2 (perf regression) while correctness and digest metrics stay
+#      clean.
+#   5. Render the trend report and assert it is a self-contained HTML
+#      document with at least one regression marker.
+#
+# The baseline is generated in-test, so the gate never reads the
+# committed (machine-specific) baselines/ directory.
+#
+# Expected -D variables: BENCH_EXE, SENTINEL_EXE, WORK_DIR, CACHE_DIR.
+foreach(var BENCH_EXE SENTINEL_EXE WORK_DIR CACHE_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "check_regression_gate: ${var} not set")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}/baselines")
+
+set(smoke_env "EDGESTAB_CACHE=${CACHE_DIR}" "EDGESTAB_RIG_OBJECTS=2")
+
+function(run_bench label)
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E env ${smoke_env} ${ARGN}
+      "${BENCH_EXE}" --threads 1 --repeats 3
+    WORKING_DIRECTORY "${WORK_DIR}"
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${label}: bench exited with ${rc}")
+  endif()
+endfunction()
+
+# --- 1. baseline-producing run -------------------------------------------
+run_bench("baseline run")
+foreach(artifact runs.jsonl BENCH_fig3.json)
+  if(NOT EXISTS "${WORK_DIR}/bench_out/${artifact}")
+    message(FATAL_ERROR "baseline run produced no bench_out/${artifact}")
+  endif()
+endforeach()
+file(READ "${WORK_DIR}/bench_out/BENCH_fig3.json" candidate)
+if(NOT candidate MATCHES "edgestab-baseline-v1")
+  message(FATAL_ERROR "BENCH_fig3.json lacks the baseline schema")
+endif()
+
+# --- 2. promote the candidate --------------------------------------------
+file(COPY "${WORK_DIR}/bench_out/BENCH_fig3.json"
+  DESTINATION "${WORK_DIR}/baselines")
+
+# --- 3. clean re-run must compare clean ----------------------------------
+run_bench("clean run")
+execute_process(
+  COMMAND "${SENTINEL_EXE}" compare --bench fig3 --rel-tol 0.5
+  WORKING_DIRECTORY "${WORK_DIR}"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "clean compare exited ${rc}:\n${out}${err}")
+endif()
+if(NOT out MATCHES "0 regressed")
+  message(FATAL_ERROR "clean compare reported regressions:\n${out}")
+endif()
+
+# --- 4. canary run must trip the gate ------------------------------------
+run_bench("canary run" "EDGESTAB_PERF_CANARY_MS=40")
+execute_process(
+  COMMAND "${SENTINEL_EXE}" compare --bench fig3 --rel-tol 0.5
+  WORKING_DIRECTORY "${WORK_DIR}"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR
+    "canary compare exited ${rc} (want 2 = regressed):\n${out}${err}")
+endif()
+if(NOT out MATCHES "regressed[^\n]*wall_seconds")
+  message(FATAL_ERROR "canary compare did not flag wall_seconds:\n${out}")
+endif()
+# The canary sleeps — it must not disturb pixels or digests.
+if(out MATCHES "regressed[^\n]*digest\\.")
+  message(FATAL_ERROR "canary run perturbed a digest metric:\n${out}")
+endif()
+
+# --- 5. trend report ------------------------------------------------------
+execute_process(
+  COMMAND "${SENTINEL_EXE}" trend
+  WORKING_DIRECTORY "${WORK_DIR}"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "sentinel trend exited ${rc}:\n${out}${err}")
+endif()
+if(NOT EXISTS "${WORK_DIR}/bench_out/trend.html")
+  message(FATAL_ERROR "trend wrote no bench_out/trend.html")
+endif()
+file(READ "${WORK_DIR}/bench_out/trend.html" html)
+if(NOT html MATCHES "edgestab trend report")
+  message(FATAL_ERROR "trend.html is not a trend report document")
+endif()
+if(html MATCHES "<script src=" OR html MATCHES "<link ")
+  message(FATAL_ERROR "trend.html references external assets")
+endif()
+if(NOT html MATCHES "#c23b3b")
+  message(FATAL_ERROR "trend.html has no regression marker for the canary run")
+endif()
+
+message(STATUS "regression gate OK in ${WORK_DIR}")

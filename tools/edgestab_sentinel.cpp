@@ -1,0 +1,264 @@
+// edgestab_sentinel — the cross-run regression sentinel CLI.
+//
+//   edgestab_sentinel compare --bench fig3 [--runs bench_out/runs.jsonl]
+//       [--baseline FILE | --baseline-dir baselines] [--rel-tol 0.25]
+//       [--mad-k 5] [--perf-advisory] [--json]
+//     Diff the newest archived record of a bench against its committed
+//     baseline. Exit 0 = no regressions, 2 = regressions present,
+//     1 = usage/IO error.
+//
+//   edgestab_sentinel trend [--runs FILE] [--out bench_out/trend.html]
+//       [--baseline-dir baselines]
+//     Render the self-contained HTML trend report over the whole run
+//     archive, marking points that regress against their baseline.
+//
+//   edgestab_sentinel list [--runs FILE]
+//     One line per archived run.
+//
+// Baselines are refreshed with scripts/refresh_baselines.sh, which
+// copies the candidate BENCH_<name>.json files a bench run emits into
+// the committed baselines/ directory.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <string>
+#include <vector>
+
+#include "obs/baseline.h"
+#include "obs/compare.h"
+
+using namespace edgestab;
+
+namespace {
+
+constexpr char kDefaultRuns[] = "bench_out/runs.jsonl";
+constexpr char kDefaultBaselineDir[] = "baselines";
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: edgestab_sentinel <compare|trend|list> [options]\n"
+      "  compare --bench NAME [--runs FILE] [--baseline FILE]\n"
+      "          [--baseline-dir DIR] [--rel-tol X] [--mad-k X]\n"
+      "          [--perf-advisory] [--json]\n"
+      "  trend   [--runs FILE] [--out FILE] [--baseline-dir DIR]\n"
+      "  list    [--runs FILE]\n");
+  return 1;
+}
+
+/// `--flag value` / `--flag=value` option scanner.
+bool option_value(int argc, char** argv, int& i, const char* flag,
+                  std::string* out) {
+  std::string arg = argv[i];
+  std::string prefix = std::string(flag) + "=";
+  if (arg == flag && i + 1 < argc) {
+    *out = argv[++i];
+    return true;
+  }
+  if (arg.rfind(prefix, 0) == 0) {
+    *out = arg.substr(prefix.size());
+    return true;
+  }
+  return false;
+}
+
+bool file_exists(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::fclose(f);
+  return true;
+}
+
+bool write_file(const std::string& path, const std::string& doc) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "sentinel: cannot open %s for writing\n",
+                 path.c_str());
+    return false;
+  }
+  std::size_t written = std::fwrite(doc.data(), 1, doc.size(), f);
+  bool ok = written == doc.size() && std::fclose(f) == 0;
+  if (!ok) std::fprintf(stderr, "sentinel: short write to %s\n", path.c_str());
+  return ok;
+}
+
+int cmd_compare(int argc, char** argv) {
+  std::string bench, runs_path = kDefaultRuns, baseline_path;
+  std::string baseline_dir = kDefaultBaselineDir;
+  obs::CompareOptions options;
+  bool perf_advisory = false, as_json = false;
+  for (int i = 2; i < argc; ++i) {
+    std::string value;
+    if (option_value(argc, argv, i, "--bench", &bench) ||
+        option_value(argc, argv, i, "--runs", &runs_path) ||
+        option_value(argc, argv, i, "--baseline", &baseline_path) ||
+        option_value(argc, argv, i, "--baseline-dir", &baseline_dir))
+      continue;
+    if (option_value(argc, argv, i, "--rel-tol", &value)) {
+      options.perf_rel_tol = std::atof(value.c_str());
+      continue;
+    }
+    if (option_value(argc, argv, i, "--mad-k", &value)) {
+      options.perf_mad_k = std::atof(value.c_str());
+      continue;
+    }
+    if (std::strcmp(argv[i], "--perf-advisory") == 0) {
+      perf_advisory = true;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--json") == 0) {
+      as_json = true;
+      continue;
+    }
+    std::fprintf(stderr, "sentinel: unknown option '%s'\n", argv[i]);
+    return usage();
+  }
+  if (bench.empty()) {
+    std::fprintf(stderr, "sentinel: compare requires --bench NAME\n");
+    return usage();
+  }
+
+  std::vector<obs::RunRecord> records;
+  std::string error;
+  if (!obs::load_run_records(runs_path, &records, &error)) {
+    std::fprintf(stderr, "sentinel: %s\n", error.c_str());
+    return 1;
+  }
+  const obs::RunRecord* latest = nullptr;
+  for (const obs::RunRecord& r : records)
+    if (r.bench == bench) latest = &r;  // archive is append-only: last wins
+  if (latest == nullptr) {
+    std::fprintf(stderr,
+                 "sentinel: no archived run of '%s' in %s — run the bench "
+                 "first\n",
+                 bench.c_str(), runs_path.c_str());
+    return 1;
+  }
+
+  if (baseline_path.empty())
+    baseline_path = baseline_dir + "/BENCH_" + bench + ".json";
+  if (!file_exists(baseline_path)) {
+    std::fprintf(stderr,
+                 "sentinel: no baseline at %s — refresh with "
+                 "scripts/refresh_baselines.sh (or pass --baseline FILE)\n",
+                 baseline_path.c_str());
+    return 1;
+  }
+  obs::Baseline baseline;
+  if (!obs::load_baseline(baseline_path, &baseline, &error)) {
+    std::fprintf(stderr, "sentinel: %s\n", error.c_str());
+    return 1;
+  }
+
+  obs::CompareReport report = obs::compare_run(*latest, baseline, options);
+  if (as_json)
+    std::printf("%s\n", obs::compare_report_json(report).c_str());
+  else
+    std::printf("%s", obs::compare_report_text(report).c_str());
+
+  int blocking = 0;
+  for (const obs::MetricVerdict& v : report.verdicts) {
+    if (v.verdict != obs::Verdict::kRegressed) continue;
+    if (perf_advisory && v.kind == obs::MetricKind::kPerf) {
+      if (!as_json)
+        std::printf("  (perf regression on '%s' is advisory)\n",
+                    v.name.c_str());
+      continue;
+    }
+    ++blocking;
+  }
+  return blocking > 0 ? 2 : 0;
+}
+
+int cmd_trend(int argc, char** argv) {
+  std::string runs_path = kDefaultRuns, out_path = "bench_out/trend.html";
+  std::string baseline_dir = kDefaultBaselineDir;
+  for (int i = 2; i < argc; ++i) {
+    if (option_value(argc, argv, i, "--runs", &runs_path) ||
+        option_value(argc, argv, i, "--out", &out_path) ||
+        option_value(argc, argv, i, "--baseline-dir", &baseline_dir))
+      continue;
+    std::fprintf(stderr, "sentinel: unknown option '%s'\n", argv[i]);
+    return usage();
+  }
+  std::vector<obs::RunRecord> records;
+  std::string error;
+  if (!obs::load_run_records(runs_path, &records, &error)) {
+    std::fprintf(stderr, "sentinel: %s\n", error.c_str());
+    return 1;
+  }
+
+  std::vector<obs::Baseline> baselines;
+  std::vector<std::string> seen;
+  for (const obs::RunRecord& r : records) {
+    bool done = false;
+    for (const std::string& s : seen) done = done || s == r.bench;
+    if (done) continue;
+    seen.push_back(r.bench);
+    std::string path = baseline_dir + "/BENCH_" + r.bench + ".json";
+    if (!file_exists(path)) continue;  // trends render fine without one
+    obs::Baseline baseline;
+    if (obs::load_baseline(path, &baseline, &error))
+      baselines.push_back(std::move(baseline));
+    else
+      std::fprintf(stderr, "sentinel: skipping %s: %s\n", path.c_str(),
+                   error.c_str());
+  }
+
+  if (!write_file(out_path, obs::trend_html(records, baselines))) return 1;
+  std::printf("sentinel: %s (%zu run(s), %zu baseline(s))\n",
+              out_path.c_str(), records.size(), baselines.size());
+  return 0;
+}
+
+int cmd_list(int argc, char** argv) {
+  std::string runs_path = kDefaultRuns;
+  for (int i = 2; i < argc; ++i) {
+    if (option_value(argc, argv, i, "--runs", &runs_path)) continue;
+    std::fprintf(stderr, "sentinel: unknown option '%s'\n", argv[i]);
+    return usage();
+  }
+  std::vector<obs::RunRecord> records;
+  std::string error;
+  if (!obs::load_run_records(runs_path, &records, &error)) {
+    std::fprintf(stderr, "sentinel: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("%-20s %-20s %-14s %7s %9s %7s %s\n", "bench", "when",
+              "git", "threads", "wall[s]", "items", "faults");
+  for (const obs::RunRecord& r : records) {
+    std::vector<double> wall;
+    for (const obs::RepeatSample& s : r.repeats)
+      wall.push_back(s.wall_seconds);
+    char when[32] = "-";
+    if (r.created_unix > 0) {
+      std::time_t t = static_cast<std::time_t>(r.created_unix);
+      std::tm tm = {};
+#if defined(_WIN32)
+      gmtime_s(&tm, &t);
+#else
+      gmtime_r(&t, &tm);
+#endif
+      std::strftime(when, sizeof(when), "%Y-%m-%d %H:%M:%S", &tm);
+    }
+    std::printf("%-20s %-20s %-14.14s %7d %9.3f %7.0f %s\n",
+                r.bench.c_str(), when, r.git_sha.c_str(), r.threads,
+                obs::median_of(wall), r.items,
+                r.fault_plan.empty() ? "-" : r.fault_plan.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  std::string command = argv[1];
+  if (command == "compare") return cmd_compare(argc, argv);
+  if (command == "trend") return cmd_trend(argc, argv);
+  if (command == "list") return cmd_list(argc, argv);
+  std::fprintf(stderr, "sentinel: unknown command '%s'\n", command.c_str());
+  return usage();
+}
