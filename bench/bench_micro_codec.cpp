@@ -1,7 +1,7 @@
 // Microbenchmark: codec encode/decode throughput (google-benchmark).
 #include <benchmark/benchmark.h>
 
-#include "bench_util.h"
+#include "bench_micro_util.h"
 #include "codec/codec.h"
 #include "image/draw.h"
 #include "util/rng.h"
@@ -70,9 +70,7 @@ BENCHMARK_CAPTURE(BM_Decode, heif, ImageFormat::kHeifLike)
 }  // namespace edgestab
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return edgestab::bench::micro_manifest("micro_codec");
+  return edgestab::bench::run_micro(
+      "micro_codec", "Codec micro: encode/decode throughput per format", argc,
+      argv);
 }

@@ -2,7 +2,7 @@
 // (the §7 SoC modeling lever) and per batch size.
 #include <benchmark/benchmark.h>
 
-#include "bench_util.h"
+#include "bench_micro_util.h"
 #include "nn/mobilenet.h"
 #include "nn/trainer.h"
 #include "util/rng.h"
@@ -59,9 +59,7 @@ BENCHMARK(BM_TrainStep)->Arg(16)->Arg(32);
 }  // namespace edgestab
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return edgestab::bench::micro_manifest("micro_inference");
+  return edgestab::bench::run_micro(
+      "micro_inference", "Inference micro: backend and batch-size latency",
+      argc, argv);
 }

@@ -1,7 +1,7 @@
 // Microbenchmark: ISP stage costs and full pipeline latency.
 #include <benchmark/benchmark.h>
 
-#include "bench_util.h"
+#include "bench_micro_util.h"
 #include "isp/pipeline.h"
 #include "isp/sensor.h"
 #include "isp/software_isp.h"
@@ -64,9 +64,7 @@ BENCHMARK(BM_SensorExposure)->Arg(64)->Arg(128);
 }  // namespace edgestab
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return edgestab::bench::micro_manifest("micro_isp");
+  return edgestab::bench::run_micro(
+      "micro_isp", "ISP micro: stage costs and full-pipeline latency", argc,
+      argv);
 }

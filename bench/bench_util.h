@@ -8,11 +8,15 @@
 // CSV aggregated from the span histograms.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <ctime>
 #include <filesystem>
+#include <map>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/instability.h"
@@ -121,6 +125,38 @@ inline std::string apply_fault_flag(int argc, char** argv) {
   return plan.summary();
 }
 
+/// Parse `--profile` / `--profile=1` from a bench command line (falling
+/// back to the EDGESTAB_PROFILE environment variable) and arm the
+/// hot-path profiler (obs/profiler.h). Returns whether the profiler was
+/// armed; when profiling is compiled out (CMake -DEDGESTAB_PROFILE=OFF)
+/// the request is reported and the run proceeds unprofiled. Pass
+/// argc = 0 to consult the environment only.
+inline bool apply_profile_flag(int argc, char** argv) {
+  bool want = false;
+  if (const char* env = std::getenv("EDGESTAB_PROFILE")) {
+    std::string v = env;
+    want = !(v.empty() || v == "0" || v == "off" || v == "OFF");
+  }
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--profile" || arg == "--profile=1" || arg == "--profile=on")
+      want = true;
+    else if (arg == "--profile=0" || arg == "--profile=off")
+      want = false;
+  }
+  if (!want) return false;
+  if (!obs::kProfileCompiledIn) {
+    std::fprintf(stderr,
+                 "[profile] profiling requested but compiled out "
+                 "(EDGESTAB_PROFILE=OFF); running without\n");
+    return false;
+  }
+  obs::Profiler::global().clear();
+  obs::Profiler::global().set_enabled(true);
+  std::printf("[profile] hot-path profiler armed\n");
+  return true;
+}
+
 inline void banner(const std::string& title) {
   std::printf("\n================================================================\n");
   std::printf("%s\n", title.c_str());
@@ -139,18 +175,21 @@ class Run {
     banner(title);
     if (obs::kTracingCompiledIn) obs::Tracer::global().set_enabled(true);
     if (obs::kDriftCompiledIn) obs::DriftAuditor::global().set_enabled(true);
+    if (apply_profile_flag(0, nullptr)) open_profile_root();
     manifest_.set_field(
         "threads",
         static_cast<double>(runtime::ThreadPool::global().threads()));
   }
 
-  /// Same, but also honors `--threads N`, `--faults SPEC`, `--repeats N`
-  /// and `--progress` flags on the bench command line; the effective
+  /// Same, but also honors `--threads N`, `--faults SPEC`, `--repeats N`,
+  /// `--progress` and `--profile` flags on the bench command line; the effective
   /// lane count and the armed fault plan land in the provenance manifest
   /// so a result row names the parallelism and fault schedule that
   /// produced it.
   Run(std::string name, const std::string& title, int argc, char** argv)
       : Run(std::move(name), title) {
+    if (profile_root_ == nullptr && apply_profile_flag(argc, argv))
+      open_profile_root();
     manifest_.set_field("threads",
                         static_cast<double>(apply_thread_flag(argc, argv)));
     const std::string faults = apply_fault_flag(argc, argv);
@@ -200,7 +239,8 @@ class Run {
   void record_metric(const std::string& metric, double value,
                      obs::MetricKind kind = obs::MetricKind::kCorrectness,
                      obs::Direction direction = obs::Direction::kExact,
-                     const std::string& unit = "", double epsilon = 0.0) {
+                     const std::string& unit = "", double epsilon = 0.0,
+                     double abs_floor = 0.0) {
     obs::MetricSample sample;
     sample.name = metric;
     sample.kind = kind;
@@ -208,6 +248,7 @@ class Run {
     sample.unit = unit;
     sample.value = value;
     sample.epsilon = epsilon;
+    sample.abs_floor = abs_floor;
     metrics_.push_back(std::move(sample));
     manifest_.set_field("metric_" + metric, value);
   }
@@ -294,6 +335,14 @@ class Run {
   /// record.
   int finish() {
     manifest_.set_wall_seconds(timer_.seconds());
+    // Close the root profile scope and freeze the profiler before any
+    // snapshot: headline metrics and the exported report must see the
+    // completed tree (root inclusive ≈ run wall time).
+    if (obs::kProfileCompiledIn && obs::Profiler::global().armed()) {
+      profile_root_.reset();
+      obs::Profiler::global().set_enabled(false);
+      record_profile_metrics();
+    }
     std::string dir;
     if (!ensure_out_dir(dir)) return 1;
     if (!obs::export_run_artifacts(name_, dir, manifest_)) ok_ = false;
@@ -302,6 +351,60 @@ class Run {
   }
 
  private:
+  void open_profile_root() {
+    // name_ outlives the scope and the profiler interns copies, so the
+    // c_str pointer is a valid scope label for the run's lifetime.
+    profile_root_ =
+        std::make_unique<obs::ProfileScope>("bench", name_.c_str());
+  }
+
+  /// Headline profile metrics for the sentinel: whole-run allocation
+  /// totals plus the per-stage exclusive times (aggregated over every
+  /// tree position of the same "category.name" label). All perf-kind, so
+  /// baselines band them and a --threads mismatch voids rather than
+  /// fails them. Alloc count/bytes are thread-invariant by the profiler's
+  /// determinism contract; peak live bytes is timing-dependent, hence
+  /// the generous floor.
+  ///
+  /// Every label is recorded — not a top-N-by-time cut. The label set is
+  /// part of the profile's determinism contract, so baseline and current
+  /// runs always carry the same metric names; a time-ranked cut would
+  /// shuffle which stages appear and litter compares with "metric
+  /// absent" rows. Per-stage floors scale with the run (a quarter of the
+  /// total attributed time) because exclusive-time attribution jitters
+  /// heavily under CPU contention: wall/cpu_seconds carry the tight
+  /// whole-run band, and a stage metric only trips when one stage
+  /// swallows a materially bigger slice of the run.
+  void record_profile_metrics() {
+    obs::Profiler& profiler = obs::Profiler::global();
+    obs::ProfileTotals totals = profiler.totals();
+    record_metric("profile_alloc_count",
+                  static_cast<double>(totals.alloc_count),
+                  obs::MetricKind::kPerf, obs::Direction::kLowerIsBetter,
+                  "allocs", 0.0, /*abs_floor=*/32.0);
+    record_metric("profile_alloc_bytes_total",
+                  static_cast<double>(totals.alloc_bytes),
+                  obs::MetricKind::kPerf, obs::Direction::kLowerIsBetter,
+                  "bytes", 0.0, /*abs_floor=*/65536.0);
+    record_metric("profile_peak_live_bytes",
+                  static_cast<double>(totals.peak_live_bytes),
+                  obs::MetricKind::kPerf, obs::Direction::kLowerIsBetter,
+                  "bytes", 0.0, /*abs_floor=*/1048576.0);
+
+    std::map<std::string, double> excl_ms_by_label;
+    double total_excl_ms = 0.0;
+    for (const obs::ProfileNode& node : profiler.snapshot()) {
+      const double excl_ms = static_cast<double>(node.excl_ns) / 1e6;
+      excl_ms_by_label[node.category + "." + node.name] += excl_ms;
+      total_excl_ms += excl_ms;
+    }
+    const double stage_floor_ms = std::max(5.0, 0.25 * total_excl_ms);
+    for (const auto& [label, excl_ms] : excl_ms_by_label)
+      record_metric("profile_excl_ms." + label, excl_ms,
+                    obs::MetricKind::kPerf, obs::Direction::kLowerIsBetter,
+                    "ms", 0.0, stage_floor_ms);
+  }
+
   void archive(const std::string& dir) {
     obs::RunRecord record;
     record.bench = name_;
@@ -347,6 +450,8 @@ class Run {
   std::string name_;
   WallTimer timer_;
   obs::RunManifest manifest_;
+  /// Root of the logical call tree when profiling; closed by finish().
+  std::unique_ptr<obs::ProfileScope> profile_root_;
   bool ok_ = true;
   int repeats_ = 1;
   bool progress_flag_ = false;
@@ -386,18 +491,23 @@ auto run_repeats(Run& run, Fn&& body) {
   if (repeats > 1) {
     const bool tracer_was = obs::Tracer::global().enabled();
     const bool drift_was = obs::DriftAuditor::global().enabled();
+    const bool profiler_was = obs::Profiler::global().enabled();
     obs::Tracer::global().set_enabled(false);
     obs::DriftAuditor::global().set_enabled(false);
+    obs::Profiler::global().set_enabled(false);
     for (int i = 0; i + 1 < repeats; ++i) (void)timed();
     // Warm-up repeats must not leak into the authoritative run's
     // metrics, drift report, or fault receipts — nor into the rig-run
-    // counter that names their groups.
+    // counter that names their groups. The profiler needs no clear: its
+    // scopes were inert while muted (activity is decided at scope entry),
+    // so only the authoritative repeat populates the call tree.
     obs::MetricsRegistry::global().reset();
     obs::DriftAuditor::global().clear();
     obs::FaultLedger::global().clear();
     reset_rig_run_counter();
     obs::Tracer::global().set_enabled(tracer_was);
     obs::DriftAuditor::global().set_enabled(drift_was);
+    obs::Profiler::global().set_enabled(profiler_was);
   }
   auto result = timed();
   progress.finish();
@@ -507,18 +617,6 @@ inline void check_fault_ledger(Run& run, const std::string& capture_group,
                lost, quarantined, expected.shots_lost,
                expected.quarantined_devices);
   run.fail();
-}
-
-/// Manifest-only hook for the google-benchmark micros (their hot loops
-/// are timed by the benchmark library itself, so span tracing stays off).
-inline int micro_manifest(const std::string& name) {
-  obs::RunManifest manifest(name);
-  std::string dir;
-  if (!ensure_out_dir(dir)) return 1;
-  std::string path = dir + "/" + name + ".meta.json";
-  if (!manifest.write(path)) return 1;
-  std::printf("[meta] %s\n", path.c_str());
-  return 0;
 }
 
 }  // namespace edgestab::bench

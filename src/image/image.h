@@ -10,6 +10,7 @@
 #include <span>
 #include <vector>
 
+#include "util/alloc_track.h"
 #include "util/check.h"
 
 namespace edgestab {
@@ -80,7 +81,9 @@ class Image {
   int width_ = 0;
   int height_ = 0;
   int channels_ = 0;
-  std::vector<float> data_;
+  /// Tracked for profiler allocation attribution (util/alloc_track.h);
+  /// plain std::vector in profile-off builds.
+  TrackedVector<float, AllocSite::kImage> data_;
 };
 
 /// Interleaved 8-bit image: data()[ (y*W + x)*C + c ].
@@ -124,7 +127,7 @@ class ImageU8 {
   int width_ = 0;
   int height_ = 0;
   int channels_ = 0;
-  std::vector<std::uint8_t> data_;
+  TrackedVector<std::uint8_t, AllocSite::kImage> data_;
 };
 
 /// Quantize a [0,1] float image to 8 bits (round-half-up).

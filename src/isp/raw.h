@@ -21,6 +21,11 @@ enum class BayerPattern {
 /// Which color a CFA site sees: 0 = R, 1 = G, 2 = B.
 int cfa_color(BayerPattern pattern, int x, int y);
 
+/// Mosaic sample storage; tracked for profiler allocation attribution
+/// (util/alloc_track.h; raw frames count against the image site). Plain
+/// std::vector<float> in profile-off builds.
+using RawStorage = TrackedVector<float, AllocSite::kImage>;
+
 /// Linear mosaic samples in [0,1] after black-level headroom; one float
 /// per photosite.
 class RawImage {
@@ -47,8 +52,8 @@ class RawImage {
 
   int color_at(int x, int y) const { return cfa_color(pattern_, x, y); }
 
-  std::vector<float>& data() { return data_; }
-  const std::vector<float>& data() const { return data_; }
+  RawStorage& data() { return data_; }
+  const RawStorage& data() const { return data_; }
 
   /// Serialize / parse the container (header + quantized samples at the
   /// sensor bit depth — like a minimal DNG).
@@ -61,7 +66,7 @@ class RawImage {
   BayerPattern pattern_ = BayerPattern::kRggb;
   float black_level_ = 0.0f;
   int bit_depth_ = 10;
-  std::vector<float> data_;
+  RawStorage data_;
 };
 
 }  // namespace edgestab

@@ -41,6 +41,7 @@ Tensor Model::forward(const Tensor& input, bool train) {
 
 Tensor Model::backward(const Tensor& grad_logits,
                        const Tensor* grad_embedding) {
+  ES_TRACE_SCOPE("nn", "backward");
   ES_CHECK(!layers_.empty());
   if (grad_embedding != nullptr)
     ES_CHECK_MSG(embedding_tap_ >= 0,

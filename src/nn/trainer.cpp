@@ -225,13 +225,13 @@ Tensor predict_logits(Model& model, const Tensor& images, int batch_size) {
   // Inference rows are batch-independent: convolutions and pooling are
   // per-sample, batch-norm normalizes with running statistics, dense
   // layers reduce per row. The chunking below may therefore differ from
-  // `batch_size` without changing a single output bit — we cut finer
-  // chunks when the pool has lanes to fill.
-  const int lanes = runtime::ThreadPool::global().threads();
-  int chunk = batch_size;
-  if (lanes > 1)
-    chunk = std::max(
-        1, std::min(batch_size, (n + lanes * 4 - 1) / (lanes * 4)));
+  // `batch_size` without changing a single output bit. The cut count is
+  // fixed — NOT derived from the lane count — so the chunk layout, and
+  // with it the tracked-allocation stream the profiler attributes, is
+  // identical at any --threads (DESIGN.md §13 determinism contract).
+  constexpr int kEvalCuts = 16;
+  const int chunk = std::max(
+      1, std::min(batch_size, (n + kEvalCuts - 1) / kEvalCuts));
 
   auto run_chunk = [&](Model& m, int start, Tensor& out) {
     const int end = std::min(start + chunk, n);
@@ -259,20 +259,17 @@ Tensor predict_logits(Model& model, const Tensor& images, int batch_size) {
   const std::size_t rest =
       static_cast<std::size_t>((n + chunk - 1) / chunk) - 1;
   if (rest == 0) return all_logits;
-  if (lanes <= 1) {
-    for (std::size_t i = 0; i < rest; ++i)
-      run_chunk(model, static_cast<int>(i + 1) * chunk, all_logits);
-    return all_logits;
-  }
-  // Remaining chunks forward through per-worker deep copies so no forward
+  // Remaining chunks forward through per-chunk deep copies so no forward
   // cache is shared across lanes; rows land in disjoint output slices.
+  // Exactly one clone per chunk in EVERY path — grain 1 makes a pool
+  // claim one chunk, and the pool's serial fast path walks the same
+  // per-chunk loop — so the allocation stream stays lane-invariant.
   runtime::ThreadPool::global().run_chunks(
-      rest,
-      std::max<std::size_t>(1, rest / (static_cast<std::size_t>(lanes) * 2)),
-      [&](std::size_t begin, std::size_t end) {
-        Model local = model.clone();
-        for (std::size_t i = begin; i < end; ++i)
+      rest, /*grain=*/1, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          Model local = model.clone();
           run_chunk(local, static_cast<int>(i + 1) * chunk, all_logits);
+        }
       });
   return all_logits;
 }

@@ -168,6 +168,7 @@ std::string run_record_json(const RunRecord& record) {
     } else {
       w.key("value").value(m.value);
       if (m.epsilon > 0.0) w.key("epsilon").value(m.epsilon);
+      if (m.abs_floor > 0.0) w.key("abs_floor").value(m.abs_floor);
     }
     w.end_object();
   }
@@ -250,6 +251,7 @@ bool parse_run_record(const JsonValue& doc, RunRecord* out,
       sample.value = number_member(m, "value", 0.0);
       sample.text = string_member(m, "text");
       sample.epsilon = number_member(m, "epsilon", 0.0);
+      sample.abs_floor = number_member(m, "abs_floor", 0.0);
       if (!sample.name.empty()) record.metrics.push_back(std::move(sample));
     }
   }
@@ -333,6 +335,7 @@ Baseline baseline_from_record(const RunRecord& record) {
     m.median = sample.value;
     m.n = 1;
     m.epsilon = sample.epsilon;
+    m.abs_floor = sample.abs_floor;
     m.text = sample.text;
     baseline.metrics.push_back(std::move(m));
   }

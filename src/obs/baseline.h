@@ -52,6 +52,11 @@ struct MetricSample {
   double value = 0.0;   ///< numeric kinds
   std::string text;     ///< digest kind: hex fingerprint
   double epsilon = 0.0; ///< correctness tolerance (0 = exact)
+  /// Perf kind: absolute band floor (unit-scaled) carried into the
+  /// derived BaselineMetric — for metrics whose medians can be tiny
+  /// (e.g. per-stage exclusive ms), where a purely relative band would
+  /// flag noise.
+  double abs_floor = 0.0;
 };
 
 /// Timing of one bench repeat (wall clock + getrusage deltas).

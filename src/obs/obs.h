@@ -16,10 +16,19 @@
 // category/name arguments must be string literals; the span feeds the
 // registry histogram named "<category>.<name>", resolved once per call
 // site via a static local.
+//
+// The same sites also feed the hot-path profiler (obs/profiler.h): with
+// EDGESTAB_PROFILE compiled in, ES_TRACE_SCOPE additionally opens a
+// profile scope on the logical call tree, and ES_PROFILE_SCOPE opens a
+// profile scope *without* a tracer span — for sites that matter to time
+// attribution even in tracing-off builds. Both compile to `((void)0)`
+// when their option is off, and each gate independently, so every
+// flavor of (tracing × profile) builds.
 #pragma once
 
 #include "obs/manifest.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 
 namespace edgestab::obs {
@@ -36,12 +45,34 @@ inline constexpr bool kDriftCompiledIn = true;
 inline constexpr bool kDriftCompiledIn = false;
 #endif
 
+#ifdef EDGESTAB_PROFILE
+inline constexpr bool kProfileCompiledIn = true;
+#else
+inline constexpr bool kProfileCompiledIn = false;
+#endif
+
 }  // namespace edgestab::obs
 
 #ifndef ES_OBS_CONCAT
 #define ES_OBS_CONCAT_INNER(a, b) a##b
 #define ES_OBS_CONCAT(a, b) ES_OBS_CONCAT_INNER(a, b)
 #endif
+
+// Profile scope only (no tracer span, no histogram): the call-tree
+// profiler's own instrumentation points, live even when tracing is
+// compiled out. Category/name must be string literals (the profiler
+// caches intern lookups by pointer identity).
+#ifdef EDGESTAB_PROFILE
+
+#define ES_PROFILE_SCOPE(category, name)                                   \
+  ::edgestab::obs::ProfileScope ES_OBS_CONCAT(es_obs_pscope_,              \
+                                              __LINE__)(category, name)
+
+#else
+
+#define ES_PROFILE_SCOPE(category, name) ((void)0)
+
+#endif  // EDGESTAB_PROFILE
 
 #ifdef EDGESTAB_TRACING
 
@@ -51,7 +82,8 @@ inline constexpr bool kDriftCompiledIn = false;
       ::edgestab::obs::MetricsRegistry::global().histogram(category        \
                                                            "." name);      \
   ::edgestab::obs::ScopedSpan ES_OBS_CONCAT(es_obs_span_, __LINE__)(       \
-      category, name, &ES_OBS_CONCAT(es_obs_hist_, __LINE__))
+      category, name, &ES_OBS_CONCAT(es_obs_hist_, __LINE__));             \
+  ES_PROFILE_SCOPE(category, name)
 
 #define ES_COUNT(name, delta)                                              \
   do {                                                                     \
@@ -64,7 +96,7 @@ inline constexpr bool kDriftCompiledIn = false;
 
 #else
 
-#define ES_TRACE_SCOPE(category, name) ((void)0)
+#define ES_TRACE_SCOPE(category, name) ES_PROFILE_SCOPE(category, name)
 #define ES_COUNT(name, delta) ((void)0)
 
 #endif  // EDGESTAB_TRACING

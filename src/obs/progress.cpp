@@ -39,9 +39,14 @@ void ProgressMeter::finish() {
 
 void ProgressMeter::emit(bool closing) {
   double elapsed = timer_.seconds();
+  // Elapsed-based throughput: items completed per wall second so far.
+  double rate = elapsed > 0.0 && done_ > 0
+                    ? static_cast<double>(done_) / elapsed
+                    : 0.0;
   if (closing) {
-    std::fprintf(stderr, "[progress] %s done: %lld in %.1fs\n",
-                 label_.c_str(), static_cast<long long>(done_), elapsed);
+    std::fprintf(stderr, "[progress] %s done: %lld in %.1fs (%.1f items/s)\n",
+                 label_.c_str(), static_cast<long long>(done_), elapsed,
+                 rate);
   } else if (total_ > 0) {
     double fraction =
         static_cast<double>(done_) / static_cast<double>(total_);
@@ -50,13 +55,16 @@ void ProgressMeter::emit(bool closing) {
                            static_cast<double>(total_ - done_)
                      : 0.0;
     std::fprintf(stderr,
-                 "[progress] %s %lld/%lld (%.0f%%) elapsed %.1fs eta %.1fs\n",
+                 "[progress] %s %lld/%lld (%.0f%%) elapsed %.1fs "
+                 "(%.1f items/s) eta %.1fs\n",
                  label_.c_str(), static_cast<long long>(done_),
                  static_cast<long long>(total_), fraction * 100.0, elapsed,
-                 eta);
+                 rate, eta);
   } else {
-    std::fprintf(stderr, "[progress] %s %lld elapsed %.1fs\n", label_.c_str(),
-                 static_cast<long long>(done_), elapsed);
+    std::fprintf(stderr,
+                 "[progress] %s %lld elapsed %.1fs (%.1f items/s)\n",
+                 label_.c_str(), static_cast<long long>(done_), elapsed,
+                 rate);
   }
   std::fflush(stderr);
   last_emit_seconds_ = elapsed;

@@ -8,6 +8,7 @@
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "util/check.h"
 #include "util/csv.h"
@@ -508,8 +509,22 @@ bool export_run_artifacts(const std::string& bench_name,
                    "[trace] %llu span events dropped (per-thread buffer "
                    "full) — the trace is incomplete\n",
                    static_cast<unsigned long long>(tracer.dropped()));
+      // Recorded only when non-zero so a clean run's meta.json stays
+      // byte-identical to one from before drop accounting existed.
+      manifest.set_field("trace_dropped_spans",
+                         static_cast<double>(tracer.dropped()));
       ok = false;
     }
+  }
+
+  // Profile artifacts are exported whenever a profiler was armed this
+  // run (the --profile flag); an unarmed run writes nothing, keeping its
+  // artifact set byte-identical to a profile-less build.
+  if (kProfileCompiledIn && Profiler::global().armed()) {
+    Profiler::global().set_enabled(false);  // freeze before snapshotting
+    ok = write_profile_report(Profiler::global(), bench_name, dir,
+                              &manifest) &&
+         ok;
   }
 
   // Fault accounting goes to the manifest in every build flavor (the

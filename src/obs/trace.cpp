@@ -5,6 +5,7 @@
 
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 
 namespace edgestab::obs {
 
@@ -163,12 +164,16 @@ ScopedSpan::~ScopedSpan() {
   if (histogram_ != nullptr) histogram_->record(duration);
 }
 
-SuspendTracing::SuspendTracing() : was_enabled_(Tracer::global().enabled()) {
+SuspendTracing::SuspendTracing()
+    : was_enabled_(Tracer::global().enabled()),
+      profiler_was_enabled_(Profiler::global().enabled()) {
   Tracer::global().set_enabled(false);
+  if (profiler_was_enabled_) Profiler::global().set_enabled(false);
 }
 
 SuspendTracing::~SuspendTracing() {
   Tracer::global().set_enabled(was_enabled_);
+  if (profiler_was_enabled_) Profiler::global().set_enabled(true);
 }
 
 std::string chrome_trace_json(const Tracer& tracer) {

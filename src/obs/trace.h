@@ -132,10 +132,11 @@ class ScopedSpan {
   bool active_ = false;
 };
 
-/// RAII guard that disables tracing for a region (nesting-safe). Used
-/// around one-time cached-artifact construction — e.g. base-model
-/// pretraining — whose millions of forward passes are not part of the
-/// run being measured.
+/// RAII guard that disables tracing — and the hot-path profiler — for a
+/// region (nesting-safe). Used around one-time cached-artifact
+/// construction, e.g. base-model pretraining, whose millions of forward
+/// passes are not part of the run being measured and would otherwise
+/// pollute profiles and allocation attribution.
 class SuspendTracing {
  public:
   SuspendTracing();
@@ -146,6 +147,7 @@ class SuspendTracing {
 
  private:
   bool was_enabled_;
+  bool profiler_was_enabled_;
 };
 
 /// Serialize every buffered span as Chrome trace_event JSON ("X" complete

@@ -1,0 +1,21 @@
+#include "runtime/task_context.h"
+
+#include <atomic>
+
+namespace edgestab::runtime {
+
+namespace {
+
+std::atomic<const TaskContextHooks*> g_task_hooks{nullptr};
+
+}  // namespace
+
+void set_task_context_hooks(const TaskContextHooks* hooks) {
+  g_task_hooks.store(hooks, std::memory_order_release);
+}
+
+const TaskContextHooks* task_context_hooks() {
+  return g_task_hooks.load(std::memory_order_acquire);
+}
+
+}  // namespace edgestab::runtime

@@ -1,0 +1,36 @@
+// Cross-lane task-context propagation for the thread pool.
+//
+// The pool's dynamic scheduling moves work between threads, which breaks
+// any attribution scheme built on thread-local state: a span opened on
+// the submitting thread is invisible to the worker lanes that execute
+// the chunks it fans out. These hooks let an observer (the obs profiler)
+// carry an opaque context across the submit edge deterministically:
+//
+//   capture()  runs on the submitting thread when a parallel region is
+//              dispatched; returns the context to propagate.
+//   install()  runs on each worker lane before it drains chunks of that
+//              region; returns the lane's previous context.
+//   restore()  runs on the lane after the drain, undoing install().
+//
+// The calling thread is a lane too but already holds the context, so the
+// pool only wraps *worker* drains. Hooks are function pointers behind one
+// atomic — uninstalled, the cost is a null check per parallel region, and
+// runtime/ keeps zero dependencies on obs/.
+#pragma once
+
+namespace edgestab::runtime {
+
+struct TaskContextHooks {
+  void* (*capture)() = nullptr;
+  void* (*install)(void* context) = nullptr;
+  void (*restore)(void* previous) = nullptr;
+};
+
+/// Install (or clear with nullptr) the process-wide hook table; the
+/// table must outlive all subsequent parallel regions. Install before
+/// dispatching parallel work — the pointer swap itself is atomic but
+/// regions already in flight may miss it.
+void set_task_context_hooks(const TaskContextHooks* hooks);
+const TaskContextHooks* task_context_hooks();
+
+}  // namespace edgestab::runtime

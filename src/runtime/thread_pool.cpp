@@ -8,6 +8,7 @@
 #include <thread>
 #include <vector>
 
+#include "runtime/task_context.h"
 #include "util/check.h"
 
 namespace edgestab::runtime {
@@ -33,6 +34,7 @@ struct ThreadPool::Impl {
   std::size_t job_n = 0;
   std::size_t job_grain = 1;
   const std::function<void(std::size_t, std::size_t)>* job_body = nullptr;
+  void* job_context = nullptr;  ///< captured submitter task context
   std::atomic<std::size_t> cursor{0};
   std::atomic<bool> failed{false};
   int busy_workers = 0;
@@ -65,6 +67,7 @@ struct ThreadPool::Impl {
     for (;;) {
       std::size_t n = 0, grain = 1;
       const std::function<void(std::size_t, std::size_t)>* body = nullptr;
+      void* context = nullptr;
       {
         std::unique_lock<std::mutex> lock(mu);
         work_cv.wait(lock, [&] {
@@ -76,9 +79,18 @@ struct ThreadPool::Impl {
         n = job_n;
         grain = job_grain;
         body = job_body;
+        context = job_context;
         ++busy_workers;
       }
+      // Adopt the submitter's task context for the drain (profiler scope
+      // attribution stays thread-invariant), then put the lane's own back.
+      const TaskContextHooks* hooks = task_context_hooks();
+      void* previous = nullptr;
+      if (hooks != nullptr && hooks->install != nullptr)
+        previous = hooks->install(context);
       drain(n, grain, *body);
+      if (hooks != nullptr && hooks->restore != nullptr)
+        hooks->restore(previous);
       {
         std::lock_guard<std::mutex> lock(mu);
         --busy_workers;
@@ -136,6 +148,10 @@ void ThreadPool::run_chunks(
     return;
   }
 
+  const TaskContextHooks* hooks = task_context_hooks();
+  void* context = hooks != nullptr && hooks->capture != nullptr
+                      ? hooks->capture()
+                      : nullptr;
   {
     std::lock_guard<std::mutex> lock(impl_->mu);
     ES_CHECK_MSG(impl_->job_body == nullptr,
@@ -144,6 +160,7 @@ void ThreadPool::run_chunks(
     impl_->job_n = n;
     impl_->job_grain = grain;
     impl_->job_body = &body;
+    impl_->job_context = context;
     impl_->cursor.store(0, std::memory_order_relaxed);
     impl_->failed.store(false, std::memory_order_relaxed);
     impl_->error = nullptr;
@@ -159,6 +176,7 @@ void ThreadPool::run_chunks(
     impl_->done_cv.wait(lock, [&] { return impl_->busy_workers == 0; });
     impl_->job_body = nullptr;
     impl_->job_n = 0;
+    impl_->job_context = nullptr;
     error = impl_->error;
     impl_->error = nullptr;
   }

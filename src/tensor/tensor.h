@@ -10,6 +10,7 @@
 #include <span>
 #include <vector>
 
+#include "util/alloc_track.h"
 #include "util/check.h"
 
 namespace edgestab {
@@ -89,7 +90,10 @@ class Tensor {
   }
 
   std::vector<int> shape_;
-  std::vector<float> data_;
+  /// Tracked so the profiler can attribute tensor allocations to the
+  /// innermost profile scope (util/alloc_track.h); plain std::vector in
+  /// profile-off builds.
+  TrackedVector<float, AllocSite::kTensor> data_;
 };
 
 }  // namespace edgestab

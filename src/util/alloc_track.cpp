@@ -1,0 +1,30 @@
+#include "util/alloc_track.h"
+
+#include <atomic>
+
+namespace edgestab {
+
+namespace {
+
+std::atomic<const AllocHooks*> g_alloc_hooks{nullptr};
+
+}  // namespace
+
+const char* alloc_site_name(AllocSite site) {
+  switch (site) {
+    case AllocSite::kTensor: return "tensor";
+    case AllocSite::kImage: return "image";
+    case AllocSite::kBytes: return "bytes";
+  }
+  return "unknown";
+}
+
+void set_alloc_hooks(const AllocHooks* hooks) {
+  g_alloc_hooks.store(hooks, std::memory_order_release);
+}
+
+const AllocHooks* alloc_hooks() {
+  return g_alloc_hooks.load(std::memory_order_acquire);
+}
+
+}  // namespace edgestab

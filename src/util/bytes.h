@@ -7,9 +7,15 @@
 #include <string>
 #include <vector>
 
+#include "util/alloc_track.h"
+
 namespace edgestab {
 
-using Bytes = std::vector<std::uint8_t>;
+/// Codec bitstreams, checkpoints and cache payloads. The tracked
+/// allocator reports (de)allocations to the hot-path profiler when one
+/// is armed; in profile-off builds it IS std::allocator, so the type is
+/// exactly std::vector<std::uint8_t>.
+using Bytes = TrackedVector<std::uint8_t, AllocSite::kBytes>;
 
 /// Append-only little-endian byte writer.
 class ByteWriter {

@@ -1,10 +1,23 @@
-# Builds the four EDGESTAB_DRIFT x EDGESTAB_TRACING build flavors in
-# child build trees, runs bench_table4_isp end-to-end in each (smoke-size
-# rig via EDGESTAB_RIG_OBJECTS, shared model cache), and asserts that the
-# drift artifacts exist exactly in the drift-enabled flavors and the
-# trace artifacts exactly in the tracing-enabled ones — i.e. that both
-# observability subsystems really are compile-time removable without
-# breaking the bench.
+# Build-flavor matrix for the compile-time-removable observability
+# subsystems (drift auditing, span tracing, hot-path profiling).
+#
+# Four explicit (EDGESTAB_DRIFT, EDGESTAB_TRACING, EDGESTAB_PROFILE)
+# flavors build in child trees and run bench_table4_isp end-to-end
+# (smoke-size rig via EDGESTAB_RIG_OBJECTS, shared model cache):
+#
+#   full      ON  ON  ON   default flavor, run without --profile
+#   noprof    ON  ON  OFF  byte-identity partner of `full`
+#   proftrim  OFF OFF ON   profiler alone, run WITH --profile — profile
+#                          artifacts must land even with tracing
+#                          compiled out
+#   bare      OFF OFF OFF  everything off, run WITH --profile — the
+#                          flag must warn and write no profile artifacts
+#
+# Asserts drift artifacts exist exactly in drift flavors, trace
+# artifacts exactly in tracing flavors, profile artifacts exactly where
+# the profiler is compiled in AND requested — and that the deterministic
+# result artifacts (CSV, drift report) of `full` and `noprof` are
+# byte-identical: compiling the profiler out changes nothing.
 #
 # Expected -D variables: SOURCE_DIR, WORK_DIR, CACHE_DIR.
 foreach(var SOURCE_DIR WORK_DIR CACHE_DIR)
@@ -13,101 +26,153 @@ foreach(var SOURCE_DIR WORK_DIR CACHE_DIR)
   endif()
 endforeach()
 
-foreach(drift ON OFF)
-  foreach(tracing ON OFF)
-    set(tag "drift_${drift}_tracing_${tracing}")
-    set(build_dir "${WORK_DIR}/${tag}")
-    message(STATUS "==== ${tag}: configure ====")
-    execute_process(
-      COMMAND ${CMAKE_COMMAND} -S "${SOURCE_DIR}" -B "${build_dir}"
-        -DCMAKE_BUILD_TYPE=Release
-        -DEDGESTAB_DRIFT=${drift}
-        -DEDGESTAB_TRACING=${tracing}
-      RESULT_VARIABLE rc
-      OUTPUT_QUIET)
-    if(NOT rc EQUAL 0)
-      message(FATAL_ERROR "${tag}: configure failed with ${rc}")
-    endif()
+include(ProcessorCount)
+ProcessorCount(ncpu)
+if(ncpu EQUAL 0)
+  set(ncpu 2)
+endif()
 
-    message(STATUS "==== ${tag}: build bench_table4_isp ====")
-    include(ProcessorCount)
-    ProcessorCount(ncpu)
-    if(ncpu EQUAL 0)
-      set(ncpu 2)
-    endif()
-    execute_process(
-      COMMAND ${CMAKE_COMMAND} --build "${build_dir}"
-        --target bench_table4_isp --parallel ${ncpu}
-      RESULT_VARIABLE rc
-      OUTPUT_QUIET)
-    if(NOT rc EQUAL 0)
-      message(FATAL_ERROR "${tag}: build failed with ${rc}")
-    endif()
+# run_flavor(tag drift tracing profile profile_flag expect_profile)
+# Configures + builds the flavor, runs the bench (appending --profile
+# when profile_flag is ON), and checks the per-subsystem artifacts. The
+# run directory is left at ${WORK_DIR}/${tag}/smoke_run for the
+# byte-identity comparison below.
+function(run_flavor tag drift tracing profile profile_flag expect_profile)
+  set(build_dir "${WORK_DIR}/${tag}")
+  message(STATUS "==== ${tag}: configure ====")
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -S "${SOURCE_DIR}" -B "${build_dir}"
+      -DCMAKE_BUILD_TYPE=Release
+      -DEDGESTAB_DRIFT=${drift}
+      -DEDGESTAB_TRACING=${tracing}
+      -DEDGESTAB_PROFILE=${profile}
+    RESULT_VARIABLE rc
+    OUTPUT_QUIET)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${tag}: configure failed with ${rc}")
+  endif()
 
-    message(STATUS "==== ${tag}: run ====")
-    set(run_dir "${build_dir}/smoke_run")
-    file(REMOVE_RECURSE "${run_dir}")
-    file(MAKE_DIRECTORY "${run_dir}")
-    execute_process(
-      COMMAND ${CMAKE_COMMAND} -E env
-        "EDGESTAB_CACHE=${CACHE_DIR}"
-        "EDGESTAB_RIG_OBJECTS=2"
-        "${build_dir}/bench/bench_table4_isp"
-      WORKING_DIRECTORY "${run_dir}"
-      RESULT_VARIABLE rc)
-    if(NOT rc EQUAL 0)
-      message(FATAL_ERROR "${tag}: bench exited with ${rc}")
+  message(STATUS "==== ${tag}: build bench_table4_isp ====")
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} --build "${build_dir}"
+      --target bench_table4_isp --parallel ${ncpu}
+    RESULT_VARIABLE rc
+    OUTPUT_QUIET)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${tag}: build failed with ${rc}")
+  endif()
+
+  message(STATUS "==== ${tag}: run ====")
+  set(run_dir "${build_dir}/smoke_run")
+  file(REMOVE_RECURSE "${run_dir}")
+  file(MAKE_DIRECTORY "${run_dir}")
+  set(bench_args "")
+  if(profile_flag STREQUAL "ON")
+    set(bench_args "--profile")
+  endif()
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E env
+      "EDGESTAB_CACHE=${CACHE_DIR}"
+      "EDGESTAB_RIG_OBJECTS=2"
+      "${build_dir}/bench/bench_table4_isp" ${bench_args}
+    WORKING_DIRECTORY "${run_dir}"
+    RESULT_VARIABLE rc ERROR_VARIABLE run_err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${tag}: bench exited with ${rc}")
+  endif()
+
+  set(out "${run_dir}/bench_out")
+  foreach(artifact "table4_isp.csv" "table4_isp.meta.json")
+    if(NOT EXISTS "${out}/${artifact}")
+      message(FATAL_ERROR "${tag}: missing artifact ${out}/${artifact}")
     endif()
-
-    set(out "${run_dir}/bench_out")
-    foreach(artifact "table4_isp.csv" "table4_isp.meta.json")
-      if(NOT EXISTS "${out}/${artifact}")
-        message(FATAL_ERROR "${tag}: missing artifact ${out}/${artifact}")
-      endif()
-    endforeach()
-
-    set(drift_json "${out}/table4_isp.drift.json")
-    set(drift_html "${out}/table4_isp.drift.html")
-    if(drift)
-      if(NOT EXISTS "${drift_json}")
-        message(FATAL_ERROR "${tag}: drift build produced no ${drift_json}")
-      endif()
-      file(READ "${drift_json}" doc)
-      if(NOT doc MATCHES "edgestab-drift-report-v1")
-        message(FATAL_ERROR "${tag}: ${drift_json} lacks the report schema")
-      endif()
-      if(NOT doc MATCHES "\"stage\":\"demosaic\"")
-        message(FATAL_ERROR "${tag}: ${drift_json} has no per-stage drift")
-      endif()
-      if(NOT doc MATCHES "\"flip_ledger\"")
-        message(FATAL_ERROR "${tag}: ${drift_json} has no flip ledger")
-      endif()
-      if(NOT EXISTS "${drift_html}")
-        message(FATAL_ERROR "${tag}: drift build produced no ${drift_html}")
-      endif()
-      file(READ "${drift_html}" html)
-      if(NOT html MATCHES "stage-drift")
-        message(FATAL_ERROR "${tag}: ${drift_html} has no stage-drift table")
-      endif()
-    else()
-      if(EXISTS "${drift_json}" OR EXISTS "${drift_html}")
-        message(FATAL_ERROR "${tag}: non-drift build still wrote drift reports")
-      endif()
-    endif()
-
-    set(trace "${out}/table4_isp.trace.json")
-    if(tracing)
-      if(NOT EXISTS "${trace}")
-        message(FATAL_ERROR "${tag}: tracing build produced no ${trace}")
-      endif()
-    else()
-      if(EXISTS "${trace}")
-        message(FATAL_ERROR "${tag}: non-tracing build still wrote ${trace}")
-      endif()
-    endif()
-
-    message(STATUS "==== ${tag}: OK ====")
   endforeach()
+
+  set(drift_json "${out}/table4_isp.drift.json")
+  set(drift_html "${out}/table4_isp.drift.html")
+  if(drift)
+    if(NOT EXISTS "${drift_json}")
+      message(FATAL_ERROR "${tag}: drift build produced no ${drift_json}")
+    endif()
+    file(READ "${drift_json}" doc)
+    if(NOT doc MATCHES "edgestab-drift-report-v1")
+      message(FATAL_ERROR "${tag}: ${drift_json} lacks the report schema")
+    endif()
+    if(NOT doc MATCHES "\"stage\":\"demosaic\"")
+      message(FATAL_ERROR "${tag}: ${drift_json} has no per-stage drift")
+    endif()
+    if(NOT doc MATCHES "\"flip_ledger\"")
+      message(FATAL_ERROR "${tag}: ${drift_json} has no flip ledger")
+    endif()
+    if(NOT EXISTS "${drift_html}")
+      message(FATAL_ERROR "${tag}: drift build produced no ${drift_html}")
+    endif()
+    file(READ "${drift_html}" html)
+    if(NOT html MATCHES "stage-drift")
+      message(FATAL_ERROR "${tag}: ${drift_html} has no stage-drift table")
+    endif()
+  else()
+    if(EXISTS "${drift_json}" OR EXISTS "${drift_html}")
+      message(FATAL_ERROR "${tag}: non-drift build still wrote drift reports")
+    endif()
+  endif()
+
+  set(trace "${out}/table4_isp.trace.json")
+  if(tracing)
+    if(NOT EXISTS "${trace}")
+      message(FATAL_ERROR "${tag}: tracing build produced no ${trace}")
+    endif()
+  else()
+    if(EXISTS "${trace}")
+      message(FATAL_ERROR "${tag}: non-tracing build still wrote ${trace}")
+    endif()
+  endif()
+
+  set(profile_json "${out}/table4_isp.profile.json")
+  set(profile_html "${out}/table4_isp.profile.html")
+  if(expect_profile STREQUAL "YES")
+    if(NOT EXISTS "${profile_json}" OR NOT EXISTS "${profile_html}")
+      message(FATAL_ERROR "${tag}: profiled run wrote no profile artifacts")
+    endif()
+    file(READ "${profile_json}" doc)
+    if(NOT doc MATCHES "edgestab-profile-v1")
+      message(FATAL_ERROR "${tag}: ${profile_json} lacks the profile schema")
+    endif()
+  else()
+    if(EXISTS "${profile_json}" OR EXISTS "${profile_html}")
+      message(FATAL_ERROR "${tag}: flavor still wrote profile artifacts")
+    endif()
+  endif()
+  if(profile_flag STREQUAL "ON" AND profile STREQUAL "OFF")
+    if(NOT run_err MATCHES "compiled out")
+      message(FATAL_ERROR
+        "${tag}: --profile on a no-profiler build did not warn:\n${run_err}")
+    endif()
+  endif()
+
+  message(STATUS "==== ${tag}: OK ====")
+endfunction()
+
+#          tag      drift tracing profile --profile expect_profile
+run_flavor(full     ON    ON      ON      OFF       NO)
+run_flavor(noprof   ON    ON      OFF     OFF       NO)
+run_flavor(proftrim OFF   OFF     ON      ON        YES)
+run_flavor(bare     OFF   OFF     OFF     ON        NO)
+
+# Byte-identity: with the profiler compiled in but not requested, the
+# deterministic result artifacts must match the profiler-free build
+# exactly (tracked allocators observe, never alter).
+foreach(artifact "table4_isp.csv" "table4_isp.drift.json")
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+      "${WORK_DIR}/full/smoke_run/bench_out/${artifact}"
+      "${WORK_DIR}/noprof/smoke_run/bench_out/${artifact}"
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+      "${artifact} differs between the profile-ON and profile-OFF "
+      "flavors — compiling the profiler in must change nothing")
+  endif()
 endforeach()
 
-message(STATUS "drift/tracing build-flavor matrix OK")
+message(STATUS "observability build-flavor matrix OK")

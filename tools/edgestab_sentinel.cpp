@@ -15,6 +15,10 @@
 //   edgestab_sentinel list [--runs FILE]
 //     One line per archived run.
 //
+//   edgestab_sentinel hotspots FILE [--top N]
+//     Render the hotspot table of a <bench>.profile.json written by a
+//     --profile run.
+//
 // Baselines are refreshed with scripts/refresh_baselines.sh, which
 // copies the candidate BENCH_<name>.json files a bench run emits into
 // the committed baselines/ directory.
@@ -23,11 +27,14 @@
 #include <cstdlib>
 #include <cstring>
 #include <ctime>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "obs/baseline.h"
 #include "obs/compare.h"
+#include "obs/json.h"
+#include "obs/profiler.h"
 
 using namespace edgestab;
 
@@ -44,7 +51,8 @@ int usage() {
       "          [--baseline-dir DIR] [--rel-tol X] [--mad-k X]\n"
       "          [--perf-advisory] [--json]\n"
       "  trend   [--runs FILE] [--out FILE] [--baseline-dir DIR]\n"
-      "  list    [--runs FILE]\n");
+      "  list    [--runs FILE]\n"
+      "  hotspots FILE [--top N]\n");
   return 1;
 }
 
@@ -251,6 +259,67 @@ int cmd_list(int argc, char** argv) {
   return 0;
 }
 
+int cmd_hotspots(int argc, char** argv) {
+  std::string path;
+  std::size_t top_n = 12;
+  for (int i = 2; i < argc; ++i) {
+    std::string value;
+    if (option_value(argc, argv, i, "--top", &value)) {
+      top_n = static_cast<std::size_t>(std::atoi(value.c_str()));
+      continue;
+    }
+    if (argv[i][0] == '-') {
+      std::fprintf(stderr, "sentinel: unknown option '%s'\n", argv[i]);
+      return usage();
+    }
+    if (!path.empty()) {
+      std::fprintf(stderr, "sentinel: hotspots takes one profile file\n");
+      return usage();
+    }
+    path = argv[i];
+  }
+  if (path.empty()) {
+    std::fprintf(stderr,
+                 "sentinel: hotspots requires a <bench>.profile.json\n");
+    return usage();
+  }
+
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "sentinel: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::string text;
+  char buffer[4096];
+  std::size_t got;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), f)) > 0)
+    text.append(buffer, got);
+  std::fclose(f);
+
+  std::string error;
+  std::optional<obs::JsonValue> doc = obs::parse_json(text, &error);
+  if (!doc.has_value()) {
+    std::fprintf(stderr, "sentinel: %s: %s\n", path.c_str(), error.c_str());
+    return 1;
+  }
+  obs::ProfileDoc profile;
+  if (!obs::parse_profile(*doc, &profile, &error)) {
+    std::fprintf(stderr, "sentinel: %s: %s\n", path.c_str(), error.c_str());
+    return 1;
+  }
+
+  std::printf("%s — profile digest %s\n", profile.bench.c_str(),
+              profile.digest.c_str());
+  std::printf("%s", obs::hotspot_table(profile.nodes, top_n).c_str());
+  std::printf(
+      "allocs: %llu (%.2f MiB), peak live %.2f MiB\n",
+      static_cast<unsigned long long>(profile.totals.alloc_count),
+      static_cast<double>(profile.totals.alloc_bytes) / (1024.0 * 1024.0),
+      static_cast<double>(profile.totals.peak_live_bytes) /
+          (1024.0 * 1024.0));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -259,6 +328,7 @@ int main(int argc, char** argv) {
   if (command == "compare") return cmd_compare(argc, argv);
   if (command == "trend") return cmd_trend(argc, argv);
   if (command == "list") return cmd_list(argc, argv);
+  if (command == "hotspots") return cmd_hotspots(argc, argv);
   std::fprintf(stderr, "sentinel: unknown command '%s'\n", command.c_str());
   return usage();
 }
