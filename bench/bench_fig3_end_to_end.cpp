@@ -120,5 +120,6 @@ int main(int argc, char** argv) {
   bench::report_resilience(run, r.resilience);
   bench::check_fault_ledger(run, "capture", "end_to_end", r.resilience);
   bench::check_flip_ledger(run, "end_to_end", r.overall);
+  bench::check_alert_ledger(run, "capture", "end_to_end", "end_to_end");
   return run.finish();
 }

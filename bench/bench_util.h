@@ -9,12 +9,15 @@
 #pragma once
 
 #include <algorithm>
+#include <cctype>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <ctime>
 #include <filesystem>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <utility>
 #include <vector>
@@ -31,6 +34,8 @@
 #include "obs/obs.h"
 #include "obs/progress.h"
 #include "obs/report.h"
+#include "obs/telemetry/anomaly.h"
+#include "obs/telemetry/telemetry.h"
 #include "runtime/thread_pool.h"
 #include "util/csv.h"
 #include "util/stats.h"
@@ -157,6 +162,68 @@ inline bool apply_profile_flag(int argc, char** argv) {
   return true;
 }
 
+/// Parse `--telemetry` / `--telemetry=0|off` from a bench command line
+/// (falling back to the EDGESTAB_TELEMETRY environment variable) and
+/// arm the fleet health registry. EDGESTAB_TELEMETRY_WINDOW overrides
+/// the item-window width. Returns whether telemetry was armed; when
+/// compiled out (CMake -DEDGESTAB_TELEMETRY=OFF) the request is
+/// reported and the run proceeds without. Arming also points the
+/// progress heartbeat at the registry's running alert estimate. Pass
+/// argc = 0 to consult the environment only.
+inline bool apply_telemetry_flag(int argc, char** argv) {
+  bool want = false;
+  if (const char* env = std::getenv("EDGESTAB_TELEMETRY")) {
+    std::string v = env;
+    want = !(v.empty() || v == "0" || v == "off" || v == "OFF");
+  }
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--telemetry" || arg == "--telemetry=1" ||
+        arg == "--telemetry=on")
+      want = true;
+    else if (arg == "--telemetry=0" || arg == "--telemetry=off")
+      want = false;
+  }
+  auto& registry = obs::DeviceHealthRegistry::global();
+  if (!want) {
+    // An explicit --telemetry=off overrides an env-armed registry.
+    if (registry.enabled()) {
+      registry.set_enabled(false);
+      obs::ProgressMeter::set_alert_source(nullptr);
+    }
+    return false;
+  }
+  if (!obs::kTelemetryCompiledIn) {
+    std::fprintf(stderr,
+                 "[telemetry] fleet telemetry requested but compiled out "
+                 "(EDGESTAB_TELEMETRY=OFF); running without\n");
+    return false;
+  }
+  if (registry.enabled()) return true;  // already armed (env + flag paths)
+  registry.clear();
+  if (const char* env = std::getenv("EDGESTAB_TELEMETRY_WINDOW")) {
+    int w = std::atoi(env);
+    if (w > 0) registry.set_window_items(w);
+  }
+  registry.set_enabled(true);
+  obs::ProgressMeter::set_alert_source(+[]() -> std::int64_t {
+    return obs::DeviceHealthRegistry::global().live_alert_count();
+  });
+  std::printf("[telemetry] fleet health telemetry armed (window %d items)\n",
+              registry.window_items());
+  return true;
+}
+
+/// `health.<label>.flip_rate`-style metric names must survive the
+/// sentinel's dotted-name handling, so device labels are flattened to
+/// [A-Za-z0-9_].
+inline std::string sanitize_metric_label(const std::string& label) {
+  std::string out = label;
+  for (char& c : out)
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  return out;
+}
+
 inline void banner(const std::string& title) {
   std::printf("\n================================================================\n");
   std::printf("%s\n", title.c_str());
@@ -176,6 +243,7 @@ class Run {
     if (obs::kTracingCompiledIn) obs::Tracer::global().set_enabled(true);
     if (obs::kDriftCompiledIn) obs::DriftAuditor::global().set_enabled(true);
     if (apply_profile_flag(0, nullptr)) open_profile_root();
+    apply_telemetry_flag(0, nullptr);
     manifest_.set_field(
         "threads",
         static_cast<double>(runtime::ThreadPool::global().threads()));
@@ -190,6 +258,7 @@ class Run {
       : Run(std::move(name), title) {
     if (profile_root_ == nullptr && apply_profile_flag(argc, argv))
       open_profile_root();
+    apply_telemetry_flag(argc, argv);
     manifest_.set_field("threads",
                         static_cast<double>(apply_thread_flag(argc, argv)));
     const std::string faults = apply_fault_flag(argc, argv);
@@ -343,6 +412,9 @@ class Run {
       obs::Profiler::global().set_enabled(false);
       record_profile_metrics();
     }
+    if (obs::telemetry_enabled() &&
+        !obs::DeviceHealthRegistry::global().empty())
+      record_telemetry_metrics();
     std::string dir;
     if (!ensure_out_dir(dir)) return 1;
     if (!obs::export_run_artifacts(name_, dir, manifest_)) ok_ = false;
@@ -403,6 +475,24 @@ class Run {
       record_metric("profile_excl_ms." + label, excl_ms,
                     obs::MetricKind::kPerf, obs::Direction::kLowerIsBetter,
                     "ms", 0.0, stage_floor_ms);
+  }
+
+  /// Headline fleet-health metrics for the sentinel. Alert counts and
+  /// per-device flip rates come from the integer-quantized registry, so
+  /// they are exact-compare correctness metrics: any drift across runs
+  /// under matching provenance is a real behavior change, not noise.
+  void record_telemetry_metrics() {
+    const obs::FleetHealthReport report =
+        obs::evaluate_fleet_health(obs::DeviceHealthRegistry::global());
+    record_metric("alerts_total", static_cast<double>(report.alerts_total));
+    record_metric("devices_degraded",
+                  static_cast<double>(report.devices_degraded));
+    for (const obs::DeviceHealth& d : report.fleet.devices) {
+      const std::string label =
+          d.label.empty() ? "device" + std::to_string(d.device) : d.label;
+      record_metric("health." + sanitize_metric_label(label) + ".flip_rate",
+                    d.flip_rate);
+    }
   }
 
   void archive(const std::string& dir) {
@@ -492,9 +582,11 @@ auto run_repeats(Run& run, Fn&& body) {
     const bool tracer_was = obs::Tracer::global().enabled();
     const bool drift_was = obs::DriftAuditor::global().enabled();
     const bool profiler_was = obs::Profiler::global().enabled();
+    const bool telemetry_was = obs::DeviceHealthRegistry::global().enabled();
     obs::Tracer::global().set_enabled(false);
     obs::DriftAuditor::global().set_enabled(false);
     obs::Profiler::global().set_enabled(false);
+    obs::DeviceHealthRegistry::global().set_enabled(false);
     for (int i = 0; i + 1 < repeats; ++i) (void)timed();
     // Warm-up repeats must not leak into the authoritative run's
     // metrics, drift report, or fault receipts — nor into the rig-run
@@ -504,10 +596,12 @@ auto run_repeats(Run& run, Fn&& body) {
     obs::MetricsRegistry::global().reset();
     obs::DriftAuditor::global().clear();
     obs::FaultLedger::global().clear();
+    obs::DeviceHealthRegistry::global().clear();  // keeps enabled()
     reset_rig_run_counter();
     obs::Tracer::global().set_enabled(tracer_was);
     obs::DriftAuditor::global().set_enabled(drift_was);
     obs::Profiler::global().set_enabled(profiler_was);
+    obs::DeviceHealthRegistry::global().set_enabled(telemetry_was);
   }
   auto result = timed();
   progress.finish();
@@ -616,6 +710,105 @@ inline void check_fault_ledger(Run& run, const std::string& capture_group,
                "vs run %d / %d\n",
                lost, quarantined, expected.shots_lost,
                expected.quarantined_devices);
+  run.fail();
+}
+
+/// Cross-check the alert ledger against the independent ledgers it
+/// claims to summarize, the way check_flip_ledger / check_fault_ledger
+/// audit their layers:
+///
+///   * every `device_quarantined` alert must match a FaultLedger
+///     quarantine verdict for the same (device, first excluded item) —
+///     and vice versa, every quarantined device must have paged;
+///   * every flip-rate alert's numerator must be recomputable from the
+///     FlipLedger: the count of distinct items in [item_lo, item_hi)
+///     where the device appears on the incorrect side of a flip entry.
+///
+/// A mismatch fails the bench. No-op when telemetry is off; the flip
+/// half is skipped (with a note) when the flip ledger capped entries,
+/// since the per-item records needed for the recount were dropped.
+inline void check_alert_ledger(Run& run, const std::string& capture_group,
+                               const std::string& delivery_group,
+                               const std::string& flip_group) {
+  if (!obs::telemetry_enabled() ||
+      obs::DeviceHealthRegistry::global().empty())
+    return;
+  const obs::FleetHealthReport report =
+      obs::evaluate_fleet_health(obs::DeviceHealthRegistry::global());
+
+  // Quarantine verdicts from the fault ledger's exact per-device rows
+  // (never entry-capped), across both the capture and delivery groups.
+  std::set<std::pair<int, int>> fault_quarantines;
+  for (const std::string& group : {capture_group, delivery_group}) {
+    auto summary = obs::FaultLedger::global().find_group(group);
+    if (!summary.has_value()) continue;
+    for (const obs::DeviceFaultRow& row : summary->devices)
+      if (row.quarantined)
+        fault_quarantines.emplace(row.device, row.quarantined_from_item);
+  }
+  std::set<std::pair<int, int>> alert_quarantines;
+  int flip_alerts = 0;
+  bool ok = true;
+  for (const obs::Alert& alert : report.alerts.alerts()) {
+    if (alert.rule == "device_quarantined") {
+      alert_quarantines.emplace(alert.device, alert.item);
+      if (fault_quarantines.count({alert.device, alert.item}) == 0) {
+        std::fprintf(stderr,
+                     "[alert] MISMATCH: quarantine alert for device %d item "
+                     "%d has no fault-ledger verdict\n",
+                     alert.device, alert.item);
+        ok = false;
+      }
+      continue;
+    }
+    if (alert.metric != "flip_rate") continue;
+    ++flip_alerts;
+    if (!obs::drift_enabled()) continue;  // no flip ledger to recount from
+    auto flips = obs::DriftAuditor::global().ledger().find_group(flip_group);
+    if (!flips.has_value()) {
+      std::fprintf(stderr,
+                   "[alert] MISMATCH: flip-rate alert but flip-ledger group "
+                   "'%s' is missing\n",
+                   flip_group.c_str());
+      ok = false;
+      continue;
+    }
+    if (flips->dropped_entries > 0) {
+      std::printf(
+          "[alert] flip recount skipped: flip ledger capped %lld entries\n",
+          static_cast<long long>(flips->dropped_entries));
+      continue;
+    }
+    std::set<int> flipped_items;
+    for (const obs::FlipEntry& entry : flips->entries)
+      if (entry.env_incorrect == alert.device && entry.item >= alert.item_lo &&
+          entry.item < alert.item_hi)
+        flipped_items.insert(entry.item);
+    if (static_cast<long long>(flipped_items.size()) != alert.numerator) {
+      std::fprintf(stderr,
+                   "[alert] MISMATCH: %s device %d window %d claims %lld "
+                   "flipped items, flip ledger recounts %zu\n",
+                   alert.rule.c_str(), alert.device, alert.window,
+                   alert.numerator, flipped_items.size());
+      ok = false;
+    }
+  }
+  for (const auto& [device, item] : fault_quarantines) {
+    if (alert_quarantines.count({device, item}) == 0) {
+      std::fprintf(stderr,
+                   "[alert] MISMATCH: device %d quarantined from item %d in "
+                   "the fault ledger but no alert paged\n",
+                   device, item);
+      ok = false;
+    }
+  }
+  if (ok) {
+    std::printf(
+        "[alert] ledger matches receipts: %zu quarantine verdicts, %d "
+        "flip-rate alerts recounted against '%s'\n",
+        fault_quarantines.size(), flip_alerts, flip_group.c_str());
+    return;
+  }
   run.fail();
 }
 

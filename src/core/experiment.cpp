@@ -10,6 +10,7 @@
 #include "fault/fault.h"
 #include "nn/trainer.h"
 #include "obs/drift.h"
+#include "obs/telemetry/telemetry.h"
 #include "runtime/parallel.h"
 #include "tensor/ops.h"
 #include "util/md5.h"
@@ -55,6 +56,35 @@ void drift_audit_flips(const char* group,
   for (const Observation& o : observations)
     outcomes.push_back({o.item, o.env, o.correct, o.predicted, o.class_id});
   obs::DriftAuditor::global().record_flips(group, outcomes);
+}
+
+// ---- Fleet-telemetry hooks -------------------------------------------------
+// Only experiments whose environment axis IS the device feed the health
+// registry (end_to_end, raw-vs-jpeg, os/cpu); codec- and ISP-indexed
+// experiments don't — their "environments" are conditions, not phones.
+
+/// Name each device index for the fleet dashboard.
+void telemetry_label_devices(const std::vector<std::string>& names) {
+  if (!obs::telemetry_enabled()) return;
+  auto& registry = obs::DeviceHealthRegistry::global();
+  for (std::size_t i = 0; i < names.size(); ++i)
+    registry.set_device_label(static_cast<int>(i), names[i]);
+}
+
+/// Feed finished device-indexed observations. `flipped` is the
+/// env_incorrect side of a FlipLedger entry — this device wrong while
+/// at least one device was right on the same item — so the per-device
+/// flip rate stays recomputable from the flip ledger.
+void telemetry_record_observations(std::span<const Observation> observations) {
+  if (!obs::telemetry_enabled()) return;
+  std::map<int, bool> any_correct;
+  for (const Observation& o : observations)
+    if (o.correct) any_correct[o.item] = true;
+  auto& registry = obs::DeviceHealthRegistry::global();
+  for (const Observation& o : observations) {
+    const bool flipped = !o.correct && any_correct.count(o.item) > 0;
+    registry.record_observation(o.env, o.item, o.correct, flipped);
+  }
 }
 
 }  // namespace
@@ -161,6 +191,7 @@ EndToEndResult run_end_to_end(Model& model,
   EndToEndResult result;
   for (const PhoneProfile& p : fleet) result.phone_names.push_back(p.name);
   drift_label_envs("end_to_end", result.phone_names);
+  telemetry_label_devices(result.phone_names);
   result.resilience = tally_fleet_coverage(
       static_cast<int>(phones), static_cast<int>(stimuli),
       static_cast<int>(shots_per), usable, quarantine);
@@ -228,6 +259,7 @@ EndToEndResult run_end_to_end(Model& model,
   result.by_angle = instability_by_angle(result.observations);
   result.overall_top3 = compute_instability(result.observations_top3);
   drift_audit_flips("end_to_end", result.observations);
+  telemetry_record_observations(result.observations);
   return result;
 }
 
@@ -521,6 +553,9 @@ OsCpuResult run_os_cpu_experiment(Model& model,
   result.png_instability = compute_instability(png_obs);
   drift_audit_flips("os_jpeg", jpeg_obs);
   drift_audit_flips("os_png", png_obs);
+  telemetry_label_devices(result.phone_names);
+  telemetry_record_observations(jpeg_obs);
+  telemetry_record_observations(png_obs);
 
   // Group phones whose prediction/confidence streams are identical.
   std::vector<bool> grouped(fleet.size(), false);
@@ -564,6 +599,7 @@ RawVsJpegResult run_raw_vs_jpeg(Model& model,
   IspConfig consistent = magick_isp();
   drift_label_envs("phone_pipeline", result.phone_names);
   drift_label_envs("raw_pipeline", result.phone_names);
+  telemetry_label_devices(result.phone_names);
 
   // Stimuli (drift items) fan out across lanes; each stimulus walks its
   // phones (drift environments) serially so the reference environment is
@@ -673,6 +709,8 @@ RawVsJpegResult run_raw_vs_jpeg(Model& model,
   result.raw_by_class = instability_by_class(raw_obs);
   drift_audit_flips("phone_pipeline", jpeg_obs);
   drift_audit_flips("raw_pipeline", raw_obs);
+  telemetry_record_observations(jpeg_obs);
+  telemetry_record_observations(raw_obs);
   for (int p = 0; p < phone_count; ++p) {
     result.jpeg_accuracy_by_phone.push_back(
         jpeg_correct[static_cast<std::size_t>(p)] /

@@ -5,6 +5,7 @@
 
 #include "fault/fault.h"
 #include "obs/fault_ledger.h"
+#include "obs/telemetry/telemetry.h"
 #include "util/check.h"
 
 namespace edgestab {
@@ -24,6 +25,11 @@ ShotDelivery deliver_shot(const std::string& group, const Capture& capture,
     out.usable = true;
     out.attempts = 1;
     out.image = decode_capture(capture, os_decoder);
+    if (obs::telemetry_enabled()) {
+      obs::DeviceHealthRegistry::global().record_shot(
+          device, item, shot, /*attempts=*/1, /*lost=*/false,
+          /*latency_ms=*/0.0, /*fault_events=*/0);
+    }
     return out;
   }
 
@@ -91,6 +97,22 @@ ShotDelivery deliver_shot(const std::string& group, const Capture& capture,
     if (e.kind != FaultEventKind::kShotLost) e.recovered = out.usable;
     ledger.record(group, e);
   }
+  if (obs::telemetry_enabled()) {
+    // The telemetry latency axis is the modeled delay this delivery
+    // accumulated (straggle + retry backoff) — a pure function of the
+    // fault schedule, never wall clock.
+    int corruption = 0;
+    for (const FaultEvent& e : events) {
+      if (e.kind == FaultEventKind::kPayloadBitFlip ||
+          e.kind == FaultEventKind::kPayloadTruncation ||
+          e.kind == FaultEventKind::kDecodeFailure) {
+        ++corruption;
+      }
+    }
+    obs::DeviceHealthRegistry::global().record_shot(
+        device, item, shot, out.attempts, !out.usable, out.delay_ms,
+        corruption);
+  }
   return out;
 }
 
@@ -123,11 +145,20 @@ QuarantineDecision quarantine_fold(const std::string& group,
         // anything the device produces from here on is discarded.
         q.quarantined_from[static_cast<std::size_t>(d)] = slot + 1;
         ++q.quarantined_devices;
-        if (record)
+        if (record) {
           obs::FaultLedger::global().record(
               group, FaultEvent{FaultEventKind::kQuarantine, d,
                                 (slot + 1) / slots_per_item, 0, 0, false,
                                 static_cast<double>(quarantine_after)});
+          // Telemetry subsumes the quarantine signal: the health
+          // registry records the same (device, item) verdict the fault
+          // ledger does, which is what bench::check_alert_ledger
+          // cross-checks 1:1.
+          if (obs::telemetry_enabled()) {
+            obs::DeviceHealthRegistry::global().record_quarantine(
+                d, (slot + 1) / slots_per_item);
+          }
+        }
         break;
       }
     }
@@ -194,6 +225,14 @@ FleetResilienceStats tally_fleet_coverage(
   s.mean_coverage = item_count > 0 ? static_cast<double>(total_coverage) /
                                          static_cast<double>(item_count)
                                    : 0.0;
+  if (obs::telemetry_enabled()) {
+    auto& registry = obs::DeviceHealthRegistry::global();
+    for (int d = 0; d < device_count; ++d) {
+      registry.record_coverage(
+          d, s.usable_shots_by_device[static_cast<std::size_t>(d)],
+          slots_per_device);
+    }
+  }
   return s;
 }
 

@@ -9,6 +9,7 @@
 #include "obs/drift.h"
 #include "obs/fault_ledger.h"
 #include "obs/obs.h"
+#include "obs/telemetry/telemetry.h"
 #include "runtime/parallel.h"
 #include "runtime/seed.h"
 #include "util/hashing.h"
@@ -43,6 +44,10 @@ void inject_capture_faults(const std::string& group,
                                     item, rep, 0, false, 0.0});
     ledger.record(group, FaultEvent{FaultEventKind::kShotLost, device, item,
                                     rep, 0, false, 1.0});
+    if (obs::telemetry_enabled()) {
+      obs::DeviceHealthRegistry::global().record_capture_loss(device, item,
+                                                              rep, 0);
+    }
     return;
   }
 
@@ -71,6 +76,16 @@ void inject_capture_faults(const std::string& group,
   for (FaultEvent& e : events) {
     if (e.kind != FaultEventKind::kShotLost) e.recovered = recovered;
     ledger.record(group, e);
+  }
+  if (obs::telemetry_enabled()) {
+    auto& registry = obs::DeviceHealthRegistry::global();
+    if (recovered) {
+      // The shot itself is counted when delivery records it; only the
+      // capture retries land here.
+      registry.record_retries(device, item, attempt);
+    } else {
+      registry.record_capture_loss(device, item, rep, attempt - 1);
+    }
   }
 }
 

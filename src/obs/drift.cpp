@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <string_view>
 
 #include "image/metrics.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
+#include "obs/telemetry/telemetry.h"
 
 namespace edgestab::obs {
 
@@ -18,6 +20,15 @@ struct TapContext {
   int env = 0;
 };
 thread_local TapContext t_drift_ctx;
+
+// Groups whose drift environments index fleet devices: the capture
+// rig(s) and the raw-pipeline audit tag taps with the phone index,
+// software_isp tags with the ISP variant. Only device-indexed groups
+// feed the health registry.
+bool drift_env_is_device(const char* group) {
+  const std::string_view g(group);
+  return g.substr(0, 7) == "capture" || g == "raw_pipeline";
+}
 
 float clamp01(float v) { return v < 0.0f ? 0.0f : (v > 1.0f ? 1.0f : v); }
 
@@ -288,6 +299,13 @@ void DriftAuditor::tap_stage(int stage_index, const char* stage_name,
   }
   rec.mean_delta /= rgb.channels();
   rec.var_delta /= rgb.channels();
+
+  // Per-stage drift magnitude flows into the device health books when
+  // the environment is a fleet device.
+  if (telemetry_enabled() && drift_env_is_device(ctx.group)) {
+    DeviceHealthRegistry::global().record_stage_drift(ctx.env, ctx.item,
+                                                      rec.psnr_db);
+  }
 
   // Histograms are integer-bucketed atomics — order-independent, no
   // lock needed. The record is staged for the summary-time sorted fold.

@@ -15,6 +15,7 @@
 
 #include "obs/manifest.h"
 #include "obs/metrics.h"
+#include "obs/report.h"
 #include "runtime/task_context.h"
 #include "util/check.h"
 #include "util/hashing.h"
@@ -201,20 +202,9 @@ bool write_text_file(const std::string& path, const std::string& text) {
   return true;
 }
 
-std::string html_escape_text(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
-      case '&': out += "&amp;"; break;
-      case '<': out += "&lt;"; break;
-      case '>': out += "&gt;"; break;
-      case '"': out += "&quot;"; break;
-      default: out += c;
-    }
-  }
-  return out;
-}
+// The shared obs::html_escape (obs/report.h) under the name this file
+// historically used.
+std::string html_escape_text(const std::string& s) { return html_escape(s); }
 
 }  // namespace
 

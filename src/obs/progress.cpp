@@ -6,6 +6,16 @@
 
 namespace edgestab::obs {
 
+namespace {
+
+ProgressMeter::AlertCountFn g_alert_source = nullptr;
+
+}  // namespace
+
+void ProgressMeter::set_alert_source(AlertCountFn source) {
+  g_alert_source = source;
+}
+
 ProgressMeter::ProgressMeter(std::string label, std::int64_t total,
                              bool enabled, double min_interval_seconds)
     : label_(std::move(label)),
@@ -40,13 +50,24 @@ void ProgressMeter::finish() {
 void ProgressMeter::emit(bool closing) {
   double elapsed = timer_.seconds();
   // Elapsed-based throughput: items completed per wall second so far.
-  double rate = elapsed > 0.0 && done_ > 0
+  // The epsilon guards the first tick of a sub-microsecond interval —
+  // a 0-ish denominator would print an absurd (or infinite) rate.
+  double rate = elapsed > 1e-6 && done_ > 0
                     ? static_cast<double>(done_) / elapsed
                     : 0.0;
+  // Running alert estimate from the installed telemetry source, e.g.
+  // " 3 alerts"; empty when no source is armed so pre-telemetry output
+  // is unchanged.
+  char alerts[32] = "";
+  if (g_alert_source != nullptr) {
+    std::snprintf(alerts, sizeof(alerts), " %lld alerts",
+                  static_cast<long long>(g_alert_source()));
+  }
   if (closing) {
-    std::fprintf(stderr, "[progress] %s done: %lld in %.1fs (%.1f items/s)\n",
+    std::fprintf(stderr,
+                 "[progress] %s done: %lld in %.1fs (%.1f items/s)%s\n",
                  label_.c_str(), static_cast<long long>(done_), elapsed,
-                 rate);
+                 rate, alerts);
   } else if (total_ > 0) {
     double fraction =
         static_cast<double>(done_) / static_cast<double>(total_);
@@ -56,15 +77,15 @@ void ProgressMeter::emit(bool closing) {
                      : 0.0;
     std::fprintf(stderr,
                  "[progress] %s %lld/%lld (%.0f%%) elapsed %.1fs "
-                 "(%.1f items/s) eta %.1fs\n",
+                 "(%.1f items/s) eta %.1fs%s\n",
                  label_.c_str(), static_cast<long long>(done_),
                  static_cast<long long>(total_), fraction * 100.0, elapsed,
-                 rate, eta);
+                 rate, eta, alerts);
   } else {
     std::fprintf(stderr,
-                 "[progress] %s %lld elapsed %.1fs (%.1f items/s)\n",
+                 "[progress] %s %lld elapsed %.1fs (%.1f items/s)%s\n",
                  label_.c_str(), static_cast<long long>(done_), elapsed,
-                 rate);
+                 rate, alerts);
   }
   std::fflush(stderr);
   last_emit_seconds_ = elapsed;

@@ -20,11 +20,20 @@ namespace edgestab::obs {
 
 class ProgressMeter {
  public:
+  /// Optional live-alert source (telemetry's running alert estimate).
+  /// A plain function pointer so progress stays decoupled from the
+  /// telemetry layer: the bench harness installs it when telemetry is
+  /// armed, and every heartbeat line then carries the running count.
+  using AlertCountFn = std::int64_t (*)();
+
   /// `label` prefixes each line; `total` of 0 means unknown (no ETA).
   /// `min_interval_seconds` rate-limits output; the first and final
   /// ticks always print when enabled.
   ProgressMeter(std::string label, std::int64_t total, bool enabled,
                 double min_interval_seconds = 0.5);
+
+  /// Install (or clear, with nullptr) the process-wide alert source.
+  static void set_alert_source(AlertCountFn source);
 
   /// Mark `n` more items done; prints at most one heartbeat line.
   void tick(std::int64_t n = 1);

@@ -9,6 +9,9 @@
 #include "obs/metrics.h"
 #include "obs/obs.h"
 #include "obs/profiler.h"
+#include "obs/telemetry/anomaly.h"
+#include "obs/telemetry/fleet_report.h"
+#include "obs/telemetry/telemetry.h"
 #include "obs/trace.h"
 #include "util/check.h"
 #include "util/csv.h"
@@ -74,6 +77,14 @@ std::string fmt(double v, int decimals = 3) {
   return buf;
 }
 
+void td(std::string& html, const std::string& v, bool left = false) {
+  html += left ? "<td class=l>" : "<td>";
+  html += html_escape(v);
+  html += "</td>";
+}
+
+}  // namespace
+
 std::string html_escape(const std::string& s) {
   std::string out;
   out.reserve(s.size());
@@ -88,14 +99,6 @@ std::string html_escape(const std::string& s) {
   }
   return out;
 }
-
-void td(std::string& html, const std::string& v, bool left = false) {
-  html += left ? "<td class=l>" : "<td>";
-  html += html_escape(v);
-  html += "</td>";
-}
-
-}  // namespace
 
 std::string drift_json(const DriftAuditor& auditor,
                        const std::string& bench_name) {
@@ -550,6 +553,15 @@ bool export_run_artifacts(const std::string& bench_name,
     ok = write_drift_report(DriftAuditor::global(), bench_name, dir,
                             &manifest) &&
          ok;
+  }
+
+  // Fleet health artifacts land only when telemetry was armed this run
+  // (--telemetry); an unarmed run's artifact set stays byte-identical
+  // to a telemetry-less build.
+  if (telemetry_enabled()) {
+    const FleetHealthReport fleet =
+        evaluate_fleet_health(DeviceHealthRegistry::global());
+    ok = write_fleet_report(fleet, bench_name, dir, &manifest) && ok;
   }
 
   std::string meta = dir + "/" + bench_name + ".meta.json";

@@ -22,6 +22,12 @@
 
 namespace edgestab::obs {
 
+/// Escape `&`, `<`, `>`, `"` for HTML text and attribute contexts. The
+/// one escaping helper every HTML exporter (drift, profile, fleet)
+/// must route user-influenced strings — device names, metric labels,
+/// rule names — through.
+std::string html_escape(const std::string& s);
+
 /// JSON document (schema "edgestab-drift-report-v1") of the auditor's
 /// full state.
 std::string drift_json(const DriftAuditor& auditor,

@@ -1,0 +1,83 @@
+#include "obs/telemetry/alert_ledger.h"
+
+#include <algorithm>
+#include <tuple>
+
+#include "util/hashing.h"
+
+namespace edgestab::obs {
+
+namespace {
+
+auto canonical_key(const Alert& a) {
+  return std::tie(a.device, a.window, a.rule, a.item, a.metric);
+}
+
+}  // namespace
+
+const char* alert_severity_name(AlertSeverity severity) {
+  switch (severity) {
+    case AlertSeverity::kWarning: return "warning";
+    case AlertSeverity::kCritical: return "critical";
+  }
+  return "unknown";
+}
+
+void AlertLedger::record(Alert alert) {
+  alerts_.push_back(std::move(alert));
+  sorted_ = false;
+}
+
+void AlertLedger::merge(const AlertLedger& other) {
+  if (&other == this) return;
+  alerts_.insert(alerts_.end(), other.alerts_.begin(), other.alerts_.end());
+  sorted_ = alerts_.empty();
+}
+
+void AlertLedger::ensure_sorted() const {
+  if (sorted_) return;
+  std::stable_sort(alerts_.begin(), alerts_.end(),
+                   [](const Alert& a, const Alert& b) {
+                     return canonical_key(a) < canonical_key(b);
+                   });
+  sorted_ = true;
+}
+
+const std::vector<Alert>& AlertLedger::alerts() const {
+  ensure_sorted();
+  return alerts_;
+}
+
+std::size_t AlertLedger::count(AlertSeverity severity) const {
+  return static_cast<std::size_t>(
+      std::count_if(alerts_.begin(), alerts_.end(), [severity](const Alert& a) {
+        return a.severity == severity;
+      }));
+}
+
+std::uint64_t AlertLedger::digest() const {
+  ensure_sorted();
+  Fingerprint fp;
+  fp.add("edgestab-alert-ledger-v1");
+  fp.add(static_cast<std::uint64_t>(alerts_.size()));
+  for (const Alert& a : alerts_) {
+    fp.add(a.rule);
+    fp.add(a.metric);
+    fp.add(static_cast<int>(a.severity));
+    fp.add(a.device);
+    fp.add(a.device_label);
+    fp.add(a.window);
+    fp.add(a.item_lo);
+    fp.add(a.item_hi);
+    fp.add(a.item);
+    fp.add(a.value);
+    fp.add(a.threshold);
+    fp.add(a.baseline);
+    fp.add(static_cast<std::int64_t>(a.numerator));
+    fp.add(static_cast<std::int64_t>(a.denominator));
+    fp.add(a.detail);
+  }
+  return fp.value();
+}
+
+}  // namespace edgestab::obs

@@ -1,0 +1,71 @@
+// Canonical, merge-safe ledger of fleet health alerts.
+//
+// Same determinism contract as FlipLedger / FaultLedger: alerts() is
+// sorted by the canonical (device, window, rule, item) key regardless
+// of insertion or merge order, and digest() fingerprints exactly that
+// sorted sequence, so the ledger is bit-identical at any --threads and
+// across shard merges. The anomaly engine is the only writer in
+// production (it evaluates a snapshot serially), but record/merge stay
+// order-insensitive so sharded evaluation keeps the same digest.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace edgestab::obs {
+
+enum class AlertSeverity : int {
+  kWarning = 0,
+  kCritical = 1,
+};
+
+const char* alert_severity_name(AlertSeverity severity);
+
+/// One rule firing for one device over one window.
+struct Alert {
+  std::string rule;    ///< rule name, e.g. "loss_rate_high"
+  std::string metric;  ///< window metric the rule evaluated
+  AlertSeverity severity = AlertSeverity::kWarning;
+  int device = -1;
+  std::string device_label;
+  int window = -1;
+  int item_lo = 0;
+  int item_hi = 0;
+  /// Quarantine alerts carry the first excluded item; -1 otherwise.
+  int item = -1;
+  double value = 0.0;      ///< observed metric value
+  double threshold = 0.0;  ///< band the value crossed (absolute or robust)
+  double baseline = 0.0;   ///< fleet median for robust-z rules, else 0
+  /// Rate provenance for cross-checks: value == numerator/denominator
+  /// for rate metrics (0/0 otherwise).
+  long long numerator = 0;
+  long long denominator = 0;
+  std::string detail;  ///< human-readable one-liner
+};
+
+class AlertLedger {
+ public:
+  void record(Alert alert);
+  void merge(const AlertLedger& other);
+
+  /// Alerts in canonical (device, window, rule, item) order.
+  const std::vector<Alert>& alerts() const;
+
+  std::size_t total() const { return alerts_.size(); }
+  std::size_t count(AlertSeverity severity) const;
+  bool empty() const { return alerts_.empty(); }
+
+  /// FNV fingerprint over the canonically sorted alert sequence.
+  std::uint64_t digest() const;
+
+  void clear() { alerts_.clear(); sorted_ = true; }
+
+ private:
+  void ensure_sorted() const;
+
+  mutable std::vector<Alert> alerts_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace edgestab::obs

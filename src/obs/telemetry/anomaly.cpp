@@ -1,0 +1,292 @@
+#include "obs/telemetry/anomaly.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "obs/baseline.h"
+#include "obs/json.h"
+
+namespace edgestab::obs {
+
+namespace {
+
+/// One window metric the rules can reference, resolved against the
+/// derived window stats. `denominator` is the sample count that backs
+/// the value (rules gate on it); `numerator` is only meaningful for
+/// count/denominator rates, where the alert carries both so the bench
+/// cross-check can recompute value == numerator/denominator exactly.
+struct MetricReading {
+  bool known = false;
+  double value = 0.0;
+  long long numerator = 0;
+  long long denominator = 0;
+};
+
+MetricReading read_metric(const DeviceWindowStats& w, const std::string& metric) {
+  MetricReading r;
+  r.known = true;
+  if (metric == "flip_rate") {
+    r.value = w.flip_rate;
+    r.numerator = w.flipped_items;
+    r.denominator = w.observations;
+  } else if (metric == "loss_rate") {
+    r.value = w.loss_rate;
+    r.numerator = w.shots_lost;
+    r.denominator = w.shots;
+  } else if (metric == "retry_rate") {
+    r.value = w.retry_rate;
+    r.numerator = w.retries;
+    r.denominator = w.shots;
+  } else if (metric == "latency_p50_ms") {
+    r.value = w.latency_p50_ms;
+    r.denominator = w.shots;
+  } else if (metric == "latency_p99_ms") {
+    r.value = w.latency_p99_ms;
+    r.denominator = w.shots;
+  } else if (metric == "drift_psnr_db_min") {
+    r.value = w.drift_psnr_db_min;
+    r.denominator = w.drift_comparisons;
+  } else if (metric == "drift_psnr_db_mean") {
+    r.value = w.drift_psnr_db_mean;
+    r.denominator = w.drift_comparisons;
+  } else {
+    r.known = false;
+  }
+  return r;
+}
+
+std::string describe(const std::string& metric, double value, double threshold,
+                     bool above_is_bad, double baseline, bool robust) {
+  std::string out = metric + "=" + format_double(value);
+  if (robust) {
+    out += " vs fleet median " + format_double(baseline) + " (band " +
+           format_double(threshold) + ")";
+  } else {
+    out += above_is_bad ? " > " : " < ";
+    out += format_double(threshold);
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* anomaly_rule_kind_name(AnomalyRuleKind kind) {
+  switch (kind) {
+    case AnomalyRuleKind::kAbsolute: return "absolute";
+    case AnomalyRuleKind::kRobustZ: return "robust-z";
+  }
+  return "unknown";
+}
+
+std::vector<AnomalyRule> default_anomaly_rules() {
+  std::vector<AnomalyRule> rules;
+  // The resilience policy quarantined the device — always ledgered, at
+  // critical, via the special "quarantine" metric (see evaluate()).
+  rules.push_back({"device_quarantined", "quarantine",
+                   AnomalyRuleKind::kAbsolute, 0.0, 0.0, true,
+                   AlertSeverity::kCritical, 0});
+  // A quarter of a window's shots lost is a sick link no matter what
+  // the rest of the fleet looks like.
+  rules.push_back({"loss_rate_high", "loss_rate", AnomalyRuleKind::kAbsolute,
+                   0.25, 0.0, true, AlertSeverity::kCritical, 4});
+  // Half the window's classified items flipping is instability the
+  // paper would call catastrophic on any device.
+  rules.push_back({"flip_rate_high", "flip_rate", AnomalyRuleKind::kAbsolute,
+                   0.5, 0.0, true, AlertSeverity::kWarning, 4});
+  // A device flipping far outside the fleet's same-window spread: the
+  // per-device instability signal. Floor at 0.15 so a tight fleet
+  // (MAD ~ 0) doesn't page on one flip.
+  rules.push_back({"flip_rate_outlier", "flip_rate", AnomalyRuleKind::kRobustZ,
+                   5.0, 0.15, true, AlertSeverity::kWarning, 4});
+  // More than one retry per shot on average = the backoff loop is
+  // carrying the link.
+  rules.push_back({"retry_rate_high", "retry_rate", AnomalyRuleKind::kAbsolute,
+                   1.0, 0.0, true, AlertSeverity::kWarning, 4});
+  // Modeled delivery latency tail; absolute ceiling plus a fleet
+  // outlier check (floored at 50 ms — straggler injection is bursty).
+  rules.push_back({"latency_p99_high", "latency_p99_ms",
+                   AnomalyRuleKind::kAbsolute, 250.0, 0.0, true,
+                   AlertSeverity::kWarning, 4});
+  rules.push_back({"latency_outlier", "latency_p99_ms",
+                   AnomalyRuleKind::kRobustZ, 5.0, 50.0, true,
+                   AlertSeverity::kWarning, 4});
+  // A window whose worst stage-drift comparison dips under 15 dB PSNR
+  // has visibly diverged from the reference device.
+  rules.push_back({"drift_psnr_low", "drift_psnr_db_min",
+                   AnomalyRuleKind::kAbsolute, 15.0, 0.0, false,
+                   AlertSeverity::kWarning, 1});
+  return rules;
+}
+
+AnomalyEngine::AnomalyEngine(std::vector<AnomalyRule> rules)
+    : rules_(std::move(rules)) {}
+
+AlertLedger AnomalyEngine::evaluate(const FleetHealthSnapshot& snapshot) const {
+  AlertLedger ledger;
+  for (const AnomalyRule& rule : rules_) {
+    if (rule.metric == "quarantine") {
+      for (const DeviceHealth& d : snapshot.devices) {
+        for (const DeviceWindowStats& w : d.windows) {
+          if (!w.quarantined) continue;
+          Alert a;
+          a.rule = rule.name;
+          a.metric = rule.metric;
+          a.severity = rule.severity;
+          a.device = d.device;
+          a.device_label = d.label;
+          a.window = w.window;
+          a.item_lo = w.item_lo;
+          a.item_hi = w.item_hi;
+          a.item = w.quarantine_item;
+          a.value = 1.0;
+          a.detail = "resilience policy quarantined device from item " +
+                     std::to_string(w.quarantine_item);
+          ledger.record(std::move(a));
+        }
+      }
+      continue;
+    }
+    if (rule.kind == AnomalyRuleKind::kAbsolute) {
+      for (const DeviceHealth& d : snapshot.devices) {
+        for (const DeviceWindowStats& w : d.windows) {
+          const MetricReading r = read_metric(w, rule.metric);
+          if (!r.known || r.denominator < rule.min_denominator) continue;
+          const bool fired = rule.above_is_bad ? r.value > rule.threshold
+                                               : r.value < rule.threshold;
+          if (!fired) continue;
+          Alert a;
+          a.rule = rule.name;
+          a.metric = rule.metric;
+          a.severity = rule.severity;
+          a.device = d.device;
+          a.device_label = d.label;
+          a.window = w.window;
+          a.item_lo = w.item_lo;
+          a.item_hi = w.item_hi;
+          a.value = r.value;
+          a.threshold = rule.threshold;
+          a.numerator = r.numerator;
+          a.denominator = r.denominator;
+          a.detail = describe(rule.metric, r.value, rule.threshold,
+                              rule.above_is_bad, 0.0, false);
+          ledger.record(std::move(a));
+        }
+      }
+      continue;
+    }
+    // kRobustZ: per window index, band each device against the fleet
+    // cross-section of qualifying devices. Iterate the union of window
+    // indices in ascending order so evaluation order is canonical.
+    std::set<int> window_ids;
+    for (const DeviceHealth& d : snapshot.devices) {
+      for (const DeviceWindowStats& w : d.windows) window_ids.insert(w.window);
+    }
+    for (int window : window_ids) {
+      struct Entry {
+        const DeviceHealth* device;
+        const DeviceWindowStats* stats;
+        MetricReading reading;
+      };
+      std::vector<Entry> cross;
+      for (const DeviceHealth& d : snapshot.devices) {
+        for (const DeviceWindowStats& w : d.windows) {
+          if (w.window != window) continue;
+          const MetricReading r = read_metric(w, rule.metric);
+          if (r.known && r.denominator >= rule.min_denominator) {
+            cross.push_back({&d, &w, r});
+          }
+        }
+      }
+      if (static_cast<int>(cross.size()) < kMinDevices) continue;
+      std::vector<double> values;
+      values.reserve(cross.size());
+      for (const Entry& e : cross) values.push_back(e.reading.value);
+      const double median = median_of(values);
+      const double mad = mad_of(values, median);
+      const double band =
+          std::max(rule.threshold * mad, rule.abs_floor);
+      for (const Entry& e : cross) {
+        const double deviation = rule.above_is_bad
+                                     ? e.reading.value - median
+                                     : median - e.reading.value;
+        if (deviation <= band) continue;
+        Alert a;
+        a.rule = rule.name;
+        a.metric = rule.metric;
+        a.severity = rule.severity;
+        a.device = e.device->device;
+        a.device_label = e.device->label;
+        a.window = window;
+        a.item_lo = e.stats->item_lo;
+        a.item_hi = e.stats->item_hi;
+        a.value = e.reading.value;
+        a.threshold = band;
+        a.baseline = median;
+        a.numerator = e.reading.numerator;
+        a.denominator = e.reading.denominator;
+        a.detail = describe(rule.metric, e.reading.value, band,
+                            rule.above_is_bad, median, true);
+        ledger.record(std::move(a));
+      }
+    }
+  }
+  ledger.alerts();  // sort once, eagerly
+  return ledger;
+}
+
+FleetHealthReport evaluate_fleet_health(const DeviceHealthRegistry& registry,
+                                        const AnomalyEngine& engine) {
+  FleetHealthReport report;
+  report.fleet = registry.snapshot();
+  report.alerts = engine.evaluate(report.fleet);
+
+  // Per-device alerting windows, with the canonical first rule name as
+  // the transition reason.
+  for (DeviceHealth& d : report.fleet.devices) {
+    std::map<int, std::string> alerting;  // window → first rule name
+    for (const Alert& a : report.alerts.alerts()) {
+      if (a.device != d.device) continue;
+      alerting.emplace(a.window, a.rule);  // keeps the first (canonical) rule
+    }
+    HealthStatus state = HealthStatus::kHealthy;
+    int clean_streak = 0;
+    for (const DeviceWindowStats& w : d.windows) {
+      if (w.quarantined) {
+        d.transitions.push_back(
+            {w.window, w.item_lo, state, HealthStatus::kQuarantined,
+             "quarantined from item " + std::to_string(w.quarantine_item)});
+        state = HealthStatus::kQuarantined;
+        break;  // sticky — the device is out of the experiment
+      }
+      const auto hit = alerting.find(w.window);
+      if (hit != alerting.end()) {
+        clean_streak = 0;
+        if (state == HealthStatus::kHealthy) {
+          d.transitions.push_back({w.window, w.item_lo, state,
+                                   HealthStatus::kDegraded, hit->second});
+          state = HealthStatus::kDegraded;
+        }
+      } else if (state == HealthStatus::kDegraded) {
+        if (++clean_streak >= DeviceHealthRegistry::kRecoveryWindows) {
+          d.transitions.push_back(
+              {w.window, w.item_lo, state, HealthStatus::kHealthy,
+               std::to_string(clean_streak) + " clean windows"});
+          state = HealthStatus::kHealthy;
+          clean_streak = 0;
+        }
+      }
+    }
+    d.status = state;
+    if (state == HealthStatus::kDegraded) ++report.devices_degraded;
+    if (state == HealthStatus::kQuarantined) ++report.devices_quarantined;
+  }
+  report.alerts_total = static_cast<long long>(report.alerts.total());
+  report.alerts_critical =
+      static_cast<long long>(report.alerts.count(AlertSeverity::kCritical));
+  return report;
+}
+
+}  // namespace edgestab::obs

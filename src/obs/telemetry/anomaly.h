@@ -1,0 +1,97 @@
+// Declarative anomaly rules over fleet health windows.
+//
+// Two rule kinds, both deterministic functions of the registry's
+// integer-quantized snapshot:
+//
+//   kAbsolute  fire when a device/window metric crosses a fixed
+//              threshold (direction-aware), e.g. loss_rate > 0.25.
+//   kRobustZ   fire when a device's metric is a robust outlier against
+//              the same-window fleet cross-section: deviation from the
+//              fleet median beyond max(mad_k · MAD, abs_floor) — the
+//              sentinel's banding math (obs/baseline median_of/mad_of,
+//              obs/compare band shape) pointed sideways across devices
+//              instead of backwards across runs. Needs >= kMinDevices
+//              devices with enough samples, otherwise the cross-section
+//              is too small to call anything an outlier.
+//
+// Rules gate on a minimum denominator (observations / shots /
+// comparisons, whichever backs the metric) so one lost shot out of one
+// never pages. The quarantine rule is special-cased: it lifts the
+// resilience policy's verdict into the ledger rather than re-deciding
+// it, which is what keeps the quarantine cross-check in
+// bench::check_alert_ledger exact.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/telemetry/alert_ledger.h"
+#include "obs/telemetry/telemetry.h"
+
+namespace edgestab::obs {
+
+enum class AnomalyRuleKind : int {
+  kAbsolute = 0,
+  kRobustZ = 1,
+};
+
+const char* anomaly_rule_kind_name(AnomalyRuleKind kind);
+
+struct AnomalyRule {
+  std::string name;    ///< ledger key, e.g. "flip_rate_outlier"
+  std::string metric;  ///< window metric (see anomaly.cpp metric table)
+  AnomalyRuleKind kind = AnomalyRuleKind::kAbsolute;
+  /// kAbsolute: the threshold itself. kRobustZ: the MAD multiplier.
+  double threshold = 0.0;
+  /// kRobustZ: absolute band floor so a near-zero-MAD fleet does not
+  /// flag noise (the compare-engine lesson). Ignored for kAbsolute.
+  double abs_floor = 0.0;
+  bool above_is_bad = true;
+  AlertSeverity severity = AlertSeverity::kWarning;
+  /// Minimum backing denominator for the metric in the window.
+  long long min_denominator = 1;
+};
+
+/// The built-in rule set every bench evaluates (documented in
+/// DESIGN.md §14).
+std::vector<AnomalyRule> default_anomaly_rules();
+
+class AnomalyEngine {
+ public:
+  /// Robust-z rules need at least this many qualifying devices in a
+  /// window's cross-section.
+  static constexpr int kMinDevices = 3;
+
+  AnomalyEngine() : AnomalyEngine(default_anomaly_rules()) {}
+  explicit AnomalyEngine(std::vector<AnomalyRule> rules);
+
+  const std::vector<AnomalyRule>& rules() const { return rules_; }
+
+  /// Evaluate every rule over every device/window of the snapshot.
+  /// Pure: same snapshot, same ledger, bit for bit.
+  AlertLedger evaluate(const FleetHealthSnapshot& snapshot) const;
+
+ private:
+  std::vector<AnomalyRule> rules_;
+};
+
+/// The full evaluated picture one export consumes.
+struct FleetHealthReport {
+  FleetHealthSnapshot fleet;  ///< statuses + transitions folded in
+  AlertLedger alerts;
+  long long alerts_total = 0;
+  long long alerts_critical = 0;
+  long long devices_degraded = 0;
+  long long devices_quarantined = 0;
+};
+
+/// Snapshot the registry, run the engine, fold the per-device status
+/// state machine (healthy → degraded on an alerting window, degraded →
+/// healthy after DeviceHealthRegistry::kRecoveryWindows clean windows,
+/// quarantined sticky from the resilience signal) and tally headline
+/// counts.
+FleetHealthReport evaluate_fleet_health(
+    const DeviceHealthRegistry& registry,
+    const AnomalyEngine& engine = AnomalyEngine());
+
+}  // namespace edgestab::obs

@@ -1,0 +1,61 @@
+// Fleet health exporters: fleet.json (edgestab-fleet-v1), the
+// structured alert/event log events.jsonl (edgestab-events-v1), the
+// self-contained fleet.html dashboard, and the fixed-width text table
+// the sentinel CLI re-renders offline.
+//
+// Everything here is a pure function of a FleetHealthReport, which is
+// itself a pure function of the registry's integer-quantized state —
+// so fleet.json, events.jsonl and the alert-ledger digest are
+// bit-identical at any --threads. The HTML is rendered from the same
+// data (and is re-renderable offline from fleet.json via parse_fleet +
+// fleet_html, mirroring the profiler's hotspots flow).
+#pragma once
+
+#include <string>
+
+#include "obs/json.h"
+#include "obs/manifest.h"
+#include "obs/telemetry/anomaly.h"
+
+namespace edgestab::obs {
+
+/// Full-fidelity JSON document (schema "edgestab-fleet-v1"): headline
+/// counts, per-device rows with window series + status transitions, and
+/// the canonical alert list.
+std::string fleet_json(const FleetHealthReport& report,
+                       const std::string& bench_name);
+
+/// One line per event (schema "edgestab-events-v1"): every alert in
+/// canonical ledger order, then every status transition in
+/// (device, window) order. Leveled: info / warning / critical.
+std::string events_jsonl(const FleetHealthReport& report,
+                         const std::string& bench_name);
+
+/// Self-contained dashboard (inline CSS + SVG, no external assets):
+/// per-device health rows with status badges, windowed flip/loss
+/// sparklines, and the alert timeline.
+std::string fleet_html(const FleetHealthReport& report,
+                       const std::string& bench_name);
+
+/// Fixed-width per-device table + alert list for terminals.
+std::string fleet_text(const FleetHealthReport& report);
+
+/// Write fleet.json + fleet.html + events.jsonl into `dir`; register
+/// the artifacts, the alert_ledger / fleet_report / event_log digests
+/// and the telemetry_* headline fields on `manifest` when given.
+/// False on I/O failure.
+bool write_fleet_report(const FleetHealthReport& report,
+                        const std::string& bench_name, const std::string& dir,
+                        RunManifest* manifest);
+
+/// A fleet.json read back for offline rendering.
+struct FleetDoc {
+  std::string bench;
+  FleetHealthReport report;
+};
+
+/// Parse an edgestab-fleet-v1 document. False + error message when the
+/// schema or required members are missing/mistyped.
+bool parse_fleet(const JsonValue& doc, FleetDoc* out, std::string* error);
+
+}  // namespace edgestab::obs

@@ -346,6 +346,27 @@ TEST_F(ProfilerTest, HotspotTableAndHtmlRenderNodes) {
   EXPECT_NE(html.find("isp.demosaic"), std::string::npos);
 }
 
+TEST_F(ProfilerTest, ProfileHtmlEscapesHostileScopeLabels) {
+  Profiler& p = Profiler::global();
+  p.set_enabled(true);
+  {
+    // Scope labels are user data (bench/stage names flow in verbatim)
+    // and must come out HTML-escaped in the report.
+    ProfileScope hostile("bench", "<script>alert('x')</script>");
+    Tensor t({8, 8});
+    (void)t;
+  }
+  p.set_enabled(false);
+
+  std::string html =
+      profile_html(p.snapshot(), p.totals(), "unit<bench> & \"quoted\"");
+  EXPECT_EQ(html.find("<script>alert"), std::string::npos);
+  EXPECT_EQ(html.find("unit<bench>"), std::string::npos);
+  EXPECT_NE(html.find("&lt;script&gt;alert"), std::string::npos);
+  EXPECT_NE(html.find("unit&lt;bench&gt; &amp; &quot;quoted&quot;"),
+            std::string::npos);
+}
+
 TEST_F(ProfilerTest, WriteProfileReportEmitsArtifactsAndManifestFields) {
   Profiler& p = Profiler::global();
   p.set_enabled(true);

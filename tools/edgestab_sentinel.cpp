@@ -19,6 +19,11 @@
 //     Render the hotspot table of a <bench>.profile.json written by a
 //     --profile run.
 //
+//   edgestab_sentinel fleet FILE [--format text|html] [--out FILE]
+//     Re-render the fleet health dashboard (or the per-device terminal
+//     table) offline from a <bench>.fleet.json written by a --telemetry
+//     run.
+//
 // Baselines are refreshed with scripts/refresh_baselines.sh, which
 // copies the candidate BENCH_<name>.json files a bench run emits into
 // the committed baselines/ directory.
@@ -34,7 +39,9 @@
 #include "obs/baseline.h"
 #include "obs/compare.h"
 #include "obs/json.h"
+#include "obs/manifest.h"
 #include "obs/profiler.h"
+#include "obs/telemetry/fleet_report.h"
 
 using namespace edgestab;
 
@@ -52,7 +59,8 @@ int usage() {
       "          [--perf-advisory] [--json]\n"
       "  trend   [--runs FILE] [--out FILE] [--baseline-dir DIR]\n"
       "  list    [--runs FILE]\n"
-      "  hotspots FILE [--top N]\n");
+      "  hotspots FILE [--top N]\n"
+      "  fleet   FILE [--format text|html] [--out FILE]\n");
   return 1;
 }
 
@@ -320,6 +328,73 @@ int cmd_hotspots(int argc, char** argv) {
   return 0;
 }
 
+int cmd_fleet(int argc, char** argv) {
+  std::string path, format = "text", out_path;
+  for (int i = 2; i < argc; ++i) {
+    if (option_value(argc, argv, i, "--format", &format) ||
+        option_value(argc, argv, i, "--out", &out_path))
+      continue;
+    if (argv[i][0] == '-') {
+      std::fprintf(stderr, "sentinel: unknown option '%s'\n", argv[i]);
+      return usage();
+    }
+    if (!path.empty()) {
+      std::fprintf(stderr, "sentinel: fleet takes one fleet.json file\n");
+      return usage();
+    }
+    path = argv[i];
+  }
+  if (path.empty()) {
+    std::fprintf(stderr, "sentinel: fleet requires a <bench>.fleet.json\n");
+    return usage();
+  }
+  if (format != "text" && format != "html") {
+    std::fprintf(stderr, "sentinel: --format must be text or html\n");
+    return usage();
+  }
+
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "sentinel: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::string text;
+  char buffer[4096];
+  std::size_t got;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), f)) > 0)
+    text.append(buffer, got);
+  std::fclose(f);
+
+  std::string error;
+  std::optional<obs::JsonValue> doc = obs::parse_json(text, &error);
+  if (!doc.has_value()) {
+    std::fprintf(stderr, "sentinel: %s: %s\n", path.c_str(), error.c_str());
+    return 1;
+  }
+  obs::FleetDoc fleet;
+  if (!obs::parse_fleet(*doc, &fleet, &error)) {
+    std::fprintf(stderr, "sentinel: %s: %s\n", path.c_str(), error.c_str());
+    return 1;
+  }
+
+  if (format == "html") {
+    std::string html = obs::fleet_html(fleet.report, fleet.bench);
+    if (out_path.empty()) {
+      std::printf("%s", html.c_str());
+      return 0;
+    }
+    if (!write_file(out_path, html)) return 1;
+    std::printf("sentinel: %s (%zu device(s), %zu alert(s))\n",
+                out_path.c_str(), fleet.report.fleet.devices.size(),
+                fleet.report.alerts.total());
+    return 0;
+  }
+  std::printf("%s — fleet health (alert digest %s)\n", fleet.bench.c_str(),
+              obs::hex_digest(fleet.report.alerts.digest()).c_str());
+  std::printf("%s", obs::fleet_text(fleet.report).c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -329,6 +404,7 @@ int main(int argc, char** argv) {
   if (command == "trend") return cmd_trend(argc, argv);
   if (command == "list") return cmd_list(argc, argv);
   if (command == "hotspots") return cmd_hotspots(argc, argv);
+  if (command == "fleet") return cmd_fleet(argc, argv);
   std::fprintf(stderr, "sentinel: unknown command '%s'\n", command.c_str());
   return usage();
 }
