@@ -5,6 +5,7 @@
 #include "bench_micro_util.h"
 #include "nn/mobilenet.h"
 #include "nn/trainer.h"
+#include "util/hashing.h"
 #include "util/rng.h"
 
 namespace edgestab {
@@ -55,11 +56,29 @@ BENCHMARK_CAPTURE(BM_Forward, blocked, MatmulMode::kBlocked)
     ->Arg(1)->Arg(16)->Arg(64);
 BENCHMARK(BM_TrainStep)->Arg(16)->Arg(32);
 
+/// Fixed-seed forward pass fingerprint under the active kernel tier —
+/// the backend gate's within-backend determinism check: two runs with
+/// the same --backend must archive the same digest, runs on different
+/// tiers are expected to differ.
+std::string logits_digest() {
+  Model model = make_model();
+  Pcg32 rng(7);
+  Tensor input({4, 3, 32, 32});
+  for (float& v : input.data()) v = static_cast<float>(rng.normal());
+  Tensor logits = model.forward(input, /*train=*/false);
+  Fingerprint fp;
+  for (float v : logits.data()) fp.add(static_cast<double>(v));
+  return fp.hex();
+}
+
 }  // namespace
 }  // namespace edgestab
 
 int main(int argc, char** argv) {
   return edgestab::bench::run_micro(
       "micro_inference", "Inference micro: backend and batch-size latency",
-      argc, argv);
+      argc, argv, [](edgestab::bench::Run& run) {
+        run.record_digest_metric("logits_digest",
+                                 edgestab::logits_digest());
+      });
 }

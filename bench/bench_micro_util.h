@@ -7,14 +7,15 @@
 // micro regressions exactly like bench regressions.
 //
 // Harness-owned flags (--threads, --repeats, --profile, --faults,
-// --progress) are stripped before benchmark::Initialize sees the command
-// line; --repeats N maps onto --benchmark_repetitions=N so the archived
-// metric is a median over N library-timed repetitions.
+// --progress, --backend) are stripped before benchmark::Initialize sees
+// the command line; --repeats N maps onto --benchmark_repetitions=N so
+// the archived metric is a median over N library-timed repetitions.
 #pragma once
 
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -53,9 +54,13 @@ class MicroCaptureReporter : public benchmark::ConsoleReporter {
 /// Run a micro bench binary's registered benchmarks under the standard
 /// Run wrapper: banner + provenance manifest + run archive + candidate
 /// baseline, with `micro_ns.<case>` perf metrics for the sentinel.
-/// main() should `return run_micro(...);`.
+/// main() should `return run_micro(...);`. The optional `post` hook runs
+/// after the benchmarks and before finish() — micros use it to file
+/// correctness digests (e.g. a logits fingerprint for the backend gate)
+/// alongside the timing metrics.
 inline int run_micro(const std::string& name, const std::string& title,
-                     int argc, char** argv) {
+                     int argc, char** argv,
+                     const std::function<void(Run&)>& post = {}) {
   Run run(name, title, argc, argv);
   // The benchmark library times its own hot loops; per-iteration span
   // tracing and drift auditing would swamp their buffers and perturb the
@@ -70,14 +75,16 @@ inline int run_micro(const std::string& name, const std::string& title,
                                                              : name.c_str());
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
-    if ((arg == "--threads" || arg == "--faults" || arg == "--repeats") &&
+    if ((arg == "--threads" || arg == "--faults" || arg == "--repeats" ||
+         arg == "--backend") &&
         i + 1 < argc) {
       ++i;
       continue;
     }
     if (arg.rfind("--threads=", 0) == 0 || arg.rfind("--faults=", 0) == 0 ||
         arg.rfind("--repeats=", 0) == 0 || arg == "--progress" ||
-        arg == "--profile" || arg.rfind("--profile=", 0) == 0)
+        arg == "--profile" || arg.rfind("--profile=", 0) == 0 ||
+        arg.rfind("--backend=", 0) == 0)
       continue;
     forwarded_storage.push_back(arg);
   }
@@ -106,6 +113,7 @@ inline int run_micro(const std::string& name, const std::string& title,
     run.record_metric("micro_ns." + case_name, obs::median_of(samples),
                       obs::MetricKind::kPerf, obs::Direction::kLowerIsBetter,
                       "ns");
+  if (post) post(run);
   return run.finish();
 }
 

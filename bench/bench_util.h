@@ -37,6 +37,7 @@
 #include "obs/telemetry/anomaly.h"
 #include "obs/telemetry/telemetry.h"
 #include "runtime/thread_pool.h"
+#include "tensor/backend.h"
 #include "util/csv.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -214,6 +215,48 @@ inline bool apply_telemetry_flag(int argc, char** argv) {
   return true;
 }
 
+/// Parse `--backend NAME` / `--backend=NAME` from a bench command line
+/// (falling back to the EDGESTAB_BACKEND environment variable) and
+/// select the process-wide kernel tier: "scalar" (reference, default),
+/// "avx2" or "int8" — see tensor/backend.h and DESIGN.md §15. An unknown
+/// name warns and runs scalar; a known-but-unavailable tier (avx2 on a
+/// host or build without it) falls back to scalar with a note from
+/// set_active_backend. No spec at all explicitly (re)selects scalar, so
+/// a bench process is deterministic regardless of prior state. Returns
+/// the effective tier. Pass argc = 0 to consult the environment only.
+inline BackendKind apply_backend_flag(int argc, char** argv) {
+  std::string spec;
+  if (const char* env = std::getenv("EDGESTAB_BACKEND")) spec = env;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--backend" && i + 1 < argc)
+      spec = argv[i + 1];
+    else if (arg.rfind("--backend=", 0) == 0)
+      spec = arg.substr(10);
+  }
+  BackendKind kind = BackendKind::kScalar;
+  if (!spec.empty() && !parse_backend(spec, kind))
+    std::fprintf(stderr,
+                 "[backend] unknown backend '%s' (scalar|avx2|int8); "
+                 "running scalar\n",
+                 spec.c_str());
+  const BackendKind effective = set_active_backend(kind);
+  if (effective != BackendKind::kScalar)
+    std::printf("[backend] %s kernels active\n", backend_name(effective));
+  return effective;
+}
+
+/// Non-scalar tiers produce (by contract) different numbers, so their
+/// runs archive under a decorated name — fig3 vs fig3__int8 — and never
+/// compare against the scalar tier's sentinel baselines.
+inline std::string decorate_run_name(std::string name, BackendKind backend) {
+  if (backend != BackendKind::kScalar) {
+    name += "__";
+    name += backend_name(backend);
+  }
+  return name;
+}
+
 /// `health.<label>.flip_rate`-style metric names must survive the
 /// sentinel's dotted-name handling, so device labels are flattened to
 /// [A-Za-z0-9_].
@@ -238,29 +281,29 @@ inline void banner(const std::string& title) {
 class Run {
  public:
   Run(std::string name, const std::string& title)
-      : name_(std::move(name)), manifest_(name_) {
+      : Run(std::move(name), title, 0, nullptr) {}
+
+  /// Same, but also honors `--threads N`, `--faults SPEC`, `--repeats N`,
+  /// `--progress`, `--profile` and `--backend NAME` flags on the bench
+  /// command line; the effective lane count, kernel tier and armed fault
+  /// plan land in the provenance manifest so a result row names the
+  /// parallelism, numerics and fault schedule that produced it. The
+  /// backend is applied (and the run name decorated — fig3__int8) before
+  /// anything observes name_, so every artifact of a non-scalar run
+  /// lands under the tier-qualified name.
+  Run(std::string name, const std::string& title, int argc, char** argv)
+      : name_(decorate_run_name(std::move(name),
+                                apply_backend_flag(argc, argv))),
+        manifest_(name_) {
     banner(title);
     if (obs::kTracingCompiledIn) obs::Tracer::global().set_enabled(true);
     if (obs::kDriftCompiledIn) obs::DriftAuditor::global().set_enabled(true);
-    if (apply_profile_flag(0, nullptr)) open_profile_root();
-    apply_telemetry_flag(0, nullptr);
-    manifest_.set_field(
-        "threads",
-        static_cast<double>(runtime::ThreadPool::global().threads()));
-  }
-
-  /// Same, but also honors `--threads N`, `--faults SPEC`, `--repeats N`,
-  /// `--progress` and `--profile` flags on the bench command line; the effective
-  /// lane count and the armed fault plan land in the provenance manifest
-  /// so a result row names the parallelism and fault schedule that
-  /// produced it.
-  Run(std::string name, const std::string& title, int argc, char** argv)
-      : Run(std::move(name), title) {
-    if (profile_root_ == nullptr && apply_profile_flag(argc, argv))
-      open_profile_root();
+    if (apply_profile_flag(argc, argv)) open_profile_root();
     apply_telemetry_flag(argc, argv);
+    manifest_.set_field("backend", backend_name(active_backend()));
     manifest_.set_field("threads",
                         static_cast<double>(apply_thread_flag(argc, argv)));
+    if (argc == 0) return;  // flagless construction: env-only knobs above
     const std::string faults = apply_fault_flag(argc, argv);
     if (!faults.empty()) {
       manifest_.set_field("fault_plan", faults);

@@ -10,10 +10,14 @@
 # reference rig (e.g. the CI runner).
 #
 # usage: scripts/refresh_baselines.sh [-b BUILD_DIR] [-r REPEATS]
-#                                     [-s] [bench ...]
+#                                     [-B BACKEND] [-s] [bench ...]
 #   -b BUILD_DIR  build tree holding the bench binaries (default: build)
 #   -r REPEATS    repeats per bench; odd values give a true median
 #                 (default: 5)
+#   -B BACKEND    kernel tier to bench (scalar|avx2|int8, default: scalar).
+#                 Non-scalar runs emit tier-decorated candidates
+#                 (BENCH_<name>__BACKEND.json), so each tier keeps its own
+#                 baseline history — refresh each tier you sentinel.
 #   -s            smoke mode: EDGESTAB_RIG_OBJECTS=2, for a quick local
 #                 sanity pass (do NOT commit smoke baselines)
 #   bench ...     bench executable names (default: every bench_* binary)
@@ -23,10 +27,12 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="$repo_root/build"
 repeats=5
 smoke=0
-while getopts "b:r:sh" opt; do
+backend=""
+while getopts "b:r:B:sh" opt; do
   case "$opt" in
     b) build_dir="$OPTARG" ;;
     r) repeats="$OPTARG" ;;
+    B) backend="$OPTARG" ;;
     s) smoke=1 ;;
     *) grep '^#' "$0" | sed 's/^# \{0,1\}//'; exit 1 ;;
   esac
@@ -52,6 +58,12 @@ env_extra=()
 if [ "$smoke" -eq 1 ]; then
   env_extra+=("EDGESTAB_RIG_OBJECTS=2")
   echo "refresh_baselines: SMOKE run — do not commit these baselines" >&2
+fi
+if [ -n "$backend" ]; then
+  case "$backend" in
+    scalar|avx2|int8) env_extra+=("EDGESTAB_BACKEND=$backend") ;;
+    *) echo "refresh_baselines: unknown backend '$backend'" >&2; exit 1 ;;
+  esac
 fi
 
 workdir="$(mktemp -d "${TMPDIR:-/tmp}/refresh_baselines.XXXXXX")"

@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "tensor/backend.h"
+#include "tensor/kernels_avx2.h"
 #include "util/check.h"
 
 namespace edgestab {
@@ -60,9 +62,30 @@ const Basis& basis_for(int n) {
   return b8;  // unreachable
 }
 
+/// Transposed 8x8 basis (Ct[x][k] = C[k][x]) for the AVX2 sandwich
+/// product out = L * (X * R).
+const float* basis8_transposed() {
+  static const std::array<float, 64> t = [] {
+    const Basis& b = basis_for(8);
+    std::array<float, 64> out{};
+    for (int k = 0; k < 8; ++k)
+      for (int x = 0; x < 8; ++x)
+        out[static_cast<std::size_t>(x * 8 + k)] =
+            b.c[static_cast<std::size_t>(k * 8 + x)];
+    return out;
+  }();
+  return t.data();
+}
+
 }  // namespace
 
 void fdct_2d(const float* block, float* coeffs, int n) {
+  if (n == 8 && use_avx2()) {
+    // coeffs = C * (X * C^T), both passes in one broadcast-FMA kernel.
+    avx2::gemm8x8_pair_f32(block, basis_for(8).c.data(),
+                           basis8_transposed(), coeffs);
+    return;
+  }
   const Basis& b = basis_for(n);
   std::vector<float> tmp(static_cast<std::size_t>(n) * n);
   // Rows: tmp[y][k] = sum_x block[y][x] C[k][x]
@@ -85,6 +108,13 @@ void fdct_2d(const float* block, float* coeffs, int n) {
 }
 
 void idct_2d(const float* coeffs, float* block, int n) {
+  if (n == 8 && use_avx2()) {
+    // block = C^T * (coeffs * C) — associativity-equivalent to the scalar
+    // (C^T * coeffs) * C ordering; last-ULP divergence by design.
+    avx2::gemm8x8_pair_f32(coeffs, basis8_transposed(), basis_for(8).c.data(),
+                           block);
+    return;
+  }
   const Basis& b = basis_for(n);
   std::vector<float> tmp(static_cast<std::size_t>(n) * n);
   // Columns first: tmp[y][kx] = sum_ky coeffs[ky][kx] C[ky][y]

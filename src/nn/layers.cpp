@@ -1,6 +1,11 @@
 #include "nn/layers.h"
 
 #include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "tensor/backend.h"
+#include "tensor/int8.h"
 
 namespace edgestab {
 
@@ -27,9 +32,10 @@ std::vector<Param*> Conv2D::params() {
   return p;
 }
 
-Tensor Conv2D::forward(const Tensor& input, bool /*train*/) {
+Tensor Conv2D::forward(const Tensor& input, bool train) {
   ES_CHECK(input.rank() == 4);
   ES_CHECK(input.dim(1) == geom_.in_c);
+  if (use_int8() && !train) return forward_int8(input);
   geom_.in_h = input.dim(2);
   geom_.in_w = input.dim(3);
   const int n_batch = input.dim(0);
@@ -38,20 +44,40 @@ Tensor Conv2D::forward(const Tensor& input, bool /*train*/) {
   const int ckk = geom_.in_c * geom_.kernel * geom_.kernel;
   const int ohw = oh * ow;
 
-  input_ = input;
-  cols_.resize(static_cast<std::size_t>(n_batch));
-  Tensor out({n_batch, geom_.out_c, oh, ow});
+  // The cached activations and per-sample im2col buffers exist only for
+  // backward(); eval-mode forwards skip them (and the deep copies they
+  // imply) and run im2col through one scratch buffer reused across the
+  // batch.
+  if (train) {
+    input_ = input;
+    cols_.resize(static_cast<std::size_t>(n_batch));
+  }
+  Tensor scratch_cols;
+  Tensor out = Tensor::uninit({n_batch, geom_.out_c, oh, ow});
   const std::size_t in_stride =
       static_cast<std::size_t>(geom_.in_c) * geom_.in_h * geom_.in_w;
   const std::size_t out_stride =
       static_cast<std::size_t>(geom_.out_c) * ohw;
 
+  // For a 1x1/stride-1/pad-0 conv the im2col matrix IS the input sample
+  // ([in_c, hw] row-major), so eval-mode forwards feed the input to the
+  // gemm directly. Training still materializes cols_ for backward.
+  const bool identity_cols = !train && geom_.kernel == 1 &&
+                             geom_.stride == 1 && geom_.pad == 0;
+
   for (int n = 0; n < n_batch; ++n) {
-    Tensor& cols = cols_[static_cast<std::size_t>(n)];
-    if (cols.numel() != static_cast<std::size_t>(ckk) * ohw)
-      cols = Tensor({ckk, ohw});
-    im2col(input.raw() + n * in_stride, geom_, cols.raw());
-    gemm(weight_.value.raw(), cols.raw(), out.raw() + n * out_stride,
+    const float* cols_ptr;
+    if (identity_cols) {
+      cols_ptr = input.raw() + n * in_stride;
+    } else {
+      Tensor& cols =
+          train ? cols_[static_cast<std::size_t>(n)] : scratch_cols;
+      if (cols.numel() != static_cast<std::size_t>(ckk) * ohw)
+        cols = Tensor::uninit({ckk, ohw});  // im2col writes every entry
+      im2col(input.raw() + n * in_stride, geom_, cols.raw());
+      cols_ptr = cols.raw();
+    }
+    gemm(weight_.value.raw(), cols_ptr, out.raw() + n * out_stride,
          geom_.out_c, ckk, ohw, /*accumulate=*/false, mode_);
     if (use_bias_) {
       float* dst = out.raw() + n * out_stride;
@@ -60,6 +86,54 @@ Tensor Conv2D::forward(const Tensor& input, bool /*train*/) {
         for (int i = 0; i < ohw; ++i) dst[c * ohw + i] += b;
       }
     }
+  }
+  return out;
+}
+
+Tensor Conv2D::forward_int8(const Tensor& input) {
+  geom_.in_h = input.dim(2);
+  geom_.in_w = input.dim(3);
+  const int n_batch = input.dim(0);
+  const int oh = geom_.out_h();
+  const int ow = geom_.out_w();
+  const int ckk = geom_.in_c * geom_.kernel * geom_.kernel;
+  const int ohw = oh * ow;
+
+  // Weights are re-quantized from the live float values every forward so
+  // a freshly trained / mutated model never sees stale codes.
+  std::vector<std::int8_t> qw(static_cast<std::size_t>(geom_.out_c) * ckk);
+  std::vector<float> w_scales(static_cast<std::size_t>(geom_.out_c));
+  int8::quantize_rows(weight_.value.raw(), geom_.out_c, ckk, qw.data(),
+                      w_scales.data());
+
+  // Same 1x1 shortcut as the float path: the im2col matrix is the input
+  // sample itself, so quantize straight from the input.
+  const bool identity_cols =
+      geom_.kernel == 1 && geom_.stride == 1 && geom_.pad == 0;
+
+  Tensor out = Tensor::uninit({n_batch, geom_.out_c, oh, ow});
+  const std::size_t cols_numel = static_cast<std::size_t>(ckk) * ohw;
+  Tensor cols;
+  if (!identity_cols) cols = Tensor::uninit({ckk, ohw});
+  std::vector<std::int8_t> qcols(cols_numel);
+  std::vector<std::int32_t> acc(static_cast<std::size_t>(geom_.out_c) * ohw);
+  const std::size_t in_stride =
+      static_cast<std::size_t>(geom_.in_c) * geom_.in_h * geom_.in_w;
+  const std::size_t out_stride = static_cast<std::size_t>(geom_.out_c) * ohw;
+
+  for (int n = 0; n < n_batch; ++n) {
+    const float* cols_ptr = identity_cols ? input.raw() + n * in_stride
+                                          : cols.raw();
+    if (!identity_cols)
+      im2col(input.raw() + n * in_stride, geom_, cols.raw());
+    const float act_scale = int8::tensor_scale(cols_ptr, cols_numel);
+    int8::quantize(cols_ptr, cols_numel, act_scale, qcols.data());
+    int8::gemm_s8(qw.data(), qcols.data(), acc.data(), geom_.out_c, ckk,
+                  ohw);
+    int8::requant_rows(acc.data(), geom_.out_c, ohw, act_scale,
+                       w_scales.data(),
+                       use_bias_ ? bias_.value.raw() : nullptr,
+                       out.raw() + n * out_stride);
   }
   return out;
 }
@@ -124,14 +198,52 @@ std::vector<Param*> DepthwiseConv2D::params() {
   return p;
 }
 
-Tensor DepthwiseConv2D::forward(const Tensor& input, bool /*train*/) {
+Tensor DepthwiseConv2D::forward(const Tensor& input, bool train) {
   ES_CHECK(input.rank() == 4 && input.dim(1) == geom_.in_c);
   geom_.in_h = input.dim(2);
   geom_.in_w = input.dim(3);
-  input_ = input;
-  Tensor out({input.dim(0), geom_.in_c, geom_.out_h(), geom_.out_w()});
+  if (use_int8() && !train) return forward_int8(input);
+  if (train) input_ = input;  // backward-only cache
+  Tensor out =
+      Tensor::uninit({input.dim(0), geom_.in_c, geom_.out_h(), geom_.out_w()});
   depthwise_conv_forward(input, weight_.value,
                          use_bias_ ? bias_.value.raw() : nullptr, geom_, out);
+  return out;
+}
+
+Tensor DepthwiseConv2D::forward_int8(const Tensor& input) {
+  const int n_batch = input.dim(0);
+  const int oh = geom_.out_h();
+  const int ow = geom_.out_w();
+  const int kk = geom_.kernel * geom_.kernel;
+  const std::size_t in_hw =
+      static_cast<std::size_t>(geom_.in_h) * geom_.in_w;
+  const std::size_t out_hw = static_cast<std::size_t>(oh) * ow;
+
+  std::vector<std::int8_t> qw(static_cast<std::size_t>(geom_.in_c) * kk);
+  std::vector<float> w_scales(static_cast<std::size_t>(geom_.in_c));
+  int8::quantize_rows(weight_.value.raw(), geom_.in_c, kk, qw.data(),
+                      w_scales.data());
+
+  Tensor out = Tensor::uninit({n_batch, geom_.in_c, oh, ow});
+  std::vector<std::int8_t> qplane(in_hw);
+  for (int n = 0; n < n_batch; ++n) {
+    for (int c = 0; c < geom_.in_c; ++c) {
+      const float* in_plane =
+          input.raw() + (static_cast<std::size_t>(n) * geom_.in_c + c) * in_hw;
+      float* out_plane =
+          out.raw() + (static_cast<std::size_t>(n) * geom_.in_c + c) * out_hw;
+      const float act_scale = int8::tensor_scale(in_plane, in_hw);
+      int8::quantize(in_plane, in_hw, act_scale, qplane.data());
+      int8::depthwise_plane_s8(
+          qplane.data(), geom_.in_h, geom_.in_w,
+          qw.data() + static_cast<std::size_t>(c) * kk, geom_.kernel,
+          geom_.stride, geom_.pad,
+          use_bias_ ? bias_.value[static_cast<std::size_t>(c)] : 0.0f,
+          act_scale * w_scales[static_cast<std::size_t>(c)], out_plane, oh,
+          ow);
+    }
+  }
   return out;
 }
 
@@ -166,11 +278,12 @@ std::vector<Param*> Dense::params() {
   return p;
 }
 
-Tensor Dense::forward(const Tensor& input, bool /*train*/) {
+Tensor Dense::forward(const Tensor& input, bool train) {
   ES_CHECK(input.rank() == 2 && input.dim(1) == in_dim_);
-  input_ = input;
+  if (use_int8() && !train) return forward_int8(input);
+  if (train) input_ = input;  // backward-only cache
   const int n = input.dim(0);
-  Tensor out({n, out_dim_});
+  Tensor out = Tensor::uninit({n, out_dim_});
   gemm(input.raw(), weight_.value.raw(), out.raw(), n, in_dim_, out_dim_,
        /*accumulate=*/false, mode_);
   if (use_bias_) {
@@ -178,6 +291,26 @@ Tensor Dense::forward(const Tensor& input, bool /*train*/) {
       for (int j = 0; j < out_dim_; ++j)
         out.at2(i, j) += bias_.value[static_cast<std::size_t>(j)];
   }
+  return out;
+}
+
+Tensor Dense::forward_int8(const Tensor& input) {
+  const int n = input.dim(0);
+  std::vector<std::int8_t> qw(static_cast<std::size_t>(in_dim_) * out_dim_);
+  std::vector<float> col_scales(static_cast<std::size_t>(out_dim_));
+  int8::quantize_cols(weight_.value.raw(), in_dim_, out_dim_, qw.data(),
+                      col_scales.data());
+
+  const float act_scale = int8::tensor_scale(input.raw(), input.numel());
+  std::vector<std::int8_t> qin(input.numel());
+  int8::quantize(input.raw(), input.numel(), act_scale, qin.data());
+
+  std::vector<std::int32_t> acc(static_cast<std::size_t>(n) * out_dim_);
+  int8::gemm_s8(qin.data(), qw.data(), acc.data(), n, in_dim_, out_dim_);
+
+  Tensor out({n, out_dim_});
+  int8::requant_cols(acc.data(), n, out_dim_, act_scale, col_scales.data(),
+                     use_bias_ ? bias_.value.raw() : nullptr, out.raw());
   return out;
 }
 
@@ -231,7 +364,7 @@ BnDims bn_dims(const Tensor& t) {
 Tensor BatchNorm::forward(const Tensor& input, bool train) {
   auto [n, c, hw] = bn_dims(input);
   ES_CHECK(c == channels_);
-  Tensor out(input.shape());
+  Tensor out = Tensor::uninit(input.shape());
   trained_forward_ = train;
   if (train) {
     input_ = input;
@@ -268,7 +401,7 @@ Tensor BatchNorm::forward(const Tensor& input, bool train) {
             (1.0f - momentum_) * var;
       }
     }
-    normalized_ = Tensor(input.shape());
+    normalized_ = Tensor::uninit(input.shape());
     for (int ch = 0; ch < c; ++ch) {
       float mean = batch_mean_[static_cast<std::size_t>(ch)];
       float inv_std = batch_inv_std_[static_cast<std::size_t>(ch)];
@@ -287,18 +420,50 @@ Tensor BatchNorm::forward(const Tensor& input, bool train) {
       }
     }
   } else {
-    for (int ch = 0; ch < c; ++ch) {
-      float mean = running_mean_[static_cast<std::size_t>(ch)];
-      float inv_std =
+    // Per-channel constants hoisted, then one contiguous sweep (sample
+    // outer, channel inner) — same per-element arithmetic, so results
+    // are bit-identical to the channel-outer order, just cache-friendly.
+    std::vector<float> inv_std(static_cast<std::size_t>(c));
+    for (int ch = 0; ch < c; ++ch)
+      inv_std[static_cast<std::size_t>(ch)] =
           1.0f / std::sqrt(running_var_[static_cast<std::size_t>(ch)] + eps_);
-      float g = gamma_.value[static_cast<std::size_t>(ch)];
-      float be = beta_.value[static_cast<std::size_t>(ch)];
+    if (use_avx2()) {
+      // avx2 tier: fold normalization into one scale + shift per channel
+      // (dst = src * s + t). Algebraically equal but not bit-equal to
+      // the reference expression — a within-contract tier divergence
+      // (DESIGN.md §15); the scalar tier below keeps the reference
+      // operand order untouched.
+      std::vector<float> scale(static_cast<std::size_t>(c));
+      std::vector<float> shift(static_cast<std::size_t>(c));
+      for (int ch = 0; ch < c; ++ch) {
+        const std::size_t s = static_cast<std::size_t>(ch);
+        scale[s] = gamma_.value[s] * inv_std[s];
+        shift[s] = beta_.value[s] - running_mean_[s] * scale[s];
+      }
       for (int b = 0; b < n; ++b) {
+        for (int ch = 0; ch < c; ++ch) {
+          const float s = scale[static_cast<std::size_t>(ch)];
+          const float t = shift[static_cast<std::size_t>(ch)];
+          const float* src = input.raw() +
+                             (static_cast<std::size_t>(b) * c + ch) * hw;
+          float* dst = out.raw() +
+                       (static_cast<std::size_t>(b) * c + ch) * hw;
+          for (int i = 0; i < hw; ++i) dst[i] = src[i] * s + t;
+        }
+      }
+      return out;
+    }
+    for (int b = 0; b < n; ++b) {
+      for (int ch = 0; ch < c; ++ch) {
+        const float mean = running_mean_[static_cast<std::size_t>(ch)];
+        const float is = inv_std[static_cast<std::size_t>(ch)];
+        const float g = gamma_.value[static_cast<std::size_t>(ch)];
+        const float be = beta_.value[static_cast<std::size_t>(ch)];
         const float* src = input.raw() +
                            (static_cast<std::size_t>(b) * c + ch) * hw;
         float* dst = out.raw() + (static_cast<std::size_t>(b) * c + ch) * hw;
         for (int i = 0; i < hw; ++i)
-          dst[i] = g * (src[i] - mean) * inv_std + be;
+          dst[i] = g * (src[i] - mean) * is + be;
       }
     }
   }
@@ -348,9 +513,9 @@ Tensor BatchNorm::backward(const Tensor& grad_output) {
 
 // ---- ReLU ----------------------------------------------------------------
 
-Tensor ReLU::forward(const Tensor& input, bool /*train*/) {
-  input_ = input;
-  Tensor out(input.shape());
+Tensor ReLU::forward(const Tensor& input, bool train) {
+  if (train) input_ = input;  // backward-only cache
+  Tensor out = Tensor::uninit(input.shape());
   auto src = input.data();
   auto dst = out.data();
   for (std::size_t i = 0; i < src.size(); ++i)
@@ -377,7 +542,7 @@ Tensor GlobalAvgPool::forward(const Tensor& input, bool /*train*/) {
   const int n = input.dim(0), c = input.dim(1);
   const int hw = input.dim(2) * input.dim(3);
   const float inv = 1.0f / static_cast<float>(hw);
-  Tensor out({n, c});
+  Tensor out = Tensor::uninit({n, c});
   for (int b = 0; b < n; ++b)
     for (int ch = 0; ch < c; ++ch) {
       const float* p = input.raw() +

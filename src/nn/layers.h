@@ -24,6 +24,11 @@ class Conv2D : public Layer {
   const ConvGeom& geom() const { return geom_; }
 
  private:
+  /// Quantized inference path (BackendKind::kInt8, eval mode only):
+  /// per-row weight scales, per-sample activation scale over the im2col
+  /// buffer, saturating int32 accumulate, deterministic requantization.
+  Tensor forward_int8(const Tensor& input);
+
   ConvGeom geom_;
   bool use_bias_;
   Param weight_;
@@ -49,6 +54,10 @@ class DepthwiseConv2D : public Layer {
   }
 
  private:
+  /// Quantized inference path: per-channel weight scales, per-plane
+  /// activation scales.
+  Tensor forward_int8(const Tensor& input);
+
   ConvGeom geom_;
   bool use_bias_;
   Param weight_;  // [C, K, K]
@@ -72,6 +81,10 @@ class Dense : public Layer {
   int out_dim() const { return out_dim_; }
 
  private:
+  /// Quantized inference path: per-column (per-output-unit) weight
+  /// scales, per-tensor activation scale.
+  Tensor forward_int8(const Tensor& input);
+
   int in_dim_, out_dim_;
   bool use_bias_;
   Param weight_;  // [in, out]

@@ -1,0 +1,79 @@
+#include "tensor/backend.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace edgestab {
+
+namespace {
+
+std::atomic<BackendKind> g_active{BackendKind::kScalar};
+
+}  // namespace
+
+const char* backend_name(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::kScalar: return "scalar";
+    case BackendKind::kAvx2: return "avx2";
+    case BackendKind::kInt8: return "int8";
+  }
+  return "scalar";
+}
+
+bool parse_backend(const std::string& name, BackendKind& out) {
+  if (name == "scalar") {
+    out = BackendKind::kScalar;
+    return true;
+  }
+  if (name == "avx2") {
+    out = BackendKind::kAvx2;
+    return true;
+  }
+  if (name == "int8") {
+    out = BackendKind::kInt8;
+    return true;
+  }
+  return false;
+}
+
+bool cpu_supports_avx2() {
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+bool backend_available(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::kScalar:
+    case BackendKind::kInt8:
+      return true;
+    case BackendKind::kAvx2:
+      return kAvx2CompiledIn && cpu_supports_avx2();
+  }
+  return false;
+}
+
+BackendKind active_backend() {
+  return g_active.load(std::memory_order_relaxed);
+}
+
+BackendKind set_active_backend(BackendKind kind) {
+  if (!backend_available(kind)) {
+    std::fprintf(stderr,
+                 "[backend] '%s' unavailable on this host/build (%s); "
+                 "falling back to scalar\n",
+                 backend_name(kind),
+                 kAvx2CompiledIn ? "no CPU support" : "compiled out");
+    kind = BackendKind::kScalar;
+  }
+  g_active.store(kind, std::memory_order_relaxed);
+  return kind;
+}
+
+bool use_avx2() { return active_backend() == BackendKind::kAvx2; }
+
+bool use_int8() { return active_backend() == BackendKind::kInt8; }
+
+}  // namespace edgestab

@@ -1,6 +1,10 @@
 #include "tensor/ops.h"
 
+#include <algorithm>
 #include <cmath>
+
+#include "tensor/backend.h"
+#include "tensor/kernels_avx2.h"
 
 namespace edgestab {
 
@@ -49,6 +53,14 @@ void matmul_blocked(const float* a, const float* b, float* c, int m, int k,
 
 void gemm(const float* a, const float* b, float* c, int m, int k, int n,
           bool accumulate, MatmulMode mode) {
+  // The AVX2 tier replaces only the standard order; kBlocked *is* a
+  // modeled accumulation order (per-phone SoC behavior), so it always
+  // runs the scalar reference. The AVX2 kernel handles the
+  // non-accumulating case itself, so only the scalar paths pre-zero C.
+  if (mode == MatmulMode::kStandard && use_avx2()) {
+    avx2::gemm_f32(a, b, c, m, k, n, accumulate);
+    return;
+  }
   if (!accumulate)
     std::fill(c, c + static_cast<std::size_t>(m) * n, 0.0f);
   switch (mode) {
@@ -137,6 +149,19 @@ void im2col(const float* input, const ConvGeom& g, float* cols) {
           }
           const float* src_row =
               plane + static_cast<std::size_t>(iy) * g.in_w;
+          if (g.stride == 1) {
+            // Contiguous row: the in-range span is one copy, the
+            // out-of-range edges are zeros — identical values to the
+            // per-pixel checked loop below.
+            const int ix_first = -g.pad + kx;  // ix at ox = 0
+            const int lo = std::clamp(-ix_first, 0, ow);
+            const int hi = std::clamp(g.in_w - ix_first, lo, ow);
+            float* drow = dst + static_cast<std::size_t>(oy) * ow;
+            for (int ox = 0; ox < lo; ++ox) drow[ox] = 0.0f;
+            std::copy_n(src_row + ix_first + lo, hi - lo, drow + lo);
+            for (int ox = hi; ox < ow; ++ox) drow[ox] = 0.0f;
+            continue;
+          }
           for (int ox = 0; ox < ow; ++ox) {
             int ix = ox * g.stride - g.pad + kx;
             dst[oy * ow + ox] =
@@ -183,11 +208,22 @@ void depthwise_conv_forward(const Tensor& input, const Tensor& weights,
   const int ow = g.out_w();
   ES_CHECK(output.dim(0) == n_batch && output.dim(1) == g.in_c &&
            output.dim(2) == oh && output.dim(3) == ow);
+  const std::size_t in_hw = static_cast<std::size_t>(g.in_h) * g.in_w;
+  const std::size_t out_hw = static_cast<std::size_t>(oh) * ow;
   for (int n = 0; n < n_batch; ++n) {
     for (int c = 0; c < g.in_c; ++c) {
       const float* w = weights.raw() +
                        static_cast<std::size_t>(c) * g.kernel * g.kernel;
       float b = bias ? bias[c] : 0.0f;
+      if (use_avx2()) {
+        const float* in_plane =
+            input.raw() + (static_cast<std::size_t>(n) * g.in_c + c) * in_hw;
+        float* out_plane =
+            output.raw() + (static_cast<std::size_t>(n) * g.in_c + c) * out_hw;
+        avx2::depthwise_plane_f32(in_plane, g.in_h, g.in_w, w, g.kernel,
+                                  g.stride, g.pad, b, out_plane, oh, ow);
+        continue;
+      }
       for (int oy = 0; oy < oh; ++oy) {
         for (int ox = 0; ox < ow; ++ox) {
           float sum = b;

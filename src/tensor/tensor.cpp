@@ -14,6 +14,13 @@ std::size_t Tensor::shape_numel(const std::vector<int>& shape) {
 Tensor::Tensor(std::vector<int> shape, float fill)
     : shape_(std::move(shape)), data_(shape_numel(shape_), fill) {}
 
+Tensor Tensor::uninit(std::vector<int> shape) {
+  Tensor t;
+  t.data_.resize(shape_numel(shape));  // default-init: no zero pass
+  t.shape_ = std::move(shape);
+  return t;
+}
+
 Tensor Tensor::reshaped(std::vector<int> new_shape) const {
   ES_CHECK_MSG(shape_numel(new_shape) == numel(),
                "reshape element-count mismatch");

@@ -22,6 +22,13 @@ class Tensor {
   Tensor(std::initializer_list<int> shape, float fill = 0.0f)
       : Tensor(std::vector<int>(shape), fill) {}
 
+  /// Tensor whose storage is left uninitialized — skips the zero-fill
+  /// pass for hot-path outputs that provably write every element before
+  /// any read (conv/dense gemm outputs, BN/ReLU outputs, im2col
+  /// scratch). Reading an element before writing it is UB; keep call
+  /// sites few and auditable.
+  static Tensor uninit(std::vector<int> shape);
+
   const std::vector<int>& shape() const { return shape_; }
   int dim(int i) const {
     ES_DCHECK(i >= 0 && i < static_cast<int>(shape_.size()));
@@ -92,8 +99,10 @@ class Tensor {
   std::vector<int> shape_;
   /// Tracked so the profiler can attribute tensor allocations to the
   /// innermost profile scope (util/alloc_track.h); plain std::vector in
-  /// profile-off builds.
-  TrackedVector<float, AllocSite::kTensor> data_;
+  /// profile-off builds. The default-init adaptor only changes no-value
+  /// resize (used by uninit()); the fill constructor still writes every
+  /// element explicitly.
+  UninitTrackedVector<float, AllocSite::kTensor> data_;
 };
 
 }  // namespace edgestab

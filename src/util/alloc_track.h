@@ -103,4 +103,46 @@ using TrackingAllocator = std::allocator<T>;
 template <typename T, AllocSite Site>
 using TrackedVector = std::vector<T, TrackingAllocator<T, Site>>;
 
+/// Allocator adaptor that makes value-less construct() default-initialize
+/// — `vector::resize(n)` leaves trivial elements uninitialized instead of
+/// zeroing them. Explicit-value construction (`vector(n, v)`, push_back,
+/// copies) is untouched, so a container only ever holds indeterminate
+/// bytes when its owner grew it through the no-value path on purpose.
+/// This is a type-level opt-in: only containers declared with this
+/// adaptor change behavior, and identically in every build flavor.
+template <typename A>
+class DefaultInitAllocator : public A {
+  using Traits = std::allocator_traits<A>;
+
+ public:
+  template <typename U>
+  struct rebind {
+    using other =
+        DefaultInitAllocator<typename Traits::template rebind_alloc<U>>;
+  };
+
+  using A::A;
+  DefaultInitAllocator() = default;
+  explicit DefaultInitAllocator(const A& a) noexcept : A(a) {}
+  template <typename U>
+  DefaultInitAllocator(const DefaultInitAllocator<U>& other) noexcept
+      : A(static_cast<const U&>(other)) {}
+
+  template <typename U>
+  void construct(U* p) noexcept(noexcept(::new (static_cast<void*>(p)) U)) {
+    ::new (static_cast<void*>(p)) U;
+  }
+  template <typename U, typename... Args>
+  void construct(U* p, Args&&... args) {
+    Traits::construct(static_cast<A&>(*this), p,
+                      std::forward<Args>(args)...);
+  }
+};
+
+/// TrackedVector whose no-value resize leaves elements uninitialized.
+/// For hot-path buffers whose every element is overwritten before use.
+template <typename T, AllocSite Site>
+using UninitTrackedVector =
+    std::vector<T, DefaultInitAllocator<TrackingAllocator<T, Site>>>;
+
 }  // namespace edgestab
