@@ -13,9 +13,11 @@ namespace edgestab {
 using obs::FaultEvent;
 using obs::FaultEventKind;
 
-ShotDelivery deliver_shot(const std::string& group, const Capture& capture,
-                          int device, std::uint64_t device_stream, int item,
-                          int shot, const JpegDecodeOptions& os_decoder) {
+ShotDelivery deliver_shot_collect(const Capture& capture, int device,
+                                  std::uint64_t device_stream, int item,
+                                  int shot,
+                                  const JpegDecodeOptions& os_decoder,
+                                  std::vector<FaultEvent>& events) {
   ShotDelivery out;
   const auto& injector = fault::FaultInjector::global();
   if (!injector.enabled()) {
@@ -25,16 +27,8 @@ ShotDelivery deliver_shot(const std::string& group, const Capture& capture,
     out.usable = true;
     out.attempts = 1;
     out.image = decode_capture(capture, os_decoder);
-    if (obs::telemetry_enabled()) {
-      obs::DeviceHealthRegistry::global().record_shot(
-          device, item, shot, /*attempts=*/1, /*lost=*/false,
-          /*latency_ms=*/0.0, /*fault_events=*/0);
-    }
     return out;
   }
-
-  auto& ledger = obs::FaultLedger::global();
-  std::vector<FaultEvent> events;
 
   const double straggle =
       injector.straggler_delay_ms(device_stream, static_cast<std::uint64_t>(item),
@@ -93,10 +87,27 @@ ShotDelivery deliver_shot(const std::string& group, const Capture& capture,
                                 max_attempts - 1, false,
                                 static_cast<double>(max_attempts)});
   }
-  for (FaultEvent& e : events) {
+  for (FaultEvent& e : events)
     if (e.kind != FaultEventKind::kShotLost) e.recovered = out.usable;
-    ledger.record(group, e);
+  return out;
+}
+
+ShotDelivery deliver_shot(const std::string& group, const Capture& capture,
+                          int device, std::uint64_t device_stream, int item,
+                          int shot, const JpegDecodeOptions& os_decoder) {
+  std::vector<FaultEvent> events;
+  ShotDelivery out = deliver_shot_collect(capture, device, device_stream,
+                                          item, shot, os_decoder, events);
+  if (!fault::FaultInjector::global().enabled()) {
+    if (obs::telemetry_enabled()) {
+      obs::DeviceHealthRegistry::global().record_shot(
+          device, item, shot, /*attempts=*/1, /*lost=*/false,
+          /*latency_ms=*/0.0, /*fault_events=*/0);
+    }
+    return out;
   }
+  auto& ledger = obs::FaultLedger::global();
+  for (const FaultEvent& e : events) ledger.record(group, e);
   if (obs::telemetry_enabled()) {
     // The telemetry latency axis is the modeled delay this delivery
     // accumulated (straggle + retry backoff) — a pure function of the

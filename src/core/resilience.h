@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "device/capture.h"
+#include "obs/fault_ledger.h"
 
 namespace edgestab {
 
@@ -36,6 +37,19 @@ ShotDelivery deliver_shot(const std::string& group, const Capture& capture,
                           int device, std::uint64_t device_stream, int item,
                           int shot,
                           const JpegDecodeOptions& os_decoder = {});
+
+/// Pure core of deliver_shot: the same lossy-link retry loop, but the
+/// fault receipts are appended to `events` instead of being filed with
+/// the global ledger and telemetry. This is the form the streaming
+/// service consumes — its stage workers run ahead of the checkpoint
+/// cursor and must stay side-effect free, so the aggregator alone files
+/// the carried receipts, serially in item order (DESIGN.md §17).
+/// deliver_shot is exactly this plus the filing.
+ShotDelivery deliver_shot_collect(const Capture& capture, int device,
+                                  std::uint64_t device_stream, int item,
+                                  int shot,
+                                  const JpegDecodeOptions& os_decoder,
+                                  std::vector<obs::FaultEvent>& events);
 
 /// Per-device quarantine verdicts over a run. `quarantined_from[d]` is
 /// the first slot index excluded for device d (-1 = never quarantined);

@@ -47,6 +47,9 @@ std::uint64_t FaultPlan::digest() const {
   fp.add(max_attempts);
   fp.add(quarantine_after);
   fp.add(backoff_base_ms);
+  fp.add(latency_scale);
+  fp.add(latency_slow_boost);
+  fp.add(deadline_ms);
   fp.add(seed);
   return fp.value();
 }
@@ -57,7 +60,13 @@ std::string FaultPlan::summary() const {
      << ",bitflip=" << bitflip_rate << ",truncate=" << truncate_rate
      << ",straggler=" << straggler_rate << ",burst=" << burst
      << ",attempts=" << max_attempts
-     << ",quarantine_after=" << quarantine_after << ",seed=" << seed;
+     << ",quarantine_after=" << quarantine_after;
+  // Latency knobs print only when set, so pre-service fault summaries —
+  // and the manifests/baselines that embed them — stay byte-identical.
+  if (latency_scale != 1.0) os << ",lat_scale=" << latency_scale;
+  if (latency_slow_boost != 0.0) os << ",lat_slow=" << latency_slow_boost;
+  if (deadline_ms != 0.0) os << ",deadline_ms=" << deadline_ms;
+  os << ",seed=" << seed;
   return os.str();
 }
 
@@ -93,6 +102,25 @@ FaultPlan parse_fault_plan(const std::string& spec) {
     return true;
   };
 
+  // Latency-class presets (fault/latency.h): they touch only the
+  // latency knobs, so they compose with a fault preset and are allowed
+  // at any position ("heavy,budget", "budget,deadline_ms=40").
+  auto apply_latency_preset = [&](const std::string& name) {
+    if (name == "flagship") {
+      plan.latency_scale = 0.6;
+      plan.latency_slow_boost = 0.0;
+    } else if (name == "mid") {
+      plan.latency_scale = 1.0;
+      plan.latency_slow_boost = 0.0;
+    } else if (name == "budget") {
+      plan.latency_scale = 1.8;
+      plan.latency_slow_boost = 0.08;
+    } else {
+      return false;
+    }
+    return true;
+  };
+
   std::stringstream ss(spec);
   std::string token;
   bool first = true;
@@ -100,7 +128,8 @@ FaultPlan parse_fault_plan(const std::string& spec) {
     if (token.empty()) continue;
     auto eq = token.find('=');
     if (eq == std::string::npos) {
-      ES_CHECK_MSG(first && apply_preset(token),
+      ES_CHECK_MSG(apply_latency_preset(token) ||
+                       (first && apply_preset(token)),
                    "bad fault plan token '" << token << "' in '" << spec
                                             << "'");
       first = false;
@@ -122,6 +151,9 @@ FaultPlan parse_fault_plan(const std::string& spec) {
       else if (key == "quarantine_after")
         plan.quarantine_after = std::stoi(value);
       else if (key == "backoff_ms") plan.backoff_base_ms = std::stod(value);
+      else if (key == "lat_scale") plan.latency_scale = std::stod(value);
+      else if (key == "lat_slow") plan.latency_slow_boost = std::stod(value);
+      else if (key == "deadline_ms") plan.deadline_ms = std::stod(value);
       else if (key == "seed") plan.seed = std::stoull(value);
       else
         ES_CHECK_MSG(false, "unknown fault plan key '" << key << "' in '"
@@ -144,6 +176,11 @@ FaultPlan parse_fault_plan(const std::string& spec) {
   ES_CHECK_MSG(plan.max_attempts >= 1 && plan.quarantine_after >= 1 &&
                    plan.max_bitflips >= 1,
                "fault plan counts must be >= 1: " << spec);
+  ES_CHECK_MSG(plan.latency_scale > 0.0 && plan.latency_slow_boost >= 0.0 &&
+                   plan.latency_slow_boost <= 1.0 && plan.deadline_ms >= 0.0,
+               "latency knobs out of range (lat_scale > 0, lat_slow in "
+               "[0, 1], deadline_ms >= 0): "
+                   << spec);
   return plan;
 }
 

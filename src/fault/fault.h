@@ -44,6 +44,14 @@ struct FaultPlan {
   int max_attempts = 3;             ///< bounded per-shot retries
   int quarantine_after = 4;         ///< consecutive lost shots -> quarantine
   double backoff_base_ms = 10.0;    ///< retry backoff: base * 2^attempt
+  /// Per-device-class latency-variability knobs (fault/latency.h).
+  /// latency_scale multiplies every class duration ("lat_scale"),
+  /// latency_slow_boost adds to the slow-mode probability ("lat_slow"),
+  /// deadline_ms overrides the per-class deadline budget ("deadline_ms";
+  /// 0 = class default). The budget/mid/flagship presets set these.
+  double latency_scale = 1.0;
+  double latency_slow_boost = 0.0;
+  double deadline_ms = 0.0;
   std::uint64_t seed = 0xFA17;      ///< fault stream seed (independent of
                                     ///< the rig seed; "seed=N" in the spec)
 
@@ -59,7 +67,10 @@ struct FaultPlan {
 /// "heavy"), or a comma-separated k=v list, optionally preset-first with
 /// overrides ("moderate,dropout=0.2"). Keys: dropout, transient, bitflip,
 /// truncate, straggler, burst, max_bitflips, straggler_ms, attempts,
-/// quarantine_after, backoff_ms, seed. Throws CheckError on a bad spec.
+/// quarantine_after, backoff_ms, lat_scale, lat_slow, deadline_ms, seed.
+/// The latency-class presets "flagship" | "mid" | "budget" set the
+/// latency knobs and may appear anywhere, composing with a fault preset
+/// ("heavy,budget"). Throws CheckError on a bad spec.
 FaultPlan parse_fault_plan(const std::string& spec);
 
 /// What corrupt_payload did to a payload on one delivery attempt.

@@ -1,0 +1,70 @@
+#include "fault/latency.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "runtime/seed.h"
+
+namespace edgestab::fault {
+
+namespace {
+
+// Disjoint from the kSiteDropout..kSiteStraggler salts in fault.cpp so
+// the latency stream never aliases an injection stream.
+constexpr std::uint64_t kSiteLatency = 0xD205;
+
+// Calibrated to the Yang et al. shape: the budget tier is ~3x slower at
+// the median than the flagship tier and an order of magnitude more
+// likely to enter the slow mode.
+constexpr LatencyClassModel kClassModels[] = {
+    /*kFlagship*/ {4.0, 2.0, 0.01, 40.0},
+    /*kMid*/ {8.0, 4.0, 0.05, 60.0},
+    /*kBudget*/ {16.0, 10.0, 0.12, 120.0},
+};
+
+}  // namespace
+
+const char* device_class_name(DeviceClass cls) {
+  switch (cls) {
+    case DeviceClass::kFlagship: return "flagship";
+    case DeviceClass::kMid: return "mid";
+    case DeviceClass::kBudget: return "budget";
+  }
+  return "unknown";
+}
+
+LatencyClassModel latency_class_model(DeviceClass cls, const FaultPlan& plan) {
+  LatencyClassModel m = kClassModels[static_cast<int>(cls)];
+  const double scale = plan.latency_scale > 0.0 ? plan.latency_scale : 1.0;
+  m.base_ms *= scale;
+  m.jitter_ms *= scale;
+  m.slow_mean_ms *= scale;
+  m.slow_rate =
+      std::clamp(m.slow_rate + plan.latency_slow_boost, 0.0, 1.0);
+  return m;
+}
+
+double draw_latency_ms(const FaultPlan& plan, DeviceClass cls,
+                       std::uint64_t device, std::uint64_t item,
+                       std::uint64_t shot, int attempt) {
+  const LatencyClassModel m = latency_class_model(cls, plan);
+  Pcg32 rng =
+      runtime::derive_rng(plan.seed, kSiteLatency,
+                          static_cast<std::uint64_t>(cls), device, item, shot,
+                          static_cast<std::uint64_t>(attempt));
+  double ms = m.base_ms + rng.uniform() * m.jitter_ms;
+  if (m.slow_rate > 0.0 && rng.uniform() < m.slow_rate) {
+    // Exponential slow mode — most excursions are mild, a few extreme,
+    // the same tail shape as the straggler machinery.
+    const double u = rng.uniform();
+    ms += m.slow_mean_ms * -std::log1p(-u);
+  }
+  return ms;
+}
+
+double deadline_budget_ms(DeviceClass cls, const FaultPlan& plan) {
+  if (plan.deadline_ms > 0.0) return plan.deadline_ms;
+  return latency_class_model(cls, plan).default_deadline_ms();
+}
+
+}  // namespace edgestab::fault

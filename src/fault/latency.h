@@ -1,0 +1,72 @@
+// Per-device-class latency-variability model.
+//
+// Yang et al. ("A Note on Latency Variability of Deep Neural Networks
+// for Mobile Inference", PAPERS.md) show that inference latency varies
+// across devices as wildly as the paper's pixel divergence — and that
+// the variability itself is class-shaped: flagships are fast and tight,
+// budget phones are slow with a fat straggler tail. This module extends
+// the PR 4 straggler machinery into that per-class shape: every shot's
+// modeled service latency is a bimodal draw — a uniform jitter band
+// around the class base plus a probabilistic exponential slow mode —
+// and every draw is a pure function of (plan seed, class, device, item,
+// shot, attempt) through runtime::derive_rng, so deadline verdicts and
+// breaker trips derived from it are bit-identical at any thread count.
+//
+// Latencies here are *modeled* milliseconds (recorded, never slept),
+// the same contract as FaultInjector::straggler_delay_ms: they feed
+// deadline budgets, telemetry latency quantiles and tail-latency
+// reports, not wall clock.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "fault/fault.h"
+
+namespace edgestab::fault {
+
+/// Device performance tier, the Yang et al. taxonomy collapsed to the
+/// three classes the fleet synthesizer assigns.
+enum class DeviceClass : int {
+  kFlagship = 0,  ///< fast, tight distribution, rare slow mode
+  kMid = 1,       ///< the calibrated middle
+  kBudget = 2,    ///< slow, wide jitter, fat slow-mode tail
+};
+
+const char* device_class_name(DeviceClass cls);
+
+/// Bimodal per-class latency distribution: fast mode is
+/// base_ms + U[0,1) * jitter_ms; with probability slow_rate the draw
+/// additionally rides an exponential slow mode of mean slow_mean_ms
+/// (thermal throttling, background contention, scheduler stalls).
+struct LatencyClassModel {
+  double base_ms = 8.0;
+  double jitter_ms = 4.0;
+  double slow_rate = 0.05;
+  double slow_mean_ms = 60.0;
+
+  /// Default per-shot deadline budget for a device of this class: the
+  /// fast-mode worst case plus half the slow-mode mean, so clean fast
+  /// draws always fit and only genuine slow-mode excursions time out.
+  double default_deadline_ms() const {
+    return base_ms + jitter_ms + 0.5 * slow_mean_ms;
+  }
+};
+
+/// The class model after applying the plan's latency knobs
+/// (latency_scale multiplies every duration; latency_slow_boost adds to
+/// the slow-mode probability, clamped to [0, 1]).
+LatencyClassModel latency_class_model(DeviceClass cls, const FaultPlan& plan);
+
+/// One shot-attempt's modeled service latency in ms — a pure function
+/// of the coordinates, independent of injector arming (the latency
+/// model is a property of the device class, not of fault injection).
+double draw_latency_ms(const FaultPlan& plan, DeviceClass cls,
+                       std::uint64_t device, std::uint64_t item,
+                       std::uint64_t shot, int attempt);
+
+/// The effective deadline budget for a device of `cls` under `plan`:
+/// plan.deadline_ms when set, else the scaled class default.
+double deadline_budget_ms(DeviceClass cls, const FaultPlan& plan);
+
+}  // namespace edgestab::fault

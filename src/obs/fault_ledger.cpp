@@ -28,6 +28,12 @@ const char* fault_event_kind_name(FaultEventKind kind) {
     case FaultEventKind::kDecodeFailure: return "decode_failure";
     case FaultEventKind::kShotLost: return "shot_lost";
     case FaultEventKind::kQuarantine: return "quarantine";
+    case FaultEventKind::kShedOverload: return "shed_overload";
+    case FaultEventKind::kDeadlineTimeout: return "deadline_timeout";
+    case FaultEventKind::kBreakerOpen: return "breaker_open";
+    case FaultEventKind::kBreakerReject: return "breaker_reject";
+    case FaultEventKind::kBreakerProbe: return "breaker_probe";
+    case FaultEventKind::kBreakerClose: return "breaker_close";
   }
   return "unknown";
 }
@@ -98,6 +104,21 @@ FaultGroupSummary FaultLedger::build_summary(
         if (row.quarantined_from_item < 0 || e.item < row.quarantined_from_item)
           row.quarantined_from_item = e.item;
         break;
+      case FaultEventKind::kShedOverload:
+        ++row.shed;
+        ++s.shots_lost;
+        break;
+      case FaultEventKind::kDeadlineTimeout:
+        ++row.deadline_timeouts;
+        break;
+      case FaultEventKind::kBreakerOpen: ++row.breaker_opens; break;
+      case FaultEventKind::kBreakerReject:
+        ++row.breaker_rejects;
+        ++s.shots_lost;
+        break;
+      case FaultEventKind::kBreakerProbe:
+      case FaultEventKind::kBreakerClose:
+        break;  // state-machine receipts; counted in events_by_kind only
     }
     if (s.entries.size() < kMaxEntriesPerGroup) {
       s.entries.push_back(e);
@@ -144,6 +165,29 @@ bool FaultLedger::empty() const {
   return raw_.empty();
 }
 
+std::vector<FaultEvent> FaultLedger::export_group_raw(
+    const std::string& group) const {
+  std::vector<FaultEvent> events;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = raw_.find(group);
+    if (it == raw_.end()) return events;
+    events = it->second;
+  }
+  std::stable_sort(events.begin(), events.end(), event_less);
+  return events;
+}
+
+void FaultLedger::import_group_raw(const std::string& group,
+                                   std::vector<FaultEvent> events) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (events.empty()) {
+    raw_.erase(group);
+    return;
+  }
+  raw_[group] = std::move(events);
+}
+
 std::uint64_t FaultLedger::digest() const {
   Fingerprint fp;
   for (const FaultGroupSummary& s : summaries()) {
@@ -160,6 +204,10 @@ std::uint64_t FaultLedger::digest() const {
           .add(row.retries)
           .add(row.decode_failures)
           .add(row.shots_lost)
+          .add(row.shed)
+          .add(row.deadline_timeouts)
+          .add(row.breaker_opens)
+          .add(row.breaker_rejects)
           .add(row.quarantined ? 1 : 0)
           .add(row.quarantined_from_item)
           .add(row.total_delay_ms);

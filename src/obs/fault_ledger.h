@@ -33,6 +33,14 @@ enum class FaultEventKind : int {
   kDecodeFailure = 6,     ///< consumer could not decode the delivered bytes
   kShotLost = 7,          ///< shot unusable after all attempts (detail: tries)
   kQuarantine = 8,        ///< device quarantined (detail: consecutive losses)
+  // Service-layer robustness events (src/service): load shedding,
+  // deadline enforcement and the per-device circuit breaker.
+  kShedOverload = 9,      ///< admission shed the shot (detail: backlog ms)
+  kDeadlineTimeout = 10,  ///< modeled latency blew the budget (detail: ms over)
+  kBreakerOpen = 11,      ///< breaker opened (detail: consecutive timeouts)
+  kBreakerReject = 12,    ///< shot rejected while open (detail: cooldown left)
+  kBreakerProbe = 13,     ///< half-open probe admitted (detail: 1 ok / 0 fail)
+  kBreakerClose = 14,     ///< breaker closed after a clean probe streak
 };
 
 const char* fault_event_kind_name(FaultEventKind kind);
@@ -60,6 +68,10 @@ struct DeviceFaultRow {
   int retries = 0;
   int decode_failures = 0;
   int shots_lost = 0;
+  int shed = 0;             ///< shots shed by service admission
+  int deadline_timeouts = 0;
+  int breaker_opens = 0;
+  int breaker_rejects = 0;
   bool quarantined = false;
   int quarantined_from_item = -1;  ///< first item excluded by quarantine
   double total_delay_ms = 0.0;     ///< synthetic straggler + backoff time
@@ -98,6 +110,17 @@ class FaultLedger {
   std::vector<FaultGroupSummary> summaries() const;
   std::optional<FaultGroupSummary> find_group(const std::string& group) const;
   bool empty() const;
+
+  /// Every raw event recorded under `group`, canonically sorted and
+  /// never entry-capped (summaries cap at kMaxEntriesPerGroup; a
+  /// checkpoint must not). Empty when the group is absent.
+  std::vector<FaultEvent> export_group_raw(const std::string& group) const;
+
+  /// Replace `group`'s raw events wholesale (checkpoint restore). An
+  /// empty vector erases the group, so a restored ledger is
+  /// indistinguishable from one that never saw the group.
+  void import_group_raw(const std::string& group,
+                        std::vector<FaultEvent> events);
 
   /// Stable fingerprint over all group tallies and canonically ordered
   /// events (for the provenance manifest digest).

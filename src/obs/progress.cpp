@@ -9,11 +9,16 @@ namespace edgestab::obs {
 namespace {
 
 ProgressMeter::AlertCountFn g_alert_source = nullptr;
+ProgressMeter::StatusTextFn g_status_source = nullptr;
 
 }  // namespace
 
 void ProgressMeter::set_alert_source(AlertCountFn source) {
   g_alert_source = source;
+}
+
+void ProgressMeter::set_status_source(StatusTextFn source) {
+  g_status_source = source;
 }
 
 ProgressMeter::ProgressMeter(std::string label, std::int64_t total,
@@ -63,11 +68,16 @@ void ProgressMeter::emit(bool closing) {
     std::snprintf(alerts, sizeof(alerts), " %lld alerts",
                   static_cast<long long>(g_alert_source()));
   }
+  // Live pipeline status (queue depths, shed count) from the installed
+  // status source; empty when none is armed so pre-service heartbeat
+  // lines are unchanged.
+  std::string status;
+  if (g_status_source != nullptr) status = g_status_source();
   if (closing) {
     std::fprintf(stderr,
-                 "[progress] %s done: %lld in %.1fs (%.1f items/s)%s\n",
+                 "[progress] %s done: %lld in %.1fs (%.1f items/s)%s%s\n",
                  label_.c_str(), static_cast<long long>(done_), elapsed,
-                 rate, alerts);
+                 rate, alerts, status.c_str());
   } else if (total_ > 0) {
     double fraction =
         static_cast<double>(done_) / static_cast<double>(total_);
@@ -77,15 +87,15 @@ void ProgressMeter::emit(bool closing) {
                      : 0.0;
     std::fprintf(stderr,
                  "[progress] %s %lld/%lld (%.0f%%) elapsed %.1fs "
-                 "(%.1f items/s) eta %.1fs%s\n",
+                 "(%.1f items/s) eta %.1fs%s%s\n",
                  label_.c_str(), static_cast<long long>(done_),
                  static_cast<long long>(total_), fraction * 100.0, elapsed,
-                 rate, eta, alerts);
+                 rate, eta, alerts, status.c_str());
   } else {
     std::fprintf(stderr,
-                 "[progress] %s %lld elapsed %.1fs (%.1f items/s)%s\n",
+                 "[progress] %s %lld elapsed %.1fs (%.1f items/s)%s%s\n",
                  label_.c_str(), static_cast<long long>(done_), elapsed,
-                 rate, alerts);
+                 rate, alerts, status.c_str());
   }
   std::fflush(stderr);
   last_emit_seconds_ = elapsed;

@@ -26,6 +26,13 @@ class ProgressMeter {
   /// armed, and every heartbeat line then carries the running count.
   using AlertCountFn = std::int64_t (*)();
 
+  /// Optional live-status source: a short free-form suffix (the service
+  /// pipeline installs one reporting per-stage queue depths and the
+  /// running shed count, e.g. " q cap:3 isp:1 inf:12 shed 42"). Same
+  /// plain-function-pointer decoupling as the alert source; advisory
+  /// wall-clock state, never part of any deterministic artifact.
+  using StatusTextFn = std::string (*)();
+
   /// `label` prefixes each line; `total` of 0 means unknown (no ETA).
   /// `min_interval_seconds` rate-limits output; the first and final
   /// ticks always print when enabled.
@@ -34,6 +41,9 @@ class ProgressMeter {
 
   /// Install (or clear, with nullptr) the process-wide alert source.
   static void set_alert_source(AlertCountFn source);
+
+  /// Install (or clear, with nullptr) the process-wide status source.
+  static void set_status_source(StatusTextFn source);
 
   /// Mark `n` more items done; prints at most one heartbeat line.
   void tick(std::int64_t n = 1);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/json.h"
 #include "util/hashing.h"
 
 namespace edgestab::obs {
@@ -322,6 +323,123 @@ void DeviceHealthRegistry::merge(const DeviceHealthRegistry& other) {
     }
   }
   live_alerts_.fetch_add(their_live, std::memory_order_relaxed);
+}
+
+std::string DeviceHealthRegistry::serialize_state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonWriter w;
+  w.begin_object();
+  w.key("format").value("edgestab-telemetry-state-v1");
+  w.key("window_items").value(window_items_);
+  w.key("live_alerts")
+      .value(static_cast<std::int64_t>(
+          live_alerts_.load(std::memory_order_relaxed)));
+  w.key("devices").begin_array();
+  for (const auto& [device, state] : devices_) {
+    w.begin_object();
+    w.key("device").value(device);
+    w.key("label").value(state.label);
+    w.key("coverage_usable")
+        .value(static_cast<std::int64_t>(state.coverage_usable));
+    w.key("coverage_slots")
+        .value(static_cast<std::int64_t>(state.coverage_slots));
+    w.key("windows").begin_array();
+    for (const auto& [window, b] : state.windows) {
+      w.begin_object();
+      w.key("window").value(window);
+      w.key("observations").value(static_cast<std::int64_t>(b.observations));
+      w.key("flipped_items").value(static_cast<std::int64_t>(b.flipped_items));
+      w.key("incorrect_items")
+          .value(static_cast<std::int64_t>(b.incorrect_items));
+      w.key("shots").value(static_cast<std::int64_t>(b.shots));
+      w.key("shots_lost").value(static_cast<std::int64_t>(b.shots_lost));
+      w.key("retries").value(static_cast<std::int64_t>(b.retries));
+      w.key("fault_events").value(static_cast<std::int64_t>(b.fault_events));
+      // Canonically sorted: the multiset is order-free (every reader
+      // sorts), so sorted bytes keep the document itself digestable.
+      std::vector<long long> sorted = b.latency_us;
+      std::sort(sorted.begin(), sorted.end());
+      w.key("latency_us").begin_array();
+      for (long long us : sorted) w.value(static_cast<std::int64_t>(us));
+      w.end_array();
+      w.key("drift_comparisons")
+          .value(static_cast<std::int64_t>(b.drift_comparisons));
+      w.key("drift_psnr_mdb_sum")
+          .value(static_cast<std::int64_t>(b.drift_psnr_mdb_sum));
+      w.key("drift_psnr_mdb_min")
+          .value(static_cast<std::int64_t>(b.drift_psnr_mdb_min));
+      w.key("quarantined").value(b.quarantined);
+      w.key("quarantine_item").value(b.quarantine_item);
+      w.key("live_loss_flagged").value(b.live_loss_flagged);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+bool DeviceHealthRegistry::restore_state(const std::string& json) {
+  auto doc = parse_json(json);
+  std::lock_guard<std::mutex> lock(mu_);
+  devices_.clear();
+  live_alerts_.store(0, std::memory_order_relaxed);
+  if (!doc.has_value() || !doc->is_object()) return false;
+  const JsonValue* format = doc->find("format");
+  if (format == nullptr ||
+      format->string_or("") != "edgestab-telemetry-state-v1")
+    return false;
+  const auto as_ll = [](const JsonValue* v, long long fallback) {
+    return v != nullptr && v->is_number()
+               ? static_cast<long long>(v->number)
+               : fallback;
+  };
+  if (const JsonValue* w = doc->find("window_items"))
+    window_items_ = std::max(1, static_cast<int>(w->number_or(1)));
+  live_alerts_.store(as_ll(doc->find("live_alerts"), 0),
+                     std::memory_order_relaxed);
+  const JsonValue* devices = doc->find("devices");
+  if (devices == nullptr || !devices->is_array()) return false;
+  for (const JsonValue& dev : devices->items) {
+    if (!dev.is_object()) return false;
+    const int device = static_cast<int>(as_ll(dev.find("device"), 0));
+    DeviceState& state = devices_[device];
+    if (const JsonValue* label = dev.find("label"))
+      state.label = label->string_or("");
+    state.coverage_usable = as_ll(dev.find("coverage_usable"), 0);
+    state.coverage_slots = as_ll(dev.find("coverage_slots"), -1);
+    const JsonValue* windows = dev.find("windows");
+    if (windows == nullptr || !windows->is_array()) return false;
+    for (const JsonValue& win : windows->items) {
+      if (!win.is_object()) return false;
+      Bucket& b = state.windows[static_cast<int>(as_ll(win.find("window"), 0))];
+      b.observations = as_ll(win.find("observations"), 0);
+      b.flipped_items = as_ll(win.find("flipped_items"), 0);
+      b.incorrect_items = as_ll(win.find("incorrect_items"), 0);
+      b.shots = as_ll(win.find("shots"), 0);
+      b.shots_lost = as_ll(win.find("shots_lost"), 0);
+      b.retries = as_ll(win.find("retries"), 0);
+      b.fault_events = as_ll(win.find("fault_events"), 0);
+      if (const JsonValue* lat = win.find("latency_us");
+          lat != nullptr && lat->is_array()) {
+        b.latency_us.reserve(lat->items.size());
+        for (const JsonValue& us : lat->items)
+          b.latency_us.push_back(static_cast<long long>(us.number_or(0.0)));
+      }
+      b.drift_comparisons = as_ll(win.find("drift_comparisons"), 0);
+      b.drift_psnr_mdb_sum = as_ll(win.find("drift_psnr_mdb_sum"), 0);
+      b.drift_psnr_mdb_min = as_ll(win.find("drift_psnr_mdb_min"), 0);
+      if (const JsonValue* q = win.find("quarantined"))
+        b.quarantined = q->is_bool() && q->boolean;
+      b.quarantine_item = static_cast<int>(as_ll(win.find("quarantine_item"),
+                                                 -1));
+      if (const JsonValue* f = win.find("live_loss_flagged"))
+        b.live_loss_flagged = f->is_bool() && f->boolean;
+    }
+  }
+  return true;
 }
 
 bool DeviceHealthRegistry::empty() const {

@@ -225,6 +225,21 @@ class DeviceHealthRegistry {
   /// Fold another registry (a per-shard instance) into this one.
   void merge(const DeviceHealthRegistry& other);
 
+  /// Exact JSON serialization of the full registry state
+  /// ("edgestab-telemetry-state-v1"): every bucket's integer aggregates
+  /// including the raw latency multiset (canonically sorted), so a
+  /// restored registry's digest(), snapshot() and future folds are
+  /// bit-identical to the original. snapshot() cannot serve here — it
+  /// collapses latency multisets to quantiles — and the service
+  /// checkpoint needs mid-window exactness (a checkpoint may land with
+  /// half a window's samples already folded).
+  std::string serialize_state() const;
+
+  /// Replace the registry contents from serialize_state() output;
+  /// enabled() and the window width survive a malformed document but
+  /// the contents are cleared. Returns false on malformed input.
+  bool restore_state(const std::string& json);
+
   /// Cheap running alert estimate for the progress heartbeat:
   /// quarantines plus window buckets whose losses crossed
   /// kLiveLossAlertShots. Advisory only — never exported.

@@ -1,0 +1,95 @@
+// Long-lived stage worker threads for resident services.
+//
+// The thread pool (thread_pool.h) models fork-join parallel regions:
+// one caller fans a range out and blocks until it drains. A streaming
+// pipeline needs the other shape — threads that live for the whole run,
+// pulling work from queues — and those threads must still honor the two
+// process-wide contracts pool lanes honor:
+//
+//   * task-context propagation (task_context.h): a WorkerGroup thread
+//     adopts the spawner's captured context for its entire body, so
+//     profiler spans opened inside a stage attribute to the run's tree
+//     instead of dangling on an anonymous thread;
+//   * exception containment: a throwing body would std::terminate the
+//     process from a raw std::thread; here the first exception per
+//     group is captured and rethrown from join(), like run_chunks.
+//
+// Determinism stays the caller's contract exactly as with the pool:
+// stage bodies must communicate through index-addressed records, never
+// order-dependent shared state.
+#pragma once
+
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "runtime/task_context.h"
+
+namespace edgestab::runtime {
+
+/// A set of named worker threads joined (and their first exception
+/// rethrown) by join(); the destructor joins but swallows, so stack
+/// unwinding never terminates the process.
+class WorkerGroup {
+ public:
+  WorkerGroup() = default;
+  ~WorkerGroup() {
+    try {
+      join();
+    } catch (...) {
+      // Destructor path: the owner already gave up on the result.
+    }
+  }
+
+  WorkerGroup(const WorkerGroup&) = delete;
+  WorkerGroup& operator=(const WorkerGroup&) = delete;
+
+  /// Spawn one worker running `body`. The spawner's task context is
+  /// captured here and installed on the new thread for the body's whole
+  /// lifetime.
+  void spawn(std::function<void()> body) {
+    const TaskContextHooks* hooks = task_context_hooks();
+    void* context = hooks != nullptr && hooks->capture != nullptr
+                        ? hooks->capture()
+                        : nullptr;
+    threads_.emplace_back([this, hooks, context,
+                           body = std::move(body)]() mutable {
+      void* previous = nullptr;
+      if (hooks != nullptr && hooks->install != nullptr)
+        previous = hooks->install(context);
+      try {
+        body();
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!first_error_) first_error_ = std::current_exception();
+      }
+      if (hooks != nullptr && hooks->restore != nullptr)
+        hooks->restore(previous);
+    });
+  }
+
+  /// Join every worker; rethrows the first exception any body raised.
+  void join() {
+    for (std::thread& t : threads_)
+      if (t.joinable()) t.join();
+    threads_.clear();
+    std::exception_ptr error;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      std::swap(error, first_error_);
+    }
+    if (error) std::rethrow_exception(error);
+  }
+
+  std::size_t size() const { return threads_.size(); }
+
+ private:
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace edgestab::runtime

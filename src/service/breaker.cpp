@@ -1,0 +1,85 @@
+#include "service/breaker.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace edgestab::service {
+
+const char* breaker_state_name(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: return "half_open";
+  }
+  return "?";
+}
+
+CircuitBreaker::CircuitBreaker(const BreakerConfig& config)
+    : config_(config) {
+  ES_CHECK_MSG(config.open_after >= 1 && config.cooldown >= 1 &&
+                   config.close_after >= 1 && config.max_probe_rounds >= 1,
+               "breaker config fields must be >= 1");
+}
+
+CircuitBreaker::Admit CircuitBreaker::admit() {
+  switch (state()) {
+    case BreakerState::kClosed:
+      return Admit::kAdmit;
+    case BreakerState::kOpen:
+      if (snap_.sticky || snap_.cooldown_left > 0) {
+        if (!snap_.sticky) --snap_.cooldown_left;
+        ++snap_.rejects;
+        return Admit::kReject;
+      }
+      // Cooldown served: this admission becomes the first probe.
+      snap_.state = static_cast<int>(BreakerState::kHalfOpen);
+      snap_.probe_successes = 0;
+      return Admit::kProbe;
+    case BreakerState::kHalfOpen:
+      return Admit::kProbe;
+  }
+  return Admit::kAdmit;
+}
+
+CircuitBreaker::Feedback CircuitBreaker::on_success() {
+  Feedback fb;
+  snap_.consecutive_timeouts = 0;
+  if (state() == BreakerState::kHalfOpen) {
+    if (++snap_.probe_successes >= config_.close_after) {
+      snap_.state = static_cast<int>(BreakerState::kClosed);
+      snap_.probe_successes = 0;
+      snap_.probe_rounds = 0;
+      ++snap_.closes;
+      fb.closed = true;
+    }
+  }
+  return fb;
+}
+
+CircuitBreaker::Feedback CircuitBreaker::on_timeout() {
+  Feedback fb;
+  ++snap_.consecutive_timeouts;
+  if (state() == BreakerState::kHalfOpen) {
+    // A failed probe ends the probe round: reopen (or write the device
+    // off once it has burned its probe-round budget).
+    snap_.probe_successes = 0;
+    if (++snap_.probe_rounds >= config_.max_probe_rounds) {
+      snap_.sticky = true;
+      fb.went_sticky = true;
+    }
+    snap_.state = static_cast<int>(BreakerState::kOpen);
+    snap_.cooldown_left = config_.cooldown;
+    ++snap_.opens;
+    fb.opened = true;
+  } else if (state() == BreakerState::kClosed &&
+             snap_.consecutive_timeouts >= config_.open_after) {
+    snap_.state = static_cast<int>(BreakerState::kOpen);
+    snap_.cooldown_left = config_.cooldown;
+    ++snap_.opens;
+    fb.opened = true;
+  }
+  return fb;
+}
+
+}  // namespace edgestab::service

@@ -1,0 +1,89 @@
+// Per-device circuit breaker for the streaming service.
+//
+// A device whose shots keep blowing their deadline budget is not helped
+// by more traffic — every admitted shot burns pipeline capacity to
+// produce a timeout. The breaker cuts it off deterministically:
+//
+//   kClosed    -> admit everything; `open_after` consecutive deadline
+//                 timeouts trip it open.
+//   kOpen      -> reject the next `cooldown` admissions outright (each
+//                 rejection is a ledger receipt, never a silent drop),
+//                 then move to half-open.
+//   kHalfOpen  -> admit probe shots one at a time; `close_after`
+//                 consecutive probe successes close the breaker, a probe
+//                 failure reopens it. After `max_probe_rounds` failed
+//                 probe rounds the breaker goes *sticky-open*: the
+//                 device is written off for the rest of the run (the
+//                 service files it as quarantined with telemetry).
+//
+// All transitions are driven by the scheduler, serially in shot order,
+// from verdicts that are pure functions of the fault schedule — so the
+// breaker state stream is bit-identical at any thread count, and a
+// snapshot of the counters is enough to resume it from a checkpoint.
+#pragma once
+
+#include <cstdint>
+
+namespace edgestab::service {
+
+struct BreakerConfig {
+  int open_after = 4;       ///< consecutive timeouts that trip the breaker
+  int cooldown = 8;         ///< rejected admissions before half-open
+  int close_after = 2;      ///< consecutive probe successes to close
+  int max_probe_rounds = 3; ///< failed probe rounds before sticky-open
+};
+
+enum class BreakerState : int { kClosed = 0, kOpen = 1, kHalfOpen = 2 };
+
+const char* breaker_state_name(BreakerState state);
+
+/// The complete mutable state of one breaker — what a service checkpoint
+/// stores and restore() reinstates.
+struct BreakerSnapshot {
+  int state = 0;  ///< BreakerState as int (serialization-friendly)
+  int consecutive_timeouts = 0;
+  int cooldown_left = 0;
+  int probe_successes = 0;
+  int probe_rounds = 0;  ///< failed probe rounds since last close
+  bool sticky = false;
+  long long opens = 0;    ///< lifetime counters (reopens included)
+  long long closes = 0;
+  long long rejects = 0;
+};
+
+class CircuitBreaker {
+ public:
+  enum class Admit : int { kAdmit = 0, kProbe = 1, kReject = 2 };
+
+  /// What a feedback call changed — the scheduler turns these into
+  /// ledger receipts (kBreakerOpen / kBreakerClose / quarantine).
+  struct Feedback {
+    bool opened = false;
+    bool closed = false;
+    bool went_sticky = false;
+  };
+
+  explicit CircuitBreaker(const BreakerConfig& config = {});
+
+  /// Admission verdict for the device's next shot. kReject decrements
+  /// the cooldown and bumps the reject counter.
+  Admit admit();
+
+  /// Outcome feedback for the most recent admitted/probe shot.
+  Feedback on_success();
+  Feedback on_timeout();
+
+  BreakerState state() const {
+    return static_cast<BreakerState>(snap_.state);
+  }
+  bool sticky_open() const { return snap_.sticky; }
+  const BreakerSnapshot& snapshot() const { return snap_; }
+  void restore(const BreakerSnapshot& snap) { snap_ = snap; }
+  const BreakerConfig& config() const { return config_; }
+
+ private:
+  BreakerConfig config_;
+  BreakerSnapshot snap_;
+};
+
+}  // namespace edgestab::service

@@ -1,0 +1,367 @@
+#include "service/checkpoint.h"
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+#include "obs/json.h"
+#include "util/hashing.h"
+
+namespace edgestab::service {
+
+namespace {
+
+using obs::JsonValue;
+using obs::JsonWriter;
+
+// The JSON number lane is a double (2^53 mantissa), so 64-bit digests
+// travel as hex strings; plain counters stay numeric.
+std::string u64_hex(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, v);
+  return std::string(buf);
+}
+
+bool parse_u64_hex(const JsonValue* v, std::uint64_t* out) {
+  if (v == nullptr || !v->is_string()) return false;
+  char* end = nullptr;
+  errno = 0;
+  std::uint64_t parsed = std::strtoull(v->string.c_str(), &end, 16);
+  if (errno != 0 || end == nullptr || *end != '\0' || v->string.empty())
+    return false;
+  *out = parsed;
+  return true;
+}
+
+long long ll_or(const JsonValue* v, long long fallback) {
+  return v != nullptr && v->is_number()
+             ? static_cast<long long>(v->number)
+             : fallback;
+}
+
+int int_or(const JsonValue* v, int fallback) {
+  return v != nullptr && v->is_number() ? static_cast<int>(v->number)
+                                        : fallback;
+}
+
+void write_aggregate(JsonWriter& w, const AggregateState& agg) {
+  w.begin_object();
+  w.key("slots_folded").value(static_cast<std::int64_t>(agg.slots_folded));
+  w.key("shots_folded").value(static_cast<std::int64_t>(agg.shots_folded));
+  w.key("ok").value(static_cast<std::int64_t>(agg.ok));
+  w.key("correct").value(static_cast<std::int64_t>(agg.correct));
+  w.key("shed").value(static_cast<std::int64_t>(agg.shed));
+  w.key("rejected").value(static_cast<std::int64_t>(agg.rejected));
+  w.key("timeouts").value(static_cast<std::int64_t>(agg.timeouts));
+  w.key("capture_lost")
+      .value(static_cast<std::int64_t>(agg.capture_lost));
+  w.key("decode_lost").value(static_cast<std::int64_t>(agg.decode_lost));
+  w.key("fault_events")
+      .value(static_cast<std::int64_t>(agg.fault_events));
+  w.key("retries").value(static_cast<std::int64_t>(agg.retries));
+  w.key("slots_fully_covered")
+      .value(static_cast<std::int64_t>(agg.slots_fully_covered));
+  w.key("slots_degraded")
+      .value(static_cast<std::int64_t>(agg.slots_degraded));
+  w.key("slots_lost").value(static_cast<std::int64_t>(agg.slots_lost));
+  w.key("slots_observed")
+      .value(static_cast<std::int64_t>(agg.slots_observed));
+  w.key("unstable_slots")
+      .value(static_cast<std::int64_t>(agg.unstable_slots));
+  w.key("all_correct_slots")
+      .value(static_cast<std::int64_t>(agg.all_correct_slots));
+  w.key("all_incorrect_slots")
+      .value(static_cast<std::int64_t>(agg.all_incorrect_slots));
+  w.key("digest_chain").value(u64_hex(agg.digest_chain));
+  w.key("latency_hist_100us").begin_array();
+  for (const auto& [bucket, count] : agg.latency_hist_100us) {
+    w.begin_array();
+    w.value(static_cast<std::int64_t>(bucket));
+    w.value(static_cast<std::int64_t>(count));
+    w.end_array();
+  }
+  w.end_array();
+  w.key("devices").begin_array();
+  for (const DeviceAggregate& d : agg.devices) {
+    w.begin_object();
+    w.key("ok").value(static_cast<std::int64_t>(d.ok));
+    w.key("correct").value(static_cast<std::int64_t>(d.correct));
+    w.key("shed").value(static_cast<std::int64_t>(d.shed));
+    w.key("rejected").value(static_cast<std::int64_t>(d.rejected));
+    w.key("timeouts").value(static_cast<std::int64_t>(d.timeouts));
+    w.key("capture_lost")
+        .value(static_cast<std::int64_t>(d.capture_lost));
+    w.key("decode_lost").value(static_cast<std::int64_t>(d.decode_lost));
+    w.key("latency_us_sum")
+        .value(static_cast<std::int64_t>(d.latency_us_sum));
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+bool parse_aggregate(const JsonValue& v, AggregateState* out) {
+  if (!v.is_object()) return false;
+  out->slots_folded = ll_or(v.find("slots_folded"), 0);
+  out->shots_folded = ll_or(v.find("shots_folded"), 0);
+  out->ok = ll_or(v.find("ok"), 0);
+  out->correct = ll_or(v.find("correct"), 0);
+  out->shed = ll_or(v.find("shed"), 0);
+  out->rejected = ll_or(v.find("rejected"), 0);
+  out->timeouts = ll_or(v.find("timeouts"), 0);
+  out->capture_lost = ll_or(v.find("capture_lost"), 0);
+  out->decode_lost = ll_or(v.find("decode_lost"), 0);
+  out->fault_events = ll_or(v.find("fault_events"), 0);
+  out->retries = ll_or(v.find("retries"), 0);
+  out->slots_fully_covered = ll_or(v.find("slots_fully_covered"), 0);
+  out->slots_degraded = ll_or(v.find("slots_degraded"), 0);
+  out->slots_lost = ll_or(v.find("slots_lost"), 0);
+  out->slots_observed = ll_or(v.find("slots_observed"), 0);
+  out->unstable_slots = ll_or(v.find("unstable_slots"), 0);
+  out->all_correct_slots = ll_or(v.find("all_correct_slots"), 0);
+  out->all_incorrect_slots = ll_or(v.find("all_incorrect_slots"), 0);
+  if (!parse_u64_hex(v.find("digest_chain"), &out->digest_chain))
+    return false;
+  const JsonValue* hist = v.find("latency_hist_100us");
+  if (hist == nullptr || !hist->is_array()) return false;
+  out->latency_hist_100us.clear();
+  for (const JsonValue& entry : hist->items) {
+    if (!entry.is_array() || entry.items.size() != 2) return false;
+    out->latency_hist_100us[static_cast<long long>(
+        entry.items[0].number_or(0.0))] =
+        static_cast<long long>(entry.items[1].number_or(0.0));
+  }
+  const JsonValue* devices = v.find("devices");
+  if (devices == nullptr || !devices->is_array()) return false;
+  out->devices.clear();
+  for (const JsonValue& dv : devices->items) {
+    if (!dv.is_object()) return false;
+    DeviceAggregate d;
+    d.ok = ll_or(dv.find("ok"), 0);
+    d.correct = ll_or(dv.find("correct"), 0);
+    d.shed = ll_or(dv.find("shed"), 0);
+    d.rejected = ll_or(dv.find("rejected"), 0);
+    d.timeouts = ll_or(dv.find("timeouts"), 0);
+    d.capture_lost = ll_or(dv.find("capture_lost"), 0);
+    d.decode_lost = ll_or(dv.find("decode_lost"), 0);
+    d.latency_us_sum = ll_or(dv.find("latency_us_sum"), 0);
+    out->devices.push_back(d);
+  }
+  return true;
+}
+
+void write_scheduler(JsonWriter& w, const SchedulerState& sched) {
+  w.begin_object();
+  w.key("next_shot").value(static_cast<std::int64_t>(sched.next_shot));
+  w.key("devices").begin_array();
+  for (const DeviceSchedState& d : sched.devices) {
+    const BreakerSnapshot& b = d.breaker;
+    w.begin_object();
+    w.key("state").value(b.state);
+    w.key("consecutive_timeouts").value(b.consecutive_timeouts);
+    w.key("cooldown_left").value(b.cooldown_left);
+    w.key("probe_successes").value(b.probe_successes);
+    w.key("probe_rounds").value(b.probe_rounds);
+    w.key("sticky").value(b.sticky);
+    w.key("opens").value(static_cast<std::int64_t>(b.opens));
+    w.key("closes").value(static_cast<std::int64_t>(b.closes));
+    w.key("rejects").value(static_cast<std::int64_t>(b.rejects));
+    w.key("backlog_us").value(static_cast<std::int64_t>(d.backlog_us));
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+bool parse_scheduler(const JsonValue& v, SchedulerState* out) {
+  if (!v.is_object()) return false;
+  out->next_shot = ll_or(v.find("next_shot"), 0);
+  const JsonValue* devices = v.find("devices");
+  if (devices == nullptr || !devices->is_array()) return false;
+  out->devices.clear();
+  for (const JsonValue& dv : devices->items) {
+    if (!dv.is_object()) return false;
+    DeviceSchedState d;
+    d.breaker.state = int_or(dv.find("state"), 0);
+    d.breaker.consecutive_timeouts =
+        int_or(dv.find("consecutive_timeouts"), 0);
+    d.breaker.cooldown_left = int_or(dv.find("cooldown_left"), 0);
+    d.breaker.probe_successes = int_or(dv.find("probe_successes"), 0);
+    d.breaker.probe_rounds = int_or(dv.find("probe_rounds"), 0);
+    const JsonValue* sticky = dv.find("sticky");
+    d.breaker.sticky = sticky != nullptr && sticky->is_bool() &&
+                       sticky->boolean;
+    d.breaker.opens = ll_or(dv.find("opens"), 0);
+    d.breaker.closes = ll_or(dv.find("closes"), 0);
+    d.breaker.rejects = ll_or(dv.find("rejects"), 0);
+    d.backlog_us = ll_or(dv.find("backlog_us"), 0);
+    out->devices.push_back(d);
+  }
+  return true;
+}
+
+void set_error(std::string* error, const char* message) {
+  if (error != nullptr) *error = message;
+}
+
+}  // namespace
+
+std::string serialize_checkpoint(const ServiceCheckpoint& ckpt) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("format").value(kCheckpointFormat);
+  w.key("config_digest").value(u64_hex(ckpt.config_digest));
+  w.key("slot").value(static_cast<std::int64_t>(ckpt.slot));
+  w.key("aggregate");
+  write_aggregate(w, ckpt.agg);
+  w.key("scheduler");
+  write_scheduler(w, ckpt.sched);
+  w.key("ledger_events").begin_array();
+  for (const obs::FaultEvent& e : ckpt.ledger_events) {
+    w.begin_array();
+    w.value(static_cast<int>(e.kind));
+    w.value(e.device);
+    w.value(e.item);
+    w.value(e.shot);
+    w.value(e.attempt);
+    w.value(e.recovered);
+    w.value(e.detail);
+    w.end_array();
+  }
+  w.end_array();
+  w.key("telemetry_state").value(ckpt.telemetry_state);
+  w.end_object();
+  return w.take();
+}
+
+bool parse_checkpoint(const std::string& json, ServiceCheckpoint* out,
+                      std::string* error) {
+  std::optional<JsonValue> doc = obs::parse_json(json, error);
+  if (!doc.has_value()) return false;
+  const JsonValue* format = doc->find("format");
+  if (format == nullptr || format->string_or("") != kCheckpointFormat) {
+    set_error(error, "not an edgestab-ckpt-v1 document");
+    return false;
+  }
+  ServiceCheckpoint ckpt;
+  if (!parse_u64_hex(doc->find("config_digest"), &ckpt.config_digest)) {
+    set_error(error, "bad config_digest");
+    return false;
+  }
+  ckpt.slot = ll_or(doc->find("slot"), -1);
+  if (ckpt.slot < 0) {
+    set_error(error, "bad slot");
+    return false;
+  }
+  const JsonValue* agg = doc->find("aggregate");
+  if (agg == nullptr || !parse_aggregate(*agg, &ckpt.agg)) {
+    set_error(error, "bad aggregate state");
+    return false;
+  }
+  const JsonValue* sched = doc->find("scheduler");
+  if (sched == nullptr || !parse_scheduler(*sched, &ckpt.sched)) {
+    set_error(error, "bad scheduler state");
+    return false;
+  }
+  const JsonValue* events = doc->find("ledger_events");
+  if (events == nullptr || !events->is_array()) {
+    set_error(error, "bad ledger_events");
+    return false;
+  }
+  for (const JsonValue& ev : events->items) {
+    if (!ev.is_array() || ev.items.size() != 7) {
+      set_error(error, "bad ledger event row");
+      return false;
+    }
+    obs::FaultEvent e;
+    e.kind = static_cast<obs::FaultEventKind>(
+        static_cast<int>(ev.items[0].number_or(0.0)));
+    e.device = static_cast<int>(ev.items[1].number_or(0.0));
+    e.item = static_cast<int>(ev.items[2].number_or(0.0));
+    e.shot = static_cast<int>(ev.items[3].number_or(0.0));
+    e.attempt = static_cast<int>(ev.items[4].number_or(0.0));
+    e.recovered = ev.items[5].is_bool() && ev.items[5].boolean;
+    e.detail = ev.items[6].number_or(0.0);
+    ckpt.ledger_events.push_back(e);
+  }
+  const JsonValue* telemetry = doc->find("telemetry_state");
+  if (telemetry == nullptr || !telemetry->is_string()) {
+    set_error(error, "bad telemetry_state");
+    return false;
+  }
+  ckpt.telemetry_state = telemetry->string;
+  *out = std::move(ckpt);
+  return true;
+}
+
+bool write_checkpoint_file(const std::string& path,
+                           const ServiceCheckpoint& ckpt,
+                           std::string* error) {
+  const std::string body = serialize_checkpoint(ckpt);
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    set_error(error, "cannot open checkpoint tmp file");
+    return false;
+  }
+  bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  ok = std::fflush(f) == 0 && ok;
+#ifndef _WIN32
+  // fsync before rename: the rename must never become visible ahead of
+  // the bytes it names (the whole point of the tmp+rename dance).
+  ok = fsync(fileno(f)) == 0 && ok;
+#endif
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    set_error(error, "checkpoint tmp write failed");
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    set_error(error, "checkpoint rename failed");
+    return false;
+  }
+  return true;
+}
+
+bool load_checkpoint_file(const std::string& path, ServiceCheckpoint* out,
+                          std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    set_error(error, "cannot open checkpoint file");
+    return false;
+  }
+  std::string body;
+  char buf[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+    body.append(buf, n);
+  std::fclose(f);
+  return parse_checkpoint(body, out, error);
+}
+
+std::uint64_t checkpoint_digest(const ServiceCheckpoint& ckpt) {
+  Fingerprint fp;
+  fp.add(std::string(kCheckpointFormat));
+  fp.add(ckpt.config_digest);
+  fp.add(ckpt.slot);
+  fp.add(aggregate_digest(ckpt.agg));
+  fp.add(scheduler_digest(ckpt.sched));
+  fp.add(static_cast<std::uint64_t>(ckpt.ledger_events.size()));
+  for (const obs::FaultEvent& e : ckpt.ledger_events) {
+    fp.add(static_cast<int>(e.kind)).add(e.device).add(e.item);
+    fp.add(e.shot).add(e.attempt);
+    fp.add(static_cast<std::uint64_t>(e.recovered ? 1 : 0));
+    fp.add(e.detail);
+  }
+  fp.add(ckpt.telemetry_state);
+  return fp.value();
+}
+
+}  // namespace edgestab::service

@@ -1,0 +1,59 @@
+// Crash-consistent service checkpoints ("edgestab-ckpt-v1").
+//
+// A checkpoint is the complete deterministic state of the streaming run
+// at a slot boundary B: every shot with slot < B folded, nothing past it.
+// It carries the aggregator fold, the scheduler/breaker machinery, the
+// raw "service" fault-ledger group and the exact telemetry registry
+// state — enough that a resumed process restores the structs, replays
+// nothing, and continues at shot B * devices with byte-identical future
+// behavior. Durability is the classic crash-safe dance: write to a
+// sibling tmp file, flush + fsync, then atomically rename over the
+// target, so a kill at ANY instant leaves either the previous complete
+// checkpoint or the new complete checkpoint — never a torn file.
+//
+// Resume refuses a checkpoint whose config digest differs from the
+// running config: a checkpoint is only meaningful against the exact
+// fleet/plan/seed geometry that produced it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/fault_ledger.h"
+#include "service/state.h"
+
+namespace edgestab::service {
+
+inline constexpr const char* kCheckpointFormat = "edgestab-ckpt-v1";
+
+struct ServiceCheckpoint {
+  std::uint64_t config_digest = 0;
+  long long slot = 0;  ///< slots fully folded; resume starts here
+  AggregateState agg;
+  SchedulerState sched;
+  /// Raw "service" fault-ledger group at the boundary (uncapped).
+  std::vector<obs::FaultEvent> ledger_events;
+  /// DeviceHealthRegistry::serialize_state() document at the boundary.
+  std::string telemetry_state;
+};
+
+/// JSON round trip. parse_checkpoint returns false (with a reason in
+/// *error when non-null) on malformed or wrong-format input.
+std::string serialize_checkpoint(const ServiceCheckpoint& ckpt);
+bool parse_checkpoint(const std::string& json, ServiceCheckpoint* out,
+                      std::string* error);
+
+/// Durable write: tmp file + fsync + atomic rename. Returns false on
+/// any I/O failure (with the reason in *error when non-null).
+bool write_checkpoint_file(const std::string& path,
+                           const ServiceCheckpoint& ckpt,
+                           std::string* error);
+bool load_checkpoint_file(const std::string& path, ServiceCheckpoint* out,
+                          std::string* error);
+
+/// Fingerprint over the full checkpoint surface (for logs/tests; the
+/// bit-exactness contract is on the member digests themselves).
+std::uint64_t checkpoint_digest(const ServiceCheckpoint& ckpt);
+
+}  // namespace edgestab::service

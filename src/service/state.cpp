@@ -1,0 +1,59 @@
+#include "service/state.h"
+
+#include "util/hashing.h"
+
+namespace edgestab::service {
+
+const char* outcome_name(ShotOutcome outcome) {
+  switch (outcome) {
+    case ShotOutcome::kOk: return "ok";
+    case ShotOutcome::kShed: return "shed";
+    case ShotOutcome::kBreakerReject: return "breaker_reject";
+    case ShotOutcome::kDeadlineTimeout: return "deadline_timeout";
+    case ShotOutcome::kCaptureLost: return "capture_lost";
+    case ShotOutcome::kDecodeLost: return "decode_lost";
+  }
+  return "?";
+}
+
+std::uint64_t aggregate_digest(const AggregateState& agg) {
+  Fingerprint fp;
+  fp.add(std::string("edgestab-service-agg"));
+  fp.add(agg.slots_folded).add(agg.shots_folded);
+  fp.add(agg.ok).add(agg.correct).add(agg.shed).add(agg.rejected);
+  fp.add(agg.timeouts).add(agg.capture_lost).add(agg.decode_lost);
+  fp.add(agg.fault_events).add(agg.retries);
+  fp.add(agg.slots_fully_covered).add(agg.slots_degraded);
+  fp.add(agg.slots_lost);
+  fp.add(agg.slots_observed).add(agg.unstable_slots);
+  fp.add(agg.all_correct_slots).add(agg.all_incorrect_slots);
+  fp.add(agg.digest_chain);
+  fp.add(static_cast<std::uint64_t>(agg.latency_hist_100us.size()));
+  for (const auto& [bucket, count] : agg.latency_hist_100us)
+    fp.add(bucket).add(count);
+  fp.add(static_cast<std::uint64_t>(agg.devices.size()));
+  for (const DeviceAggregate& d : agg.devices) {
+    fp.add(d.ok).add(d.correct).add(d.shed).add(d.rejected);
+    fp.add(d.timeouts).add(d.capture_lost).add(d.decode_lost);
+    fp.add(d.latency_us_sum);
+  }
+  return fp.value();
+}
+
+std::uint64_t scheduler_digest(const SchedulerState& sched) {
+  Fingerprint fp;
+  fp.add(std::string("edgestab-service-sched"));
+  fp.add(sched.next_shot);
+  fp.add(static_cast<std::uint64_t>(sched.devices.size()));
+  for (const DeviceSchedState& d : sched.devices) {
+    const BreakerSnapshot& b = d.breaker;
+    fp.add(b.state).add(b.consecutive_timeouts).add(b.cooldown_left);
+    fp.add(b.probe_successes).add(b.probe_rounds);
+    fp.add(static_cast<std::uint64_t>(b.sticky ? 1 : 0));
+    fp.add(b.opens).add(b.closes).add(b.rejects);
+    fp.add(d.backlog_us);
+  }
+  return fp.value();
+}
+
+}  // namespace edgestab::service

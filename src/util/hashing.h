@@ -17,6 +17,9 @@ class Fingerprint {
  public:
   Fingerprint& add(std::uint64_t v);
   Fingerprint& add(std::int64_t v) { return add(static_cast<std::uint64_t>(v)); }
+  /// `long long` is distinct from int64_t (= long) on LP64 — fold the
+  /// repo's `long long` counters through the same unsigned path.
+  Fingerprint& add(long long v) { return add(static_cast<std::uint64_t>(v)); }
   Fingerprint& add(int v) { return add(static_cast<std::uint64_t>(v)); }
   Fingerprint& add(double v);
   Fingerprint& add(const std::string& s);

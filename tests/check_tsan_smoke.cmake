@@ -62,4 +62,33 @@ if(NOT EXISTS "${run_dir}/bench_out/table4_isp.meta.json")
   message(FATAL_ERROR "tsan_smoke: bench produced no provenance manifest")
 endif()
 
+# The streaming service is the most thread-shaped subsystem in the tree
+# (bounded MPMC queues, a condvar lead cap, seven worker groups), so a
+# tiny faulted soak runs under TSAN too.
+message(STATUS "==== tsan_smoke: build bench_fleet_soak ====")
+execute_process(
+  COMMAND ${CMAKE_COMMAND} --build "${build_dir}"
+    --target bench_fleet_soak --parallel ${ncpu}
+  RESULT_VARIABLE rc
+  OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "tsan_smoke: soak build failed with ${rc}")
+endif()
+
+message(STATUS "==== tsan_smoke: run service soak under ThreadSanitizer ====")
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env
+    "EDGESTAB_CACHE=${CACHE_DIR}"
+    "TSAN_OPTIONS=halt_on_error=1"
+    "${build_dir}/bench/bench_fleet_soak" --threads 4
+    --devices 6 --shots 120 --bank 2 --scene 32
+    --faults "light,budget,deadline_ms=24" --telemetry
+  WORKING_DIRECTORY "${run_dir}"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+    "tsan_smoke: bench_fleet_soak exited with ${rc} (a ThreadSanitizer "
+    "report fails the run; see output above)")
+endif()
+
 message(STATUS "tsan_smoke OK — no races reported at --threads 4")

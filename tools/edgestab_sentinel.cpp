@@ -24,9 +24,16 @@
 //     table) offline from a <bench>.fleet.json written by a --telemetry
 //     run.
 //
+//   edgestab_sentinel soak FILE [--devices N]
+//     Re-render a streaming-service soak report offline from a
+//     <bench>.soak.json written by bench_fleet_soak: outcome mix, stage
+//     queue pressure, breaker totals, the modeled latency tail and the
+//     N busiest-failing devices.
+//
 // Baselines are refreshed with scripts/refresh_baselines.sh, which
 // copies the candidate BENCH_<name>.json files a bench run emits into
 // the committed baselines/ directory.
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -42,6 +49,7 @@
 #include "obs/manifest.h"
 #include "obs/profiler.h"
 #include "obs/telemetry/fleet_report.h"
+#include "util/table.h"
 
 using namespace edgestab;
 
@@ -60,7 +68,8 @@ int usage() {
       "  trend   [--runs FILE] [--out FILE] [--baseline-dir DIR]\n"
       "  list    [--runs FILE]\n"
       "  hotspots FILE [--top N]\n"
-      "  fleet   FILE [--format text|html] [--out FILE]\n");
+      "  fleet   FILE [--format text|html] [--out FILE]\n"
+      "  soak    FILE [--devices N]\n");
   return 1;
 }
 
@@ -397,6 +406,176 @@ int cmd_fleet(int argc, char** argv) {
 
 }  // namespace
 
+int cmd_soak(int argc, char** argv) {
+  std::string path;
+  int top_devices = 8;
+  for (int i = 2; i < argc; ++i) {
+    std::string value;
+    if (option_value(argc, argv, i, "--devices", &value)) {
+      top_devices = std::atoi(value.c_str());
+      continue;
+    }
+    if (argv[i][0] == '-') {
+      std::fprintf(stderr, "sentinel: unknown option '%s'\n", argv[i]);
+      return usage();
+    }
+    if (!path.empty()) {
+      std::fprintf(stderr, "sentinel: soak takes one soak.json file\n");
+      return usage();
+    }
+    path = argv[i];
+  }
+  if (path.empty()) {
+    std::fprintf(stderr, "sentinel: soak requires a <bench>.soak.json\n");
+    return usage();
+  }
+
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "sentinel: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::string text;
+  char buffer[4096];
+  std::size_t got;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), f)) > 0)
+    text.append(buffer, got);
+  std::fclose(f);
+
+  std::string error;
+  std::optional<obs::JsonValue> doc = obs::parse_json(text, &error);
+  if (!doc.has_value()) {
+    std::fprintf(stderr, "sentinel: %s: %s\n", path.c_str(), error.c_str());
+    return 1;
+  }
+  const obs::JsonValue* format = doc->find("format");
+  if (format == nullptr || format->string_or("") != "edgestab-soak-v1") {
+    std::fprintf(stderr, "sentinel: %s is not an edgestab-soak-v1 report\n",
+                 path.c_str());
+    return 1;
+  }
+
+  auto num = [](const obs::JsonValue* obj, const char* key) -> long long {
+    if (obj == nullptr) return 0;
+    const obs::JsonValue* v = obj->find(key);
+    return v == nullptr
+               ? 0
+               : static_cast<long long>(std::llround(v->number_or(0.0)));
+  };
+  const obs::JsonValue* agg = doc->find("aggregate");
+  const obs::JsonValue* breaker = doc->find("breaker");
+  const obs::JsonValue* digests = doc->find("digests");
+  const obs::JsonValue* latency = doc->find("latency_us");
+
+  const long long shots = num(&*doc, "shots");
+  std::printf("%s — %lld devices x %lld slots (%lld shots)%s\n",
+              path.c_str(), num(&*doc, "devices"), num(&*doc, "slots"),
+              shots,
+              doc->find("completed") != nullptr &&
+                      doc->find("completed")->boolean
+                  ? ""
+                  : " [incomplete]");
+  const long long resumed = num(&*doc, "resumed_from_slot");
+  if (resumed >= 0)
+    std::printf("resumed from slot %lld, %lld checkpoint(s) written\n",
+                resumed, num(&*doc, "checkpoints_written"));
+  if (digests != nullptr) {
+    const obs::JsonValue* a = digests->find("aggregate");
+    const obs::JsonValue* l = digests->find("ledger");
+    const obs::JsonValue* b = digests->find("breaker");
+    std::printf("digests: aggregate %s  ledger %s  breaker %s\n",
+                a ? a->string_or("?").c_str() : "?",
+                l ? l->string_or("?").c_str() : "?",
+                b ? b->string_or("?").c_str() : "?");
+  }
+
+  const long long folded = std::max(1LL, num(agg, "shots_folded"));
+  Table outcomes({"OUTCOME", "SHOTS", "SHARE"});
+  auto outcome_row = [&](const char* label, const char* key) {
+    const long long n = num(agg, key);
+    outcomes.add_row({label, std::to_string(n),
+                      Table::pct(static_cast<double>(n) /
+                                 static_cast<double>(folded))});
+  };
+  outcome_row("ok", "ok");
+  outcome_row("shed", "shed");
+  outcome_row("breaker-reject", "rejected");
+  outcome_row("deadline-timeout", "timeouts");
+  outcome_row("capture-lost", "capture_lost");
+  outcome_row("decode-lost", "decode_lost");
+  std::printf("%s", outcomes.str().c_str());
+  std::printf(
+      "slots: %lld fully covered, %lld degraded, %lld lost; "
+      "%lld unstable of %lld observed\n",
+      num(agg, "slots_fully_covered"), num(agg, "slots_degraded"),
+      num(agg, "slots_lost"), num(agg, "unstable_slots"),
+      num(agg, "slots_observed"));
+  std::printf(
+      "breaker: %lld open(s), %lld close(s), %lld reject(s); end state "
+      "%lld open / %lld half-open / %lld sticky\n",
+      num(breaker, "opens"), num(breaker, "closes"),
+      num(breaker, "rejects"), num(breaker, "open_devices"),
+      num(breaker, "half_open_devices"), num(breaker, "sticky_devices"));
+  if (latency != nullptr)
+    std::printf(
+        "latency (modeled): p50 %.1f ms  p99 %.1f ms  p99.9 %.1f ms  "
+        "max %.1f ms\n",
+        static_cast<double>(num(latency, "p50")) / 1000.0,
+        static_cast<double>(num(latency, "p99")) / 1000.0,
+        static_cast<double>(num(latency, "p999")) / 1000.0,
+        static_cast<double>(num(latency, "max")) / 1000.0);
+
+  const obs::JsonValue* stages = doc->find("stages");
+  if (stages != nullptr && stages->is_array()) {
+    Table t({"STAGE", "WORKERS", "CAP", "HIGH-WATER", "PROCESSED"});
+    for (const obs::JsonValue& s : stages->items) {
+      const obs::JsonValue* name = s.find("name");
+      t.add_row({name ? name->string_or("?") : "?",
+                 std::to_string(num(&s, "workers")),
+                 std::to_string(num(&s, "capacity")),
+                 std::to_string(num(&s, "high_water")),
+                 std::to_string(num(&s, "processed"))});
+    }
+    std::printf("%s", t.str().c_str());
+  }
+
+  // The N devices losing the most shots, worst first.
+  const obs::JsonValue* rows = doc->find("device_rows");
+  if (rows != nullptr && rows->is_array() && top_devices > 0) {
+    std::vector<const obs::JsonValue*> worst;
+    for (const obs::JsonValue& r : rows->items) worst.push_back(&r);
+    auto lost = [&](const obs::JsonValue* r) {
+      return num(r, "timeouts") + num(r, "rejected") + num(r, "shed") +
+             num(r, "capture_lost") + num(r, "decode_lost");
+    };
+    std::stable_sort(worst.begin(), worst.end(),
+                     [&](const obs::JsonValue* a, const obs::JsonValue* b) {
+                       return lost(a) > lost(b);
+                     });
+    if (worst.size() > static_cast<std::size_t>(top_devices))
+      worst.resize(static_cast<std::size_t>(top_devices));
+    Table t({"DEVICE", "OK", "SHED", "REJECT", "TIMEOUT", "LOST",
+             "BREAKER"});
+    for (const obs::JsonValue* r : worst) {
+      const obs::JsonValue* state = r->find("breaker_state");
+      const obs::JsonValue* sticky = r->find("breaker_sticky");
+      std::string breaker_cell =
+          state != nullptr ? state->string_or("?") : "?";
+      if (sticky != nullptr && sticky->boolean) breaker_cell += " (sticky)";
+      t.add_row({std::to_string(num(r, "device")),
+                 std::to_string(num(r, "ok")),
+                 std::to_string(num(r, "shed")),
+                 std::to_string(num(r, "rejected")),
+                 std::to_string(num(r, "timeouts")),
+                 std::to_string(num(r, "capture_lost") +
+                                num(r, "decode_lost")),
+                 breaker_cell});
+    }
+    std::printf("worst devices:\n%s", t.str().c_str());
+  }
+  return 0;
+}
+
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   std::string command = argv[1];
@@ -405,6 +584,7 @@ int main(int argc, char** argv) {
   if (command == "list") return cmd_list(argc, argv);
   if (command == "hotspots") return cmd_hotspots(argc, argv);
   if (command == "fleet") return cmd_fleet(argc, argv);
+  if (command == "soak") return cmd_soak(argc, argv);
   std::fprintf(stderr, "sentinel: unknown command '%s'\n", command.c_str());
   return usage();
 }
