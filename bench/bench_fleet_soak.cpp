@@ -18,7 +18,10 @@
 #include <cinttypes>
 #include <string>
 
+#include "fault/latency.h"
+#include "obs/timeline/timeline.h"
 #include "service/pipeline.h"
+#include "util/csv.h"
 
 using namespace edgestab;
 
@@ -212,6 +215,78 @@ int main(int argc, char** argv) {
                     MetricKind::kPerf, Direction::kHigherIsBetter, "1/s");
   run.record_metric("peak_queue_depth", static_cast<double>(peak_depth),
                     MetricKind::kPerf, Direction::kLowerIsBetter, "items");
+
+  // Timeline headline metrics (--timeline): the epoch count and the
+  // queue-wait share of modeled end-to-end latency per device class are
+  // deterministic; per-stage queue-depth peaks are observational.
+  if (obs::timeline_enabled()) {
+    const obs::TimelineDoc timeline =
+        obs::TimelineRecorder::global().snapshot();
+    exact("timeline_epochs", static_cast<double>(timeline.epochs.size()));
+    for (std::size_t s = 0; s < timeline.stages.size(); ++s) {
+      long long depth_max = 0;
+      for (const obs::TimelineEpoch& e : timeline.epochs)
+        if (s < e.queues.size())
+          depth_max = std::max(depth_max, e.queues[s].max);
+      run.record_metric(
+          "queue_depth_max." + bench::sanitize_metric_label(timeline.stages[s]),
+          static_cast<double>(depth_max), MetricKind::kPerf,
+          Direction::kLowerIsBetter, "items");
+    }
+    // Queue-wait share per class from the sampled traces: all inputs
+    // are quantized microseconds from the deterministic sample set, so
+    // the ratio is exact across threads and kill/resume. Classes with
+    // no sampled traces report 0 so the metric set stays stable.
+    std::vector<long long> wait_us(timeline.classes.size(), 0);
+    std::vector<long long> total_us(timeline.classes.size(), 0);
+    for (const obs::ShotTrace& t : timeline.traces) {
+      if (t.cls < 0 || t.cls >= static_cast<int>(timeline.classes.size()))
+        continue;
+      wait_us[static_cast<std::size_t>(t.cls)] += t.queue_wait_us;
+      total_us[static_cast<std::size_t>(t.cls)] +=
+          t.queue_wait_us + t.service_us + t.backoff_us + t.delivery_us;
+    }
+    for (std::size_t c = 0; c < timeline.classes.size(); ++c) {
+      const double share =
+          total_us[c] > 0 ? static_cast<double>(wait_us[c]) /
+                                static_cast<double>(total_us[c])
+                          : 0.0;
+      exact(("latency_queue_wait_share." +
+             bench::sanitize_metric_label(timeline.classes[c]))
+                .c_str(),
+            share);
+    }
+  }
+
+  // Per-device outcome CSV — written on every run (armed or not), and
+  // deterministic at any --threads / across kill+resume, so the
+  // timeline gate can assert byte-identity while arming the timeline.
+  {
+    CsvWriter csv({"device", "class", "ok", "correct", "shed", "rejected",
+                   "timeouts", "capture_lost", "decode_lost",
+                   "latency_us_sum", "breaker_state", "breaker_sticky"});
+    for (std::size_t d = 0; d < report.agg.devices.size(); ++d) {
+      const service::DeviceAggregate& row = report.agg.devices[d];
+      std::string state = "?";
+      std::string sticky = "?";
+      if (d < report.sched.devices.size()) {
+        const service::BreakerSnapshot& b = report.sched.devices[d].breaker;
+        state = service::breaker_state_name(
+            static_cast<service::BreakerState>(b.state));
+        sticky = b.sticky ? "1" : "0";
+      }
+      csv.add_row(
+          {std::to_string(d),
+           fault::device_class_name(
+               static_cast<fault::DeviceClass>(d % 3)),
+           std::to_string(row.ok), std::to_string(row.correct),
+           std::to_string(row.shed), std::to_string(row.rejected),
+           std::to_string(row.timeouts), std::to_string(row.capture_lost),
+           std::to_string(row.decode_lost),
+           std::to_string(row.latency_us_sum), state, sticky});
+    }
+    run.write_csv(csv, run.name() + "_devices.csv");
+  }
 
   // The offline artifact (edgestab_sentinel soak FILE re-renders it).
   std::string out_path =

@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -36,6 +37,7 @@
 #include "obs/report.h"
 #include "obs/telemetry/anomaly.h"
 #include "obs/telemetry/telemetry.h"
+#include "obs/timeline/timeline.h"
 #include "runtime/thread_pool.h"
 #include "tensor/backend.h"
 #include "util/csv.h"
@@ -215,6 +217,67 @@ inline bool apply_telemetry_flag(int argc, char** argv) {
   return true;
 }
 
+/// Parse `--timeline` / `--timeline=0|off` from a bench command line
+/// (falling back to the EDGESTAB_TIMELINE environment variable) and arm
+/// the service timeline recorder. `--timeline-epoch N` /
+/// EDGESTAB_TIMELINE_EPOCH sets the fold-epoch length in slots and
+/// `--trace-sample-rate X` / EDGESTAB_TRACE_SAMPLE_RATE the per-shot
+/// trace sample probability (stored as integer ppm). Returns whether
+/// the timeline was armed; when compiled out (-DEDGESTAB_TIMELINE=OFF)
+/// the request is reported and the run proceeds without. Pass argc = 0
+/// to consult the environment only.
+inline bool apply_timeline_flag(int argc, char** argv) {
+  bool want = false;
+  if (const char* env = std::getenv("EDGESTAB_TIMELINE")) {
+    std::string v = env;
+    want = !(v.empty() || v == "0" || v == "off" || v == "OFF");
+  }
+  int epoch = 0;
+  double rate = -1.0;
+  if (const char* env = std::getenv("EDGESTAB_TIMELINE_EPOCH"))
+    epoch = std::atoi(env);
+  if (const char* env = std::getenv("EDGESTAB_TRACE_SAMPLE_RATE"))
+    rate = std::atof(env);
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--timeline" || arg == "--timeline=1" || arg == "--timeline=on")
+      want = true;
+    else if (arg == "--timeline=0" || arg == "--timeline=off")
+      want = false;
+    else if (arg == "--timeline-epoch" && i + 1 < argc)
+      epoch = std::atoi(argv[i + 1]);
+    else if (arg.rfind("--timeline-epoch=", 0) == 0)
+      epoch = std::atoi(arg.c_str() + 17);
+    else if (arg == "--trace-sample-rate" && i + 1 < argc)
+      rate = std::atof(argv[i + 1]);
+    else if (arg.rfind("--trace-sample-rate=", 0) == 0)
+      rate = std::atof(arg.c_str() + 20);
+  }
+  auto& recorder = obs::TimelineRecorder::global();
+  if (!want) {
+    // An explicit --timeline=off overrides an env-armed recorder.
+    if (recorder.enabled()) recorder.set_enabled(false);
+    return false;
+  }
+  if (!obs::kTimelineCompiledIn) {
+    std::fprintf(stderr,
+                 "[timeline] service timeline requested but compiled out "
+                 "(EDGESTAB_TIMELINE=OFF); running without\n");
+    return false;
+  }
+  if (!recorder.enabled()) recorder.clear();
+  if (epoch > 0) recorder.set_epoch_slots(epoch);
+  if (rate >= 0.0)
+    recorder.set_trace_sample_ppm(
+        static_cast<long long>(std::llround(rate * 1e6)));
+  recorder.set_enabled(true);
+  std::printf(
+      "[timeline] service timeline armed (epoch %d slots, trace sample "
+      "%lld ppm)\n",
+      recorder.epoch_slots(), recorder.trace_sample_ppm());
+  return true;
+}
+
 /// Parse `--backend NAME` / `--backend=NAME` from a bench command line
 /// (falling back to the EDGESTAB_BACKEND environment variable) and
 /// select the process-wide kernel tier: "scalar" (reference, default),
@@ -300,6 +363,7 @@ class Run {
     if (obs::kDriftCompiledIn) obs::DriftAuditor::global().set_enabled(true);
     if (apply_profile_flag(argc, argv)) open_profile_root();
     apply_telemetry_flag(argc, argv);
+    apply_timeline_flag(argc, argv);
     manifest_.set_field("backend", backend_name(active_backend()));
     manifest_.set_field("threads",
                         static_cast<double>(apply_thread_flag(argc, argv)));
@@ -626,10 +690,12 @@ auto run_repeats(Run& run, Fn&& body) {
     const bool drift_was = obs::DriftAuditor::global().enabled();
     const bool profiler_was = obs::Profiler::global().enabled();
     const bool telemetry_was = obs::DeviceHealthRegistry::global().enabled();
+    const bool timeline_was = obs::TimelineRecorder::global().enabled();
     obs::Tracer::global().set_enabled(false);
     obs::DriftAuditor::global().set_enabled(false);
     obs::Profiler::global().set_enabled(false);
     obs::DeviceHealthRegistry::global().set_enabled(false);
+    obs::TimelineRecorder::global().set_enabled(false);
     for (int i = 0; i + 1 < repeats; ++i) (void)timed();
     // Warm-up repeats must not leak into the authoritative run's
     // metrics, drift report, or fault receipts — nor into the rig-run
@@ -640,11 +706,13 @@ auto run_repeats(Run& run, Fn&& body) {
     obs::DriftAuditor::global().clear();
     obs::FaultLedger::global().clear();
     obs::DeviceHealthRegistry::global().clear();  // keeps enabled()
+    obs::TimelineRecorder::global().clear();      // keeps enabled() + knobs
     reset_rig_run_counter();
     obs::Tracer::global().set_enabled(tracer_was);
     obs::DriftAuditor::global().set_enabled(drift_was);
     obs::Profiler::global().set_enabled(profiler_was);
     obs::DeviceHealthRegistry::global().set_enabled(telemetry_was);
+    obs::TimelineRecorder::global().set_enabled(timeline_was);
   }
   auto result = timed();
   progress.finish();

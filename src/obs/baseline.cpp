@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <fstream>
 #include <limits>
+#include <map>
 #include <sstream>
 
 #include "obs/metrics.h"
@@ -285,6 +286,51 @@ bool load_run_records(const std::string& path, std::vector<RunRecord>* out,
     }
     out->push_back(std::move(record));
   }
+  return true;
+}
+
+bool prune_run_archive(const std::string& path, std::size_t keep,
+                       std::size_t* kept, std::size_t* dropped,
+                       std::string* error) {
+  if (keep == 0) {
+    if (error != nullptr) *error = "keep must be >= 1";
+    return false;
+  }
+  std::vector<RunRecord> records;
+  if (!load_run_records(path, &records, error)) return false;
+
+  // The archive is append-only, so a bench's newest records are its
+  // last lines: count per bench from the back, then emit survivors in
+  // their original order.
+  std::vector<char> survives(records.size(), 0);
+  std::map<std::string, std::size_t> newest_seen;
+  for (std::size_t i = records.size(); i-- > 0;)
+    if (++newest_seen[records[i].bench] <= keep) survives[i] = 1;
+
+  std::string doc;
+  std::size_t kept_count = 0;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    if (!survives[i]) continue;
+    doc += run_record_json(records[i]);
+    doc += '\n';
+    ++kept_count;
+  }
+
+  // Crash-safe rewrite: tmp sibling then atomic rename, so a kill at
+  // any instant leaves either the old or the new archive, never a torn
+  // one.
+  std::string tmp = path + ".tmp";
+  if (!write_text_file(tmp, doc)) {
+    if (error != nullptr) *error = "cannot write " + tmp;
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    if (error != nullptr) *error = "cannot rename " + tmp + " over " + path;
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (kept != nullptr) *kept = kept_count;
+  if (dropped != nullptr) *dropped = records.size() - kept_count;
   return true;
 }
 

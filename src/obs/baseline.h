@@ -145,6 +145,15 @@ bool parse_run_record(const JsonValue& doc, RunRecord* out,
 bool load_run_records(const std::string& path, std::vector<RunRecord>* out,
                       std::string* error);
 
+/// Rewrite the archive keeping only the newest `keep` records per bench
+/// (bench names are already tier-decorated, so this is per (bench, tier)).
+/// Survivors keep their original order. The rewrite is crash-safe:
+/// sibling tmp file then atomic rename. On success *kept / *dropped (when
+/// non-null) report the split; on failure the archive is untouched.
+bool prune_run_archive(const std::string& path, std::size_t keep,
+                       std::size_t* kept, std::size_t* dropped,
+                       std::string* error);
+
 /// Derive the candidate baseline from one record: perf summaries
 /// (wall/cpu seconds, items/sec) get median + MAD over the repeats;
 /// correctness and digest metrics carry over verbatim.

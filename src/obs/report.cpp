@@ -12,6 +12,8 @@
 #include "obs/telemetry/anomaly.h"
 #include "obs/telemetry/fleet_report.h"
 #include "obs/telemetry/telemetry.h"
+#include "obs/timeline/timeline.h"
+#include "obs/timeline/timeline_report.h"
 #include "obs/trace.h"
 #include "util/check.h"
 #include "util/csv.h"
@@ -562,6 +564,14 @@ bool export_run_artifacts(const std::string& bench_name,
     const FleetHealthReport fleet =
         evaluate_fleet_health(DeviceHealthRegistry::global());
     ok = write_fleet_report(fleet, bench_name, dir, &manifest) && ok;
+  }
+
+  // Service timeline artifacts land only when the timeline was armed
+  // this run (--timeline); same artifact-set contract as telemetry.
+  if (timeline_enabled()) {
+    TimelineDoc timeline = TimelineRecorder::global().snapshot();
+    timeline.bench = bench_name;
+    write_timeline_report(timeline, dir, &manifest);
   }
 
   std::string meta = dir + "/" + bench_name + ".meta.json";

@@ -235,6 +235,7 @@ std::string serialize_checkpoint(const ServiceCheckpoint& ckpt) {
   }
   w.end_array();
   w.key("telemetry_state").value(ckpt.telemetry_state);
+  w.key("timeline_state").value(ckpt.timeline_state);
   w.end_object();
   return w.take();
 }
@@ -295,6 +296,11 @@ bool parse_checkpoint(const std::string& json, ServiceCheckpoint* out,
     return false;
   }
   ckpt.telemetry_state = telemetry->string;
+  // Lenient: the member postdates the format, so checkpoints cut before
+  // the timeline existed load as "no timeline state".
+  const JsonValue* timeline = doc->find("timeline_state");
+  ckpt.timeline_state =
+      timeline != nullptr && timeline->is_string() ? timeline->string : "";
   *out = std::move(ckpt);
   return true;
 }
@@ -361,6 +367,7 @@ std::uint64_t checkpoint_digest(const ServiceCheckpoint& ckpt) {
     fp.add(e.detail);
   }
   fp.add(ckpt.telemetry_state);
+  fp.add(ckpt.timeline_state);
   return fp.value();
 }
 

@@ -36,6 +36,10 @@ struct ServiceCheckpoint {
   std::vector<obs::FaultEvent> ledger_events;
   /// DeviceHealthRegistry::serialize_state() document at the boundary.
   std::string telemetry_state;
+  /// TimelineRecorder::serialize_state() document at the boundary
+  /// (empty when the timeline was unarmed; parsed leniently so older
+  /// checkpoints without the member still load).
+  std::string timeline_state;
 };
 
 /// JSON round trip. parse_checkpoint returns false (with a reason in

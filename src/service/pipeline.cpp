@@ -29,6 +29,7 @@
 #include "obs/obs.h"
 #include "obs/progress.h"
 #include "obs/telemetry/telemetry.h"
+#include "obs/timeline/timeline.h"
 #include "runtime/seed.h"
 #include "runtime/thread_pool.h"
 #include "runtime/worker.h"
@@ -76,6 +77,20 @@ struct ShotRec {
   bool sticky_transition = false;  ///< breaker went sticky on this shot
   std::vector<FaultEvent> events;  ///< receipts; filed by the aggregator
 
+  /// Timeline payload (only populated when the timeline is armed). The
+  /// scheduler observes its own breaker mutations and the aggregator
+  /// replays them in fold order, so the recorder's census never reads
+  /// live breakers that have raced ahead of the fold cursor.
+  struct BreakerShift {
+    int from = 0;  ///< timeline census state ids (3 = sticky)
+    int to = 0;
+    const char* cause = "";
+  };
+  std::vector<BreakerShift> shifts;
+  long long backlog_wait_us = 0;  ///< virtual backlog at admission
+  bool trace_sampled = false;
+  std::vector<obs::TraceAttempt> trace_attempts;
+
   // Stage payloads (moved along, released as consumed).
   RawImage raw;
   Image developed;
@@ -112,6 +127,8 @@ struct LiveStatus {
   ShotQueue* done = nullptr;
   std::atomic<long long> shed{0};
   std::atomic<long long> rejected{0};
+  std::atomic<long long> slots_folded{0};
+  int epoch_slots = 0;  ///< 0 when the timeline is unarmed
 };
 
 LiveStatus* g_live = nullptr;
@@ -119,15 +136,40 @@ LiveStatus* g_live = nullptr;
 std::string live_status_text() {
   LiveStatus* live = g_live;
   if (live == nullptr) return "";
-  char buf[160];
-  std::snprintf(buf, sizeof(buf),
-                " | q cap %zu isp %zu cod %zu dec %zu inf %zu out %zu"
-                " shed %lld rej %lld",
-                live->capture->size(), live->isp->size(),
-                live->codec->size(), live->decode->size(),
-                live->infer->size(), live->done->size(),
-                live->shed.load(std::memory_order_relaxed),
-                live->rejected.load(std::memory_order_relaxed));
+  char buf[224];
+  int n = std::snprintf(buf, sizeof(buf),
+                        " | q cap %zu isp %zu cod %zu dec %zu inf %zu out %zu"
+                        " shed %lld rej %lld",
+                        live->capture->size(), live->isp->size(),
+                        live->codec->size(), live->decode->size(),
+                        live->infer->size(), live->done->size(),
+                        live->shed.load(std::memory_order_relaxed),
+                        live->rejected.load(std::memory_order_relaxed));
+  if (live->epoch_slots > 0 && n > 0 &&
+      n < static_cast<int>(sizeof(buf))) {
+    // Timeline heartbeat: current fold epoch + the worst-backlogged
+    // stage right now (wall-clock observational, like the queue sizes).
+    struct {
+      const char* name;
+      ShotQueue* q;
+    } stages[] = {{"cap", live->capture}, {"isp", live->isp},
+                  {"cod", live->codec},   {"dec", live->decode},
+                  {"inf", live->infer},   {"out", live->done}};
+    const char* worst = stages[0].name;
+    std::size_t depth = stages[0].q->size();
+    for (const auto& s : stages) {
+      const std::size_t d = s.q->size();
+      if (d > depth) {
+        depth = d;
+        worst = s.name;
+      }
+    }
+    std::snprintf(buf + n, sizeof(buf) - static_cast<std::size_t>(n),
+                  " ep %lld worst %s:%zu",
+                  live->slots_folded.load(std::memory_order_relaxed) /
+                      live->epoch_slots,
+                  worst, depth);
+  }
   return buf;
 }
 
@@ -181,6 +223,17 @@ namespace {
 /// evolving per-device state it alone mutates — so the decision stream
 /// is bit-identical regardless of how the stage workers behind it are
 /// scheduled.
+/// Timeline census id for a breaker: 0-2 mirror BreakerState, 3 is the
+/// sticky-open terminal (folded into one id so the census lane shows
+/// quarantined devices separately from recoverable opens).
+int census_of(const CircuitBreaker& br) {
+  const BreakerSnapshot s = br.snapshot();
+  return s.sticky ? 3 : s.state;
+}
+
+/// Seed salt for the deterministic per-shot trace sample draw.
+constexpr std::uint64_t kTraceSalt = 0x71ACE;
+
 class Scheduler {
  public:
   Scheduler(const ServiceConfig& config, const std::vector<Device>& fleet)
@@ -189,6 +242,8 @@ class Scheduler {
     backlog_us_.assign(fleet.size(), 0);
     shed_us_ = quantize_us(config.shed_backlog_ms);
     drain_us_ = quantize_us(config.drain_ms_per_shot);
+    timeline_ = obs::timeline_enabled();
+    trace_ppm_ = obs::TimelineRecorder::global().trace_sample_ppm();
   }
 
   void restore(const SchedulerState& state) {
@@ -225,7 +280,31 @@ class Scheduler {
     // One slot's worth of virtual service capacity drains per shot.
     backlog = std::max<long long>(0, backlog - drain_us_);
 
+    // Timeline payload: the virtual backlog at admission is the modeled
+    // queue wait; the trace sample is a pure function of (seed, g) so
+    // the sampled set is identical at any thread count and across a
+    // resume.
+    r.backlog_wait_us = backlog;
+    if (timeline_ && trace_ppm_ > 0) {
+      Pcg32 rng = runtime::derive_rng(config_.seed, kTraceSalt,
+                                      static_cast<std::uint64_t>(g));
+      r.trace_sampled =
+          static_cast<long long>(rng.uniform_int(1000000u)) < trace_ppm_;
+    }
+    // Breaker shifts are observed against the census id before/after
+    // each mutating call; the aggregator replays them in fold order.
+    int census = timeline_ ? census_of(br) : 0;
+    auto note_shift = [&](const char* cause) {
+      if (!timeline_) return;
+      const int now = census_of(br);
+      if (now != census) {
+        r.shifts.push_back({census, now, now == 3 ? "sticky_latch" : cause});
+        census = now;
+      }
+    };
+
     const CircuitBreaker::Admit admit = br.admit();
+    note_shift("cooldown_elapsed");
     if (admit == CircuitBreaker::Admit::kReject) {
       r.outcome = ShotOutcome::kBreakerReject;
       r.events.push_back(
@@ -253,17 +332,20 @@ class Scheduler {
     long long min_over_us = LLONG_MAX;
     bool ok = false;
     for (int attempt = 0; attempt < max_attempts; ++attempt) {
+      long long backoff_us = 0;
       if (attempt > 0) {
         const double backoff_ms =
             config_.plan.backoff_base_ms * static_cast<double>(1 << (attempt - 1));
         r.events.push_back({FaultEventKind::kRetry, r.device, item, 0,
                             attempt, false, backoff_ms});
-        total_us += quantize_us(backoff_ms);
+        backoff_us = quantize_us(backoff_ms);
+        total_us += backoff_us;
       }
       const long long lat_us = quantize_us(fault::draw_latency_ms(
           config_.plan, dev.cls, static_cast<std::uint64_t>(r.device),
           static_cast<std::uint64_t>(r.slot), 0, attempt));
       total_us += lat_us;
+      if (r.trace_sampled) r.trace_attempts.push_back({backoff_us, lat_us});
       if (lat_us <= dev.deadline_us) {
         ok = true;
         r.service_attempts = attempt + 1;
@@ -281,6 +363,7 @@ class Scheduler {
         r.events.push_back({FaultEventKind::kBreakerProbe, r.device, item,
                             0, 0, true, 1.0});
       const CircuitBreaker::Feedback fb = br.on_success();
+      note_shift("probe_success");
       if (fb.closed)
         r.events.push_back({FaultEventKind::kBreakerClose, r.device, item,
                             0, 0, true, 0.0});
@@ -297,6 +380,7 @@ class Scheduler {
       r.events.push_back(
           {FaultEventKind::kBreakerProbe, r.device, item, 0, 0, false, 0.0});
     const CircuitBreaker::Feedback fb = br.on_timeout();
+    note_shift(census == 2 ? "probe_failure" : "timeout_trip");
     if (fb.opened)
       r.events.push_back(
           {FaultEventKind::kBreakerOpen, r.device, item, 0, 0, false,
@@ -315,6 +399,8 @@ class Scheduler {
   std::vector<long long> backlog_us_;
   long long shed_us_ = 0;
   long long drain_us_ = 0;
+  bool timeline_ = false;
+  long long trace_ppm_ = 0;
 };
 
 // ---- Pipeline plumbing -----------------------------------------------------
@@ -532,6 +618,36 @@ class Aggregator {
     if (r.sticky_transition && telemetry)
       registry.record_quarantine(r.device, item);
 
+    // Timeline fold: replay the shot's deterministic payload into the
+    // recorder here — the single serial fold point — so epoch
+    // attribution, the transition stream and the trace cap are all in
+    // strict shot order regardless of worker scheduling.
+    if (obs::timeline_enabled()) {
+      auto& timeline = obs::TimelineRecorder::global();
+      const int cls = static_cast<int>(device_class_of(r.device));
+      timeline.record_shot(cls, static_cast<int>(r.outcome),
+                           r.service_latency_us,
+                           r.outcome == ShotOutcome::kOk);
+      for (const ShotRec::BreakerShift& s : r.shifts)
+        timeline.record_transition(r.device, s.from, s.to, s.cause);
+      if (r.trace_sampled) {
+        obs::ShotTrace trace;
+        trace.g = r.g;
+        trace.slot = r.slot;
+        trace.device = r.device;
+        trace.cls = cls;
+        trace.outcome = static_cast<int>(r.outcome);
+        trace.queue_wait_us = r.backlog_wait_us;
+        for (const obs::TraceAttempt& a : r.trace_attempts) {
+          trace.backoff_us += a.backoff_us;
+          trace.service_us += a.service_us;
+        }
+        trace.delivery_us = quantize_us(r.delivery_delay_ms);
+        trace.attempts = r.trace_attempts;
+        timeline.record_trace(std::move(trace));
+      }
+    }
+
     SlotCell& cell = cells_[static_cast<std::size_t>(r.device)];
     cell.outcome = r.outcome;
     cell.predicted = r.predicted;
@@ -602,6 +718,19 @@ class Aggregator {
     agg_.digest_chain = runtime::mix_seed(agg_.digest_chain, fp.value());
     ++agg_.slots_folded;
     cells_.assign(cells_.size(), SlotCell{});
+
+    if (g_live != nullptr)
+      g_live->slots_folded.fetch_add(1, std::memory_order_relaxed);
+    if (obs::timeline_enabled()) {
+      // Close the slot in the recorder, sampling the live queue depths
+      // for the observational lanes (wall-clock data — exported but
+      // never digested, DESIGN.md §18).
+      std::vector<long long> depths;
+      depths.reserve(shared_.queues.size());
+      for (ShotQueue* q : shared_.queues)
+        depths.push_back(static_cast<long long>(q->size()));
+      obs::TimelineRecorder::global().note_slot_folded(depths);
+    }
   }
 
   void cut_checkpoint(const SchedulerState& sched) {
@@ -619,6 +748,9 @@ class Aggregator {
     if (obs::telemetry_enabled())
       ckpt.telemetry_state =
           obs::DeviceHealthRegistry::global().serialize_state();
+    if (obs::timeline_enabled())
+      ckpt.timeline_state =
+          obs::TimelineRecorder::global().serialize_state();
     std::string error;
     ES_CHECK_MSG(
         write_checkpoint_file(config_.checkpoint_path, ckpt, &error),
@@ -724,6 +856,24 @@ SoakReport run_fleet_service(Model& model, const ServiceConfig& config) {
     }
   }
 
+  // ---- Timeline bootstrap: register the run's name tables before any
+  // restore (restore_state then overwrites the fresh series with the
+  // checkpointed one).
+  if (obs::timeline_enabled()) {
+    std::vector<std::string> stage_names = {"capture", "isp",      "codec",
+                                            "decode",  "inference", "aggregate"};
+    std::vector<std::string> class_names;
+    for (int c = 0; c < 3; ++c)
+      class_names.push_back(
+          fault::device_class_name(static_cast<fault::DeviceClass>(c)));
+    std::vector<std::string> outcome_names;
+    for (int o = 0; o <= static_cast<int>(ShotOutcome::kDecodeLost); ++o)
+      outcome_names.push_back(outcome_name(static_cast<ShotOutcome>(o)));
+    obs::TimelineRecorder::global().begin_run(
+        std::move(stage_names), std::move(class_names),
+        std::move(outcome_names), devices);
+  }
+
   // ---- Resume bootstrap.
   AggregateState agg;
   Scheduler scheduler(config, fleet);
@@ -747,6 +897,18 @@ SoakReport run_fleet_service(Model& model, const ServiceConfig& config) {
       ES_CHECK_MSG(obs::DeviceHealthRegistry::global().restore_state(
                        ckpt.telemetry_state),
                    "checkpoint telemetry state is malformed");
+    if (obs::timeline_enabled()) {
+      // An armed resume of a timeline-less checkpoint would silently
+      // restart the series at slot 0 while the run resumes mid-stream;
+      // refuse instead of splicing.
+      ES_CHECK_MSG(!ckpt.timeline_state.empty(),
+                   "checkpoint has no timeline state — it was cut without "
+                   "--timeline");
+      ES_CHECK_MSG(obs::TimelineRecorder::global().restore_state(
+                       ckpt.timeline_state),
+                   "checkpoint timeline state is malformed or disagrees "
+                   "with the live --timeline-epoch/--trace-sample-rate");
+    }
     start_slot = ckpt.slot;
     std::printf("[service] resumed from %s @ slot %lld/%lld\n",
                 config.checkpoint_path.c_str(), start_slot, slots);
@@ -784,6 +946,10 @@ SoakReport run_fleet_service(Model& model, const ServiceConfig& config) {
   live.decode = &decode_q;
   live.infer = &infer_q;
   live.done = &done_q;
+  live.slots_folded.store(start_slot, std::memory_order_relaxed);
+  live.epoch_slots = obs::timeline_enabled()
+                         ? obs::TimelineRecorder::global().epoch_slots()
+                         : 0;
   g_live = &live;
   obs::ProgressMeter::set_status_source(&live_status_text);
 

@@ -206,6 +206,58 @@ TEST(RunArchive, MalformedLineFailsWithLineNumber) {
   std::remove(path.c_str());
 }
 
+TEST(RunArchive, PruneKeepsNewestPerBenchInOriginalOrder) {
+  std::string path = temp_path("edgestab_test_prune.jsonl");
+  std::remove(path.c_str());
+  // Interleave two benches: a0 b0 a1 a2 b1. keep=2 must drop only a0.
+  for (const auto& [bench, stamp] :
+       std::vector<std::pair<std::string, std::int64_t>>{{"a", 10},
+                                                         {"b", 11},
+                                                         {"a", 12},
+                                                         {"a", 13},
+                                                         {"b", 14}}) {
+    RunRecord r = sample_record();
+    r.bench = bench;
+    r.created_unix = stamp;
+    ASSERT_TRUE(obs::append_run_record(path, r));
+  }
+  std::size_t kept = 0, dropped = 0;
+  std::string error;
+  ASSERT_TRUE(obs::prune_run_archive(path, 2, &kept, &dropped, &error))
+      << error;
+  EXPECT_EQ(kept, 4u);
+  EXPECT_EQ(dropped, 1u);
+  std::vector<RunRecord> records;
+  ASSERT_TRUE(obs::load_run_records(path, &records, &error)) << error;
+  ASSERT_EQ(records.size(), 4u);
+  // Survivors keep the original append order (compare's last-wins
+  // "newest" convention still holds).
+  EXPECT_EQ(records[0].created_unix, 11);
+  EXPECT_EQ(records[1].created_unix, 12);
+  EXPECT_EQ(records[2].created_unix, 13);
+  EXPECT_EQ(records[3].created_unix, 14);
+  // The tmp sibling must not survive the rename.
+  EXPECT_EQ(std::fopen((path + ".tmp").c_str(), "rb"), nullptr);
+  // Pruning again with a generous keep is a no-op.
+  ASSERT_TRUE(obs::prune_run_archive(path, 10, &kept, &dropped, &error));
+  EXPECT_EQ(kept, 4u);
+  EXPECT_EQ(dropped, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(RunArchive, PruneRejectsZeroKeepAndMissingFile) {
+  std::string error;
+  EXPECT_FALSE(obs::prune_run_archive(
+      temp_path("edgestab_test_prune_missing.jsonl"), 2, nullptr, nullptr,
+      &error));
+  EXPECT_FALSE(error.empty());
+  std::string path = temp_path("edgestab_test_prune_zero.jsonl");
+  std::remove(path.c_str());
+  ASSERT_TRUE(obs::append_run_record(path, sample_record()));
+  EXPECT_FALSE(obs::prune_run_archive(path, 0, nullptr, nullptr, &error));
+  std::remove(path.c_str());
+}
+
 // ---- baseline derivation ---------------------------------------------------
 
 TEST(Baseline, DerivesPerfSummariesFromRepeats) {

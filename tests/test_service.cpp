@@ -303,6 +303,7 @@ ServiceCheckpoint sample_checkpoint() {
   ckpt.ledger_events.push_back(
       {obs::FaultEventKind::kRetry, 1, 3, 0, 1, true, 10.0});
   ckpt.telemetry_state = "{\"window\":4}";
+  ckpt.timeline_state = "{\"format\":\"edgestab-timeline-state-v1\"}";
   return ckpt;
 }
 
@@ -323,6 +324,7 @@ TEST(Checkpoint, JsonRoundTripIsExact) {
   EXPECT_EQ(scheduler_digest(back.sched), scheduler_digest(ckpt.sched));
   EXPECT_EQ(back.ledger_events.size(), ckpt.ledger_events.size());
   EXPECT_EQ(back.telemetry_state, ckpt.telemetry_state);
+  EXPECT_EQ(back.timeline_state, ckpt.timeline_state);
   // And the serialization itself is stable.
   EXPECT_EQ(serialize_checkpoint(back), json);
 }

@@ -30,6 +30,19 @@
 //     queue pressure, breaker totals, the modeled latency tail and the
 //     N busiest-failing devices.
 //
+//   edgestab_sentinel timeline FILE [--out FILE]
+//     Summarize a <bench>.timeline.json written by a --timeline run:
+//     epoch geometry, per-outcome totals reconciled against the shot
+//     count, breaker transitions and sampled traces. With --out, re-
+//     render the self-contained timeline.html — byte-identical to the
+//     one the bench wrote, because the HTML is a pure function of the
+//     parsed document.
+//
+//   edgestab_sentinel prune FILE --keep N
+//     Rewrite the run archive keeping only the newest N records per
+//     bench (bench names carry the tier suffix, so per (bench, tier)).
+//     Crash-safe: tmp sibling + atomic rename.
+//
 // Baselines are refreshed with scripts/refresh_baselines.sh, which
 // copies the candidate BENCH_<name>.json files a bench run emits into
 // the committed baselines/ directory.
@@ -49,6 +62,8 @@
 #include "obs/manifest.h"
 #include "obs/profiler.h"
 #include "obs/telemetry/fleet_report.h"
+#include "obs/timeline/timeline.h"
+#include "obs/timeline/timeline_report.h"
 #include "util/table.h"
 
 using namespace edgestab;
@@ -69,7 +84,9 @@ int usage() {
       "  list    [--runs FILE]\n"
       "  hotspots FILE [--top N]\n"
       "  fleet   FILE [--format text|html] [--out FILE]\n"
-      "  soak    FILE [--devices N]\n");
+      "  soak    FILE [--devices N]\n"
+      "  timeline FILE [--out FILE]\n"
+      "  prune   FILE --keep N\n");
   return 1;
 }
 
@@ -404,6 +421,127 @@ int cmd_fleet(int argc, char** argv) {
   return 0;
 }
 
+int cmd_timeline(int argc, char** argv) {
+  std::string path, out_path;
+  for (int i = 2; i < argc; ++i) {
+    if (option_value(argc, argv, i, "--out", &out_path)) continue;
+    if (argv[i][0] == '-') {
+      std::fprintf(stderr, "sentinel: unknown option '%s'\n", argv[i]);
+      return usage();
+    }
+    if (!path.empty()) {
+      std::fprintf(stderr, "sentinel: timeline takes one timeline.json file\n");
+      return usage();
+    }
+    path = argv[i];
+  }
+  if (path.empty()) {
+    std::fprintf(stderr,
+                 "sentinel: timeline requires a <bench>.timeline.json\n");
+    return usage();
+  }
+
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "sentinel: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::string text;
+  char buffer[4096];
+  std::size_t got;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), f)) > 0)
+    text.append(buffer, got);
+  std::fclose(f);
+
+  std::string error;
+  obs::TimelineDoc doc;
+  if (!obs::parse_timeline(text, &doc, &error)) {
+    std::fprintf(stderr, "sentinel: %s: %s\n", path.c_str(), error.c_str());
+    return 1;
+  }
+
+  std::printf("%s — timeline digest %s\n",
+              doc.bench.empty() ? path.c_str() : doc.bench.c_str(),
+              obs::hex_digest(obs::timeline_digest(doc)).c_str());
+  std::printf(
+      "%zu epoch(s) x %d slots (%lld slots total), trace sample %lld ppm\n",
+      doc.epochs.size(), doc.epoch_slots, doc.slots_total,
+      doc.trace_sample_ppm);
+
+  // Per-outcome totals are the sum of the per-epoch deltas; their grand
+  // total must reconcile exactly against the shots the run folded.
+  std::vector<long long> totals(doc.outcomes.size(), 0);
+  long long accounted = 0;
+  for (const obs::TimelineEpoch& e : doc.epochs)
+    for (std::size_t o = 0; o < e.outcomes.size() && o < totals.size(); ++o) {
+      totals[o] += e.outcomes[o];
+      accounted += e.outcomes[o];
+    }
+  Table t({"OUTCOME", "SHOTS", "SHARE"});
+  for (std::size_t o = 0; o < doc.outcomes.size(); ++o)
+    t.add_row({doc.outcomes[o], std::to_string(totals[o]),
+               Table::pct(static_cast<double>(totals[o]) /
+                          static_cast<double>(std::max(1LL, accounted)))});
+  std::printf("%s", t.str().c_str());
+  std::printf("shots accounted: %lld\n", accounted);
+
+  std::printf("breaker transitions: %zu\n", doc.transitions.size());
+  if (!doc.transitions.empty()) {
+    Table tt({"DEVICE", "EPOCH", "SLOT", "FROM", "TO", "CAUSE"});
+    for (const obs::BreakerTransition& tr : doc.transitions)
+      tt.add_row({std::to_string(tr.device), std::to_string(tr.epoch),
+                  std::to_string(tr.slot), obs::timeline_census_name(tr.from),
+                  obs::timeline_census_name(tr.to), tr.cause});
+    std::printf("%s", tt.str().c_str());
+  }
+  std::printf("traces: %zu sampled, %lld dropped at the cap\n",
+              doc.traces.size(), doc.traces_dropped);
+
+  if (!out_path.empty()) {
+    if (!write_file(out_path, obs::timeline_html(doc))) return 1;
+    std::printf("sentinel: %s (%zu epoch(s), %zu transition(s))\n",
+                out_path.c_str(), doc.epochs.size(), doc.transitions.size());
+  }
+  return 0;
+}
+
+int cmd_prune(int argc, char** argv) {
+  std::string path, keep_s;
+  for (int i = 2; i < argc; ++i) {
+    if (option_value(argc, argv, i, "--keep", &keep_s)) continue;
+    if (argv[i][0] == '-') {
+      std::fprintf(stderr, "sentinel: unknown option '%s'\n", argv[i]);
+      return usage();
+    }
+    if (!path.empty()) {
+      std::fprintf(stderr, "sentinel: prune takes one runs.jsonl file\n");
+      return usage();
+    }
+    path = argv[i];
+  }
+  if (path.empty() || keep_s.empty()) {
+    std::fprintf(stderr, "sentinel: prune requires FILE and --keep N\n");
+    return usage();
+  }
+  long keep = std::atol(keep_s.c_str());
+  if (keep <= 0) {
+    std::fprintf(stderr, "sentinel: --keep must be a positive integer\n");
+    return usage();
+  }
+  std::size_t kept = 0, dropped = 0;
+  std::string error;
+  if (!obs::prune_run_archive(path, static_cast<std::size_t>(keep), &kept,
+                              &dropped, &error)) {
+    std::fprintf(stderr, "sentinel: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf(
+      "sentinel: %s pruned to the newest %ld per bench — kept %zu "
+      "record(s), dropped %zu\n",
+      path.c_str(), keep, kept, dropped);
+  return 0;
+}
+
 }  // namespace
 
 int cmd_soak(int argc, char** argv) {
@@ -585,6 +723,8 @@ int main(int argc, char** argv) {
   if (command == "hotspots") return cmd_hotspots(argc, argv);
   if (command == "fleet") return cmd_fleet(argc, argv);
   if (command == "soak") return cmd_soak(argc, argv);
+  if (command == "timeline") return cmd_timeline(argc, argv);
+  if (command == "prune") return cmd_prune(argc, argv);
   std::fprintf(stderr, "sentinel: unknown command '%s'\n", command.c_str());
   return usage();
 }
